@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench prints the series it reproduces (the paper's rows), so the
+``pytest benchmarks/ --benchmark-only`` log doubles as the experiment
+record copied into ``EXPERIMENTS.md``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under the benchmark fixture.
+
+    Experiment benches measure a *simulation result*, not CPU micro-
+    performance; a single round keeps the harness fast while still
+    recording wall time per experiment.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1,
+                                  warmup_rounds=0)
+
+    return run

@@ -1,0 +1,48 @@
+"""EXT-A2 — group-size ablation: is the planner's ``m`` actually optimal?
+
+Sweeps *every* feasible group size exhaustively for each paper model at
+N=1024 and confirms the planner (which subsamples candidates) returns a
+configuration no slower than the exhaustive best.
+"""
+
+from repro import units
+from repro.analysis.ascii_plot import simple_table
+from repro.config import default_optical
+from repro.core.planner import feasible_group_sizes, plan_table, plan_wrht
+from repro.models.catalog import paper_workload
+
+N = 1024
+
+
+def _run(model: str):
+    system = default_optical(N)
+    wl = paper_workload(model)
+    rows = plan_table(system, wl,
+                      group_sizes=feasible_group_sizes(
+                          N, system.num_wavelengths))
+    plan = plan_wrht(system, wl)
+    return rows, plan
+
+
+def test_groupsize_ablation_vgg16(once):
+    rows, plan = once(_run, "vgg16")
+    show = [r for r in rows if r[0] in (2, 3, 4, 5, 9, 17, 33, 65, 129)]
+    print()
+    print(simple_table(
+        ["m", "steps", "time"],
+        [(m, s, units.fmt_time(t)) for m, s, t in show],
+        title=f"EXT-A2: VGG16 @ N={N}, exhaustive m sweep "
+              f"(last-level variant)"))
+    exhaustive_best = min(t for _, _, t in rows)
+    print(f"planner pick: m={plan.group_size} ({plan.variant}) "
+          f"{units.fmt_time(plan.predicted_time)}; exhaustive best "
+          f"{units.fmt_time(exhaustive_best)}")
+    assert plan.predicted_time <= exhaustive_best * (1 + 1e-9)
+
+
+def test_groupsize_ablation_googlenet(once):
+    rows, plan = once(_run, "googlenet")
+    exhaustive_best = min(t for _, _, t in rows)
+    assert plan.predicted_time <= exhaustive_best * (1 + 1e-9)
+    # small payloads still prefer small m under striping
+    assert plan.group_size <= 5

@@ -1,0 +1,44 @@
+"""EXT-A5 — payload-size crossover.
+
+Sweeps the all-reduce payload from 1 KB to 1 GB at N=256.  For tiny
+payloads the step count dominates (RD and Wrht, both O(log), win over
+2(N−1)-step rings); for DNN-sized payloads Wrht's striped bandwidth
+wins outright — locating the crossovers the paper's regime sits beyond.
+"""
+
+from repro import units
+from repro.analysis.ascii_plot import simple_table
+from repro.analysis.sweeps import crossover_sweep
+
+PAYLOADS = [1 * units.KB, 32 * units.KB, 1 * units.MB, 32 * units.MB,
+            256 * units.MB, 1 * units.GB]
+
+
+def _run():
+    return crossover_sweep(256, PAYLOADS)
+
+
+def test_payload_crossover(once):
+    rows = once(_run)
+    print()
+    print(simple_table(
+        ["payload", "e-ring", "rd", "o-ring", "wrht", "winner"],
+        [(units.fmt_bytes(r.data_bytes),
+          *(units.fmt_time(r.times[a])
+            for a in ("e-ring", "rd", "o-ring", "wrht")), r.winner())
+         for r in rows],
+        title="EXT-A5: payload sweep @ N=256"))
+
+    # At DNN gradient sizes (>= 25 MB) Wrht must win.
+    for r in rows:
+        if r.data_bytes >= 25 * units.MB:
+            assert r.winner() == "wrht", units.fmt_bytes(r.data_bytes)
+    # Pure latency regime (1 KB): rings lose badly.  RD's few cheap
+    # steps nearly tie with Wrht — the planner collapses Wrht to a
+    # 3-step wide-group plan whose per-step MRR tuning is the only cost,
+    # so the two log-depth algorithms converge while rings stay >3x off.
+    tiny = rows[0]
+    assert tiny.winner() in ("rd", "wrht")
+    assert tiny.times["rd"] < 1.5 * tiny.times["wrht"]
+    assert tiny.times["o-ring"] > 3 * tiny.times["wrht"]
+    assert tiny.times["e-ring"] > 3 * tiny.times["wrht"]

@@ -1,0 +1,37 @@
+"""EXT-A3 — striping ablation: where does the WDM win come from?
+
+Costs Wrht with striping on/off plus the striped-ring thought
+experiment.  Confirms (a) striping is the dominant lever (without it
+Wrht degenerates to ~step-count × S/B and *loses* to O-Ring's pipeline
+on pure bandwidth for big payloads), and (b) the honest extension
+finding that a WDM-striped ring all-reduce would be latency-bound.
+"""
+
+from repro import units
+from repro.analysis.ascii_plot import simple_table
+from repro.analysis.sweeps import striping_sweep
+from repro.models.catalog import paper_workload
+
+
+def _run():
+    return striping_sweep(1024, paper_workload("vgg16"))
+
+
+def test_striping_ablation(once):
+    rows = once(_run)
+    print()
+    print(simple_table(
+        ["configuration", "time", "steps", "detail"],
+        [(r.label, units.fmt_time(r.time), r.steps, r.detail)
+         for r in rows],
+        title="EXT-A3: VGG16 @ N=1024 striping ablation"))
+    t = {r.label: r.time for r in rows}
+    # striping buys Wrht an order of magnitude
+    assert t["wrht+striping"] * 8 < t["wrht-no-striping"]
+    # without striping, the minimal-step tree cannot beat the pipeline
+    assert t["wrht-no-striping"] > t["o-ring (1 wavelength)"]
+    # the paper's comparison: striped Wrht crushes the unstriped ring
+    assert t["wrht+striping"] * 8 < t["o-ring (1 wavelength)"]
+    # extension finding: a striped ring would be latency-bound but fast
+    assert t["ring+striping (thought experiment)"] < \
+        t["o-ring (1 wavelength)"]

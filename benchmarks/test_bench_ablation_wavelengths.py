@@ -1,0 +1,40 @@
+"""EXT-A1 — wavelength-budget ablation.
+
+Wrht's time should scale ~1/w while the budget feeds striping, then
+flatten; O-Ring is budget-insensitive (it never uses more than one
+wavelength per transfer).
+"""
+
+from repro import units
+from repro.analysis.ascii_plot import simple_table
+from repro.analysis.sweeps import wavelength_sweep
+from repro.models.catalog import paper_workload
+
+BUDGETS = (4, 8, 16, 32, 64, 128)
+
+
+def _run():
+    return wavelength_sweep(1024, paper_workload("vgg16"),
+                            budgets=BUDGETS)
+
+
+def test_wavelength_ablation(once):
+    rows = once(_run)
+    print()
+    print(simple_table(
+        ["w", "Wrht", "m", "steps", "O-Ring"],
+        [(r.num_wavelengths, units.fmt_time(r.wrht_time),
+          r.wrht_group_size, r.wrht_steps, units.fmt_time(r.oring_time))
+         for r in rows],
+        title="EXT-A1: VGG16 @ N=1024 vs wavelength budget"))
+
+    # monotone improvement with more wavelengths
+    times = [r.wrht_time for r in rows]
+    assert all(a >= b for a, b in zip(times, times[1:]))
+    # near-linear gain while striping dominates: 4 -> 64 buys >= 8x
+    assert times[0] / times[BUDGETS.index(64)] > 8
+    # O-Ring identical across budgets
+    orings = {round(r.oring_time, 9) for r in rows}
+    assert len(orings) == 1
+    # Wrht beats O-Ring from a tiny budget upward
+    assert rows[1].wrht_time < rows[1].oring_time

@@ -1,0 +1,34 @@
+"""§2 quantitative claims: step counts and wavelength requirements.
+
+Regenerates the step-count table (all algorithms × paper scales) and the
+wavelength-requirement table, asserting the generated schedules agree
+with the paper's closed forms.
+"""
+
+from repro.analysis.tables import (render_step_count_table,
+                                   render_wavelength_requirement_table,
+                                   step_count_table,
+                                   wavelength_requirement_table)
+
+
+def test_step_count_table(once):
+    rows = once(step_count_table)
+    print()
+    print(render_step_count_table(rows))
+    for r in rows:
+        assert r.ring == 2 * (r.num_nodes - 1)
+        assert r.wrht == r.wrht_paper_bound  # generator == closed form
+        assert r.wrht < r.ring               # the paper's whole point
+        assert r.wrht <= r.halving_doubling
+
+
+def test_wavelength_requirement_table(once):
+    rows = once(wavelength_requirement_table)
+    print()
+    print(render_wavelength_requirement_table(rows))
+    for r in rows:
+        # tree steps demand exactly the paper's ⌊m/2⌋ per direction
+        assert r.tree_demand_generated == r.tree_requirement
+        # the full schedule (incl. all-to-all) stays within formulas
+        assert r.peak_demand_generated <= max(r.tree_requirement,
+                                              r.alltoall_requirement)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Scale-out study: how each all-reduce behaves as the cluster grows.
+
+Reproduces one Fig. 2 panel on the command line for a chosen model and
+extends it with end-to-end iteration analysis: given a compute model for
+the DNN, what fraction of each training iteration is communication, and
+what scaling efficiency does each algorithm sustain at 1024 GPUs?
+
+Run:  python examples/dnn_training_scaleout.py [model]
+"""
+
+import sys
+
+from repro import units
+from repro.analysis.figure2 import figure2_panel, render_panel
+from repro.models.catalog import get_model
+from repro.models.flops import training_flops_per_sample
+from repro.models.training import DataParallelTrainingModel
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "resnet50"
+    model = get_model(name)
+    print(f"Model: {model.name} — catalog {model.num_parameters:,} "
+          f"parameters (paper uses {model.paper_param_count / 1e6:.4g}M)\n")
+
+    panel = figure2_panel(name)
+    print(render_panel(panel))
+
+    # End-to-end view at each scale: iteration time and efficiency.
+    # (exact shape-propagated FLOPs for AlexNet/VGG16, published
+    # profiler values for the branchy catalogs)
+    compute = DataParallelTrainingModel(
+        flops_per_sample=training_flops_per_sample(model),
+        per_worker_batch=32,
+        overlap_fraction=0.5)
+    print(f"\nPer-iteration view (batch 32/GPU, 50% overlap, compute "
+          f"{units.fmt_time(compute.compute_time)}):")
+    print(f"{'N':>6} {'algorithm':>10} {'comm':>12} {'iter':>12} "
+          f"{'comm frac':>10} {'efficiency':>11}")
+    for i, n in enumerate(panel.scales):
+        for algo in ("o-ring", "wrht"):
+            comm = panel.times[algo][i]
+            it = compute.iteration(comm)
+            eff = compute.scaling_efficiency(comm)
+            print(f"{n:>6} {algo:>10} {units.fmt_time(comm):>12} "
+                  f"{units.fmt_time(it.iteration_time):>12} "
+                  f"{it.communication_fraction:>10.1%} {eff:>11.1%}")
+
+    best = panel.winner_at(panel.scales[-1])
+    print(f"\nWinner at N={panel.scales[-1]}: {best}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Wavelength provisioning: how many channels does a rack need?
+
+A system designer's question the paper's §2 formulas answer: for a
+target cluster size and payload, sweep the per-direction wavelength
+budget and report where Wrht's time flattens — plus the group sizes the
+planner picks along the way and the paper's ⌊m/2⌋ / ⌈m*²/8⌉ accounting.
+
+Run:  python examples/wavelength_provisioning.py
+"""
+
+from repro import units
+from repro.analysis.ascii_plot import simple_table
+from repro.analysis.sweeps import wavelength_sweep
+from repro.analysis.tables import (render_wavelength_requirement_table,
+                                   wavelength_requirement_table)
+from repro.models.catalog import paper_workload
+
+NUM_NODES = 512
+BUDGETS = (2, 4, 8, 16, 32, 64, 96, 128)
+
+
+def main() -> None:
+    wl = paper_workload("vgg16")
+    rows = wavelength_sweep(NUM_NODES, wl, budgets=BUDGETS)
+
+    print(f"Wrht vs wavelength budget (N={NUM_NODES}, payload "
+          f"{units.fmt_bytes(wl.data_bytes)}):\n")
+    table = []
+    prev = None
+    for r in rows:
+        speedup_vs_oring = r.oring_time / r.wrht_time
+        marginal = "" if prev is None else f"{prev / r.wrht_time:.2f}x"
+        table.append((r.num_wavelengths, units.fmt_time(r.wrht_time),
+                      r.wrht_group_size, r.wrht_steps,
+                      f"{speedup_vs_oring:.1f}x", marginal))
+        prev = r.wrht_time
+    print(simple_table(
+        ["w/direction", "Wrht time", "m", "steps", "vs O-Ring",
+         "gain vs prev w"], table))
+
+    print("\nPaper §2 wavelength accounting for sample configurations:")
+    print(render_wavelength_requirement_table(
+        wavelength_requirement_table()))
+
+    # Simple provisioning rule of thumb from the sweep:
+    knee = None
+    for a, b in zip(rows, rows[1:]):
+        if a.wrht_time / b.wrht_time < 1.7:  # < ~2x gain from doubling
+            knee = a.num_wavelengths
+            break
+    if knee:
+        print(f"\nDiminishing returns start around w = {knee} "
+              f"for this configuration.")
+
+
+if __name__ == "__main__":
+    main()

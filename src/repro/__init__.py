@@ -1,0 +1,55 @@
+"""Wrht: efficient all-reduce for optical interconnects (PPoPP'23 repro).
+
+Public API highlights
+---------------------
+* :class:`repro.config.OpticalRingSystem`, :class:`repro.config.ElectricalSystem`,
+  :class:`repro.config.Workload` — system & workload descriptions;
+* :func:`repro.core.planner.plan_wrht` — choose the optimal Wrht group size;
+* :mod:`repro.collectives` — schedule generators (Wrht + baselines);
+* :func:`repro.core.executor.execute_on_optical_ring` /
+  :func:`repro.core.executor.execute_on_electrical` — simulate a schedule;
+* :func:`repro.core.comparison.compare_algorithms` — the Fig. 2 driver;
+* :mod:`repro.models` — DNN parameter catalogs (AlexNet, VGG16, ResNet50,
+  GoogLeNet).
+
+See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from .config import (ElectricalSystem, OpticalRingSystem, Workload,
+                     default_electrical, default_optical)
+from .errors import (ConfigurationError, PlanningError, ReproError,
+                     ScheduleError, SimulationError, TopologyError,
+                     VerificationError, WavelengthAllocationError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OpticalRingSystem",
+    "ElectricalSystem",
+    "Workload",
+    "default_optical",
+    "default_electrical",
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "WavelengthAllocationError",
+    "ScheduleError",
+    "VerificationError",
+    "SimulationError",
+    "PlanningError",
+    "__version__",
+]
+
+
+def __getattr__(name):  # lazy imports keep `import repro` light
+    if name in ("plan_wrht", "WrhtPlan"):
+        from .core import planner
+        return getattr(planner, name)
+    if name in ("compare_algorithms", "ComparisonResult"):
+        from .core import comparison
+        return getattr(comparison, name)
+    if name == "allreduce":
+        from .core.allreduce_api import allreduce
+        return allreduce
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,100 @@
+"""Terminal plotting: grouped bars (Fig. 2 style) and line charts.
+
+matplotlib is not available in the reproduction environment, so the
+harness renders figures as unicode bar/line charts plus CSV — the series
+data is what matters for comparing shapes against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def grouped_bar_chart(categories: Sequence,
+                      series: Dict[str, Sequence[float]],
+                      width: int = 40,
+                      value_fmt: str = "{:.2f}",
+                      title: str = "") -> str:
+    """Horizontal grouped bar chart.
+
+    ``categories`` label the groups (e.g. node counts); ``series`` maps a
+    series name (algorithm) to one value per category.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    values = [v for vs in series.values() for v in vs]
+    if not values:
+        return title
+    peak = max(values) or 1.0
+    name_w = max(len(str(s)) for s in series)
+    for ci, cat in enumerate(categories):
+        lines.append(f"{cat}:")
+        for name, vals in series.items():
+            v = vals[ci]
+            filled = v / peak * width
+            bar = _BAR * int(filled)
+            if filled - int(filled) >= 0.5:
+                bar += _HALF
+            lines.append(f"  {str(name):<{name_w}} |{bar:<{width}}| "
+                         + value_fmt.format(v))
+    return "\n".join(lines)
+
+
+def line_chart(xs: Sequence[float], series: Dict[str, Sequence[float]],
+               height: int = 12, width: int = 60,
+               title: str = "", logy: bool = False) -> str:
+    """Coarse multi-series scatter/line chart on a character grid."""
+    import math
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    pts = [v for vs in series.values() for v in vs if v > 0 or not logy]
+    if not pts or len(xs) < 2:
+        return title
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    ys = [ty(v) for v in pts]
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for si, (name, vals) in enumerate(series.items()):
+        mark = markers[si % len(markers)]
+        for xi, v in enumerate(vals):
+            if logy and v <= 0:
+                continue
+            col = int(xi / (len(xs) - 1) * (width - 1))
+            row = int((ty(v) - lo) / span * (height - 1))
+            grid[height - 1 - row][col] = mark
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {xs[0]} .. {xs[-1]}   "
+                 + "  ".join(f"{markers[i % len(markers)]}={n}"
+                             for i, n in enumerate(series)))
+    return "\n".join(lines)
+
+
+def simple_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Monospace table with auto-sized columns."""
+    str_rows = [[str(c) for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)

@@ -1,0 +1,99 @@
+"""Process-parallel experiment driver.
+
+The Fig. 2 grid and the ablation sweeps are embarrassingly parallel
+(independent (model, scale) cells, each dominated by the planner's
+candidate sweep).  This module fans cells out over worker processes —
+the classic HPC recipe of parallelising at the outermost independent
+loop rather than inside the numerics.
+
+Everything submitted must be picklable, so the public entry points take
+plain data (model names, scales) and rebuild systems inside the worker.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..models.catalog import paper_workload
+from .figure2 import Figure2Panel, PAPER_MODELS, PAPER_SCALES
+
+
+def _default_workers(requested: Optional[int]) -> int:
+    if requested is not None:
+        return max(1, requested)
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def _fig2_cell(args: Tuple[str, int]) -> Tuple[str, int, Dict[str, float]]:
+    """One (model, scale) cell — executed inside a worker process."""
+    from ..core.comparison import ALGORITHMS, compare_algorithms
+
+    model, n = args
+    comp = compare_algorithms(n, paper_workload(model))
+    return model, n, {a: comp.time(a) for a in ALGORITHMS}
+
+
+def figure2_parallel(models: Sequence[str] = PAPER_MODELS,
+                     scales: Sequence[int] = PAPER_SCALES,
+                     max_workers: Optional[int] = None,
+                     ) -> Dict[str, Figure2Panel]:
+    """The Fig. 2 grid computed with one process per cell.
+
+    Produces the same panels as :func:`repro.analysis.figure2.figure2`
+    (asserted by the test suite) with wall-clock divided by the worker
+    count.
+    """
+    cells = [(m, n) for m in models for n in scales]
+    workers = _default_workers(max_workers)
+    results: Dict[Tuple[str, int], Dict[str, float]] = {}
+    if workers == 1:
+        for cell in cells:
+            model, n, times = _fig2_cell(cell)
+            results[(model, n)] = times
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for model, n, times in pool.map(_fig2_cell, cells):
+                results[(model, n)] = times
+
+    panels: Dict[str, Figure2Panel] = {}
+    for model in models:
+        algos = list(results[(model, scales[0])])
+        panel = Figure2Panel(model=model, scales=tuple(scales),
+                             times={a: [] for a in algos})
+        for n in scales:
+            for a in algos:
+                panel.times[a].append(results[(model, n)][a])
+        panels[model] = panel
+    return panels
+
+
+def _plan_cell(args: Tuple[int, int, float]
+               ) -> Tuple[int, int, float, int, int]:
+    """One planner invocation — executed inside a worker process."""
+    from ..config import OpticalRingSystem, Workload
+    from ..core.planner import plan_wrht
+
+    n, w, nbytes = args
+    plan = plan_wrht(OpticalRingSystem(num_nodes=n, num_wavelengths=w),
+                     Workload(data_bytes=nbytes))
+    return n, w, plan.predicted_time, plan.group_size, plan.num_steps
+
+
+def plan_grid_parallel(node_counts: Sequence[int],
+                       wavelength_budgets: Sequence[int],
+                       data_bytes: float,
+                       max_workers: Optional[int] = None):
+    """Plan Wrht over an (N, w) grid in parallel.
+
+    Returns rows ``(n, w, predicted_time, group_size, steps)`` in grid
+    order — the building block for capacity-planning studies.
+    """
+    cells = [(n, w, float(data_bytes))
+             for n in node_counts for w in wavelength_budgets]
+    workers = _default_workers(max_workers)
+    if workers == 1:
+        return [_plan_cell(c) for c in cells]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_plan_cell, cells))

@@ -1,0 +1,157 @@
+"""Ablation sweeps (the EXT-A experiments of DESIGN.md).
+
+* :func:`wavelength_sweep` — EXT-A1: Wrht (and O-Ring for reference)
+  as the per-direction wavelength budget grows;
+* :func:`crossover_sweep` — EXT-A5: payload sweep locating where Wrht
+  starts beating each baseline;
+* :func:`striping_sweep` — EXT-A3: isolates the WDM striping advantage
+  by costing the same Wrht schedule with striping on and off, plus the
+  striped-ring thought experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import OpticalRingSystem, Workload, default_optical
+from ..core import cost_model
+from ..core.comparison import compare_algorithms
+from ..core.planner import plan_wrht
+
+
+@dataclass(frozen=True)
+class WavelengthSweepRow:
+    """One budget point of EXT-A1."""
+
+    num_wavelengths: int
+    wrht_time: float
+    wrht_group_size: int
+    wrht_steps: int
+    oring_time: float
+
+
+def wavelength_sweep(num_nodes: int, workload: Workload,
+                     budgets: Sequence[int] = (4, 8, 16, 32, 64, 128),
+                     ) -> List[WavelengthSweepRow]:
+    """Wrht vs wavelength budget (O-Ring is budget-insensitive)."""
+    rows = []
+    for w in budgets:
+        system = default_optical(num_nodes, num_wavelengths=w)
+        plan = plan_wrht(system, workload)
+        rows.append(WavelengthSweepRow(
+            num_wavelengths=w,
+            wrht_time=plan.predicted_time,
+            wrht_group_size=plan.group_size,
+            wrht_steps=plan.num_steps,
+            oring_time=cost_model.oring_time(system, workload)))
+    return rows
+
+
+@dataclass(frozen=True)
+class CrossoverRow:
+    """One payload point of EXT-A5."""
+
+    data_bytes: float
+    times: Dict[str, float]
+
+    def winner(self) -> str:
+        """Fastest algorithm at this payload."""
+        return min(self.times, key=self.times.get)
+
+
+def crossover_sweep(num_nodes: int,
+                    payload_bytes: Sequence[float],
+                    algorithms: Sequence[str] = ("e-ring", "rd", "o-ring",
+                                                 "wrht"),
+                    ) -> List[CrossoverRow]:
+    """Sweep the payload to locate win regions (latency vs bandwidth)."""
+    rows = []
+    for nbytes in payload_bytes:
+        wl = Workload(data_bytes=float(nbytes), name="sweep")
+        comp = compare_algorithms(num_nodes, wl, algorithms=algorithms)
+        rows.append(CrossoverRow(
+            data_bytes=float(nbytes),
+            times={a: comp.time(a) for a in algorithms}))
+    return rows
+
+
+@dataclass(frozen=True)
+class PipeliningRow:
+    """EXT-A8: one chunk-count point of the pipelined-Wrht sweep."""
+
+    num_chunks: int
+    steps: int
+    time: float
+    min_striping: int
+
+
+def pipelining_sweep(num_nodes: int, workload: Workload,
+                     chunk_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                     group_size: int = 3,
+                     num_wavelengths: int = 64) -> List[PipeliningRow]:
+    """Pipelined Wrht vs chunk count (EXT-A8).
+
+    Pipelining shrinks per-step payloads (steps = L + C − 1 of S/C each)
+    but stacks concurrent levels on the ring, shrinking the striping
+    factor — this sweep exposes the optimum.
+    """
+    from ..collectives.wrht import WrhtParameters
+    from ..collectives.wrht_pipelined import generate_wrht_pipelined
+    from ..core.cost_model import wrht_time_from_schedule
+
+    system = default_optical(num_nodes, num_wavelengths=num_wavelengths)
+    params = WrhtParameters(num_nodes=num_nodes, group_size=group_size,
+                            num_wavelengths=num_wavelengths,
+                            alltoall_threshold=group_size)
+    rows = []
+    for c in chunk_counts:
+        sched, _ = generate_wrht_pipelined(params, c)
+        detail = wrht_time_from_schedule(sched, system, workload)
+        rows.append(PipeliningRow(
+            num_chunks=c, steps=sched.num_steps,
+            time=detail.total_time,
+            min_striping=min(detail.striping)))
+    return rows
+
+
+@dataclass(frozen=True)
+class StripingRow:
+    """EXT-A3: the same configuration with/without WDM striping."""
+
+    label: str
+    time: float
+    steps: int
+    detail: str = ""
+
+
+def striping_sweep(num_nodes: int, workload: Workload,
+                   num_wavelengths: int = 64) -> List[StripingRow]:
+    """Cost Wrht and Ring with striping enabled/disabled.
+
+    Shows (a) striping is where Wrht's WDM win comes from, and (b) the
+    honest extension result that a hypothetical striped ring all-reduce
+    is latency-bound rather than bandwidth-bound at scale.
+    """
+    base = default_optical(num_nodes, num_wavelengths=num_wavelengths)
+    nostripe = base.with_(allow_striping=False)
+    rows: List[StripingRow] = []
+
+    plan_s = plan_wrht(base, workload)
+    rows.append(StripingRow("wrht+striping", plan_s.predicted_time,
+                            plan_s.num_steps,
+                            f"m={plan_s.group_size}, {plan_s.variant}"))
+    plan_n = plan_wrht(nostripe, workload)
+    rows.append(StripingRow("wrht-no-striping", plan_n.predicted_time,
+                            plan_n.num_steps,
+                            f"m={plan_n.group_size}, {plan_n.variant}"))
+    rows.append(StripingRow(
+        "o-ring (1 wavelength)",
+        cost_model.oring_time(base, workload),
+        2 * (num_nodes - 1)))
+    rows.append(StripingRow(
+        "ring+striping (thought experiment)",
+        cost_model.ring_allreduce_time_optical(
+            base, workload, striping=num_wavelengths),
+        2 * (num_nodes - 1)))
+    return rows

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``fig2``     — regenerate Figure 2 (all panels or one model);
+* ``headline`` — the 75.76% / 91.86% aggregates, paper vs measured;
+* ``tables``   — §2 step-count and wavelength-requirement tables;
+* ``plan``     — plan Wrht for a given system and show the schedule;
+* ``sweep``    — ablation sweeps (wavelengths / payload / striping).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import units
+from .analysis import (figure2, headline_reductions, panels_to_csv,
+                       render_headline, render_panel,
+                       render_step_count_table,
+                       render_wavelength_requirement_table, step_count_table,
+                       wavelength_requirement_table)
+from .analysis.ascii_plot import simple_table
+from .analysis.figure2 import PAPER_MODELS, PAPER_SCALES
+from .analysis.sweeps import (crossover_sweep, striping_sweep,
+                              wavelength_sweep)
+from .collectives.analysis import describe_schedule
+from .config import Workload, default_optical
+from .core.planner import plan_wrht
+from .models.catalog import paper_workload
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    models = [args.model] if args.model else list(PAPER_MODELS)
+    scales = args.scales or list(PAPER_SCALES)
+    panels = figure2(models=models, scales=scales, fidelity=args.fidelity)
+    if args.csv:
+        print(panels_to_csv(panels))
+        return 0
+    for model in models:
+        print(render_panel(panels[model]))
+        print()
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    result = headline_reductions()
+    print(render_headline(result))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    print(render_step_count_table(step_count_table(group_size=args.m),
+                                  group_size=args.m))
+    print()
+    print(render_wavelength_requirement_table(
+        wavelength_requirement_table()))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    system = default_optical(args.nodes, num_wavelengths=args.wavelengths)
+    wl = (paper_workload(args.model) if args.model
+          else Workload(data_bytes=args.bytes))
+    plan = plan_wrht(system, wl)
+    print(f"Wrht plan for N={args.nodes}, w={args.wavelengths}, "
+          f"payload={units.fmt_bytes(wl.data_bytes)}:")
+    print(f"  group size m       : {plan.group_size}")
+    print(f"  variant            : {plan.variant}")
+    print(f"  steps              : {plan.num_steps}")
+    print(f"  all-to-all shortcut: {plan.info.used_alltoall}")
+    print(f"  predicted time     : {units.fmt_time(plan.predicted_time)}")
+    if args.show_schedule:
+        from .topology.ring import RingTopology
+        ring = RingTopology(args.nodes, capacity=1.0)
+        print()
+        print(describe_schedule(plan.schedule, ring))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import full_report
+    scales = tuple(args.scales) if args.scales else None
+    kwargs = {} if scales is None else {"scales": scales}
+    print(full_report(**kwargs))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    wl = (paper_workload(args.model) if args.model
+          else Workload(data_bytes=args.bytes))
+    if args.kind == "wavelengths":
+        rows = wavelength_sweep(args.nodes, wl)
+        print(simple_table(
+            ["w", "wrht", "m", "steps", "o-ring"],
+            [(r.num_wavelengths, units.fmt_time(r.wrht_time),
+              r.wrht_group_size, r.wrht_steps,
+              units.fmt_time(r.oring_time)) for r in rows],
+            title=f"EXT-A1 wavelength sweep (N={args.nodes}, "
+                  f"{wl.name})"))
+    elif args.kind == "payload":
+        payloads = [2 ** e * units.KB for e in range(0, 21, 2)]
+        rows = crossover_sweep(args.nodes, payloads)
+        print(simple_table(
+            ["payload", "e-ring", "rd", "o-ring", "wrht", "winner"],
+            [(units.fmt_bytes(r.data_bytes),
+              *(units.fmt_time(r.times[a])
+                for a in ("e-ring", "rd", "o-ring", "wrht")),
+              r.winner()) for r in rows],
+            title=f"EXT-A5 payload crossover (N={args.nodes})"))
+    elif args.kind == "striping":
+        rows = striping_sweep(args.nodes, wl)
+        print(simple_table(
+            ["configuration", "time", "steps", "detail"],
+            [(r.label, units.fmt_time(r.time), r.steps, r.detail)
+             for r in rows],
+            title=f"EXT-A3 striping ablation (N={args.nodes}, "
+                  f"{wl.name})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Wrht (PPoPP'23) reproduction harness")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    f2 = sub.add_parser("fig2", help="regenerate Figure 2")
+    f2.add_argument("--model", choices=PAPER_MODELS)
+    f2.add_argument("--scales", type=int, nargs="+")
+    f2.add_argument("--fidelity", choices=("analytic", "simulate"),
+                    default="analytic")
+    f2.add_argument("--csv", action="store_true")
+    f2.set_defaults(func=_cmd_fig2)
+
+    hl = sub.add_parser("headline", help="75.76%%/91.86%% aggregates")
+    hl.set_defaults(func=_cmd_headline)
+
+    tb = sub.add_parser("tables", help="step/wavelength tables")
+    tb.add_argument("--m", type=int, default=3)
+    tb.set_defaults(func=_cmd_tables)
+
+    pl = sub.add_parser("plan", help="plan Wrht for a system")
+    pl.add_argument("--nodes", type=int, default=128)
+    pl.add_argument("--wavelengths", type=int, default=64)
+    pl.add_argument("--model", choices=PAPER_MODELS)
+    pl.add_argument("--bytes", type=float, default=100 * units.MB)
+    pl.add_argument("--show-schedule", action="store_true")
+    pl.set_defaults(func=_cmd_plan)
+
+    sw = sub.add_parser("sweep", help="ablation sweeps")
+    sw.add_argument("kind", choices=("wavelengths", "payload", "striping"))
+    sw.add_argument("--nodes", type=int, default=256)
+    sw.add_argument("--model", choices=PAPER_MODELS)
+    sw.add_argument("--bytes", type=float, default=100 * units.MB)
+    sw.set_defaults(func=_cmd_sweep)
+
+    rp = sub.add_parser("report",
+                        help="regenerate the full experiment report")
+    rp.add_argument("--scales", type=int, nargs="+")
+    rp.set_defaults(func=_cmd_report)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Collective-communication schedules: Wrht and baselines.
+
+A *schedule* (see :mod:`~repro.collectives.schedule`) is the topology-
+agnostic IR shared by every algorithm: a sequence of synchronous steps,
+each a set of concurrent point-to-point transfers with reduce-or-copy
+semantics at the receiver.  Generators:
+
+* :func:`~repro.collectives.ring_allreduce.generate_ring_allreduce` —
+  the classic bandwidth-optimal ring (E-Ring on electrical hardware,
+  O-Ring on the optical ring);
+* :func:`~repro.collectives.recursive_doubling.generate_recursive_doubling`
+  — the RD baseline of the paper;
+* :func:`~repro.collectives.halving_doubling.generate_halving_doubling` —
+  Rabenseifner's reduce-scatter/all-gather (extension baseline);
+* :func:`~repro.collectives.binomial_tree.generate_binomial_tree` —
+  tree reduce + broadcast (extension baseline);
+* :func:`~repro.collectives.alltoall_wdm.generate_alltoall_reduce` —
+  single-step all-to-all used by Wrht's last reduce step;
+* :func:`~repro.collectives.wrht.generate_wrht` — **the paper's
+  contribution**.
+
+Every generated schedule can be proven correct with
+:func:`~repro.collectives.verifier.verify_allreduce`.
+"""
+
+from .alltoall_wdm import (alltoall_wavelength_requirement,
+                           generate_alltoall_reduce)
+from .binomial_tree import generate_binomial_tree
+from .halving_doubling import generate_halving_doubling
+from .hierarchical_ring import generate_hierarchical_ring
+from .recursive_doubling import generate_recursive_doubling
+from .ring_allreduce import generate_ring_allreduce
+from .schedule import Schedule, Step, Transfer, TransferOp
+from .verifier import verify_allreduce
+from .wrht import WrhtParameters, WrhtScheduleInfo, generate_wrht
+from .wrht_pipelined import generate_wrht_pipelined
+from . import analysis
+
+__all__ = [
+    "Schedule",
+    "Step",
+    "Transfer",
+    "TransferOp",
+    "verify_allreduce",
+    "generate_ring_allreduce",
+    "generate_recursive_doubling",
+    "generate_halving_doubling",
+    "generate_binomial_tree",
+    "generate_hierarchical_ring",
+    "generate_alltoall_reduce",
+    "alltoall_wavelength_requirement",
+    "generate_wrht",
+    "generate_wrht_pipelined",
+    "WrhtParameters",
+    "WrhtScheduleInfo",
+    "analysis",
+]

@@ -1,0 +1,55 @@
+"""Single-step all-to-all reduction on a WDM ring.
+
+Wrht's last reduce step: once few enough representatives survive, every
+representative sends its partial vector to every other in **one** step;
+everyone then holds the global sum, saving one broadcast level.
+
+Liang & Shen [9] show all-to-all on a ``p``-node WDM ring needs
+``⌈p²/8⌉`` wavelengths with shortest-arc routing — the feasibility test
+the Wrht planner applies (:func:`alltoall_wavelength_requirement`).  The
+actual assignment is found at execution time by the RWA module, which may
+do better than the bound on small/asymmetric instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from ..errors import ScheduleError
+from .schedule import Schedule, Transfer, TransferOp
+
+
+def alltoall_wavelength_requirement(num_participants: int) -> int:
+    """``⌈p²/8⌉`` wavelengths for a p-participant ring all-to-all.
+
+    ``p <= 1`` needs none; ``p == 2`` needs one.
+    """
+    if num_participants <= 1:
+        return 0
+    return math.ceil(num_participants ** 2 / 8)
+
+
+def alltoall_transfers(participants: Sequence[int],
+                       chunks, op: TransferOp = TransferOp.REDUCE,
+                       ) -> List[Transfer]:
+    """The ``p(p-1)`` concurrent transfers of one all-to-all step."""
+    parts = list(participants)
+    if len(set(parts)) != len(parts):
+        raise ScheduleError("participants must be distinct")
+    return [Transfer(src=a, dst=b, chunks=chunks, op=op)
+            for a in parts for b in parts if a != b]
+
+
+def generate_alltoall_reduce(num_nodes: int) -> Schedule:
+    """All-to-all reduce among *all* ranks in a single step.
+
+    Standalone version used in tests and ablations; Wrht embeds
+    :func:`alltoall_transfers` among its surviving representatives.
+    """
+    sched = Schedule(num_nodes=num_nodes, num_chunks=1,
+                     name=f"alltoall-reduce-n{num_nodes}")
+    if num_nodes == 1:
+        return sched
+    sched.add_step(alltoall_transfers(range(num_nodes), range(1)))
+    return sched

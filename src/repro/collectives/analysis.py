@@ -1,0 +1,150 @@
+"""Static analysis of collective schedules.
+
+Answers the questions the paper's §2 reasons about analytically — step
+counts, wavelength demand per step, bytes on the wire — directly from a
+generated schedule, so the closed forms can be cross-checked against the
+constructed object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..topology.ring import Direction, RingTopology
+from .schedule import Schedule, Step, Transfer
+
+
+def transfer_direction(ring: RingTopology, t: Transfer) -> Direction:
+    """Direction a ring substrate routes ``t``: its hint, else shortest arc."""
+    if t.direction_hint == "cw":
+        return Direction.CW
+    if t.direction_hint == "ccw":
+        return Direction.CCW
+    return ring.shortest_direction(t.src, t.dst)
+
+
+def ring_link_loads(num_nodes: int, flows) -> tuple:
+    """Per-directed-link flow counts on a ring, via difference arrays.
+
+    ``flows`` yields ``(src, dst, Direction)``.  Returns
+    ``(cw_loads, ccw_loads)`` lists indexed by link start node (cw link
+    ``i`` is ``i -> i+1``; ccw link ``i`` is ``i -> i-1``).  O(#flows +
+    N) instead of materialising arc link objects.
+    """
+    n = num_nodes
+    cw_diff = [0] * (n + 1)
+    ccw_diff = [0] * (n + 1)
+
+    def mark(diff, start, length):
+        end = start + length
+        if end <= n:
+            diff[start] += 1
+            diff[end] -= 1
+        else:
+            diff[start] += 1
+            diff[n] -= 1
+            diff[0] += 1
+            diff[end - n] -= 1
+
+    for src, dst, direction in flows:
+        if direction is Direction.CW:
+            mark(cw_diff, src, (dst - src) % n)
+        else:
+            length = (src - dst) % n
+            mark(ccw_diff, (src - length + 1) % n, length)
+
+    def prefix(diff):
+        out = []
+        cur = 0
+        for d in diff[:n]:
+            cur += d
+            out.append(cur)
+        return out
+
+    return prefix(cw_diff), prefix(ccw_diff)
+
+
+def step_wavelength_demand(ring: RingTopology, step: Step) -> int:
+    """Max concurrent flows over any directed ring segment in ``step``.
+
+    This is the minimum wavelengths-per-direction any conflict-free
+    assignment needs for the step (each flow on one wavelength).
+    """
+    flows = [(t.src, t.dst, transfer_direction(ring, t)) for t in step]
+    cw, ccw = ring_link_loads(ring.num_hosts, flows)
+    return max(max(cw, default=0), max(ccw, default=0))
+
+
+def schedule_wavelength_demand(ring: RingTopology,
+                               schedule: Schedule) -> List[int]:
+    """Per-step wavelength demand of the whole schedule."""
+    return [step_wavelength_demand(ring, s) for s in schedule.steps]
+
+
+def peak_wavelength_demand(ring: RingTopology, schedule: Schedule) -> int:
+    """Worst step's demand (the schedule's feasibility requirement)."""
+    demands = schedule_wavelength_demand(ring, schedule)
+    return max(demands, default=0)
+
+
+def max_hops_per_step(ring: RingTopology, schedule: Schedule) -> List[int]:
+    """Longest arc (hop count) used in each step — the propagation bound."""
+    out = []
+    for step in schedule.steps:
+        worst = 0
+        for t in step:
+            direction = transfer_direction(ring, t)
+            worst = max(worst, ring.distance(t.src, t.dst, direction))
+        out.append(worst)
+    return out
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Summary used by reports and tests."""
+
+    name: str
+    num_nodes: int
+    num_steps: int
+    num_transfers: int
+    bytes_per_node_factor: float  # bytes busiest node sends / payload size
+    total_fraction_on_wire: float  # sum of transfer fractions
+
+
+def summarize(schedule: Schedule) -> ScheduleStats:
+    """Compute :class:`ScheduleStats` for ``schedule``."""
+    total_fraction = 0.0
+    per_node_fraction: Dict[int, float] = {}
+    for step in schedule.steps:
+        for t in step:
+            frac = t.fraction_of(schedule.num_chunks)
+            total_fraction += frac
+            per_node_fraction[t.src] = per_node_fraction.get(t.src, 0.0) + frac
+    return ScheduleStats(
+        name=schedule.name,
+        num_nodes=schedule.num_nodes,
+        num_steps=schedule.num_steps,
+        num_transfers=schedule.num_transfers,
+        bytes_per_node_factor=max(per_node_fraction.values(), default=0.0),
+        total_fraction_on_wire=total_fraction,
+    )
+
+
+def describe_schedule(schedule: Schedule,
+                      ring: Optional[RingTopology] = None,
+                      max_steps: int = 12) -> str:
+    """Human-readable multi-line description (used by examples/CLI)."""
+    lines = [repr(schedule)]
+    for i, step in enumerate(schedule.steps):
+        if i >= max_steps:
+            lines.append(f"  ... ({schedule.num_steps - max_steps} more steps)")
+            break
+        demand = (f", lambda-demand {step_wavelength_demand(ring, step)}"
+                  if ring is not None else "")
+        sample = ", ".join(
+            f"{t.src}->{t.dst}({t.op.value[0]})" for t in list(step)[:8])
+        more = "" if len(step) <= 8 else f", +{len(step) - 8} more"
+        lines.append(f"  step {i:3d}: {len(step):4d} transfers{demand} "
+                     f"[{sample}{more}]")
+    return "\n".join(lines)

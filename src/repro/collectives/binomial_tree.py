@@ -1,0 +1,52 @@
+"""Binomial-tree all-reduce: reduce to rank 0, then broadcast (extension).
+
+``⌈log2 N⌉`` reduce steps followed by ``⌈log2 N⌉`` broadcast steps, each
+moving full vectors.  Included as the canonical *non*-WDM-aware tree so
+ablations can show Wrht's advantage is the wavelength reuse/striping, not
+merely tree-ness.
+"""
+
+from __future__ import annotations
+
+from .schedule import Schedule, Transfer, TransferOp
+
+
+def generate_binomial_tree(num_nodes: int) -> Schedule:
+    """Build a binomial-tree reduce+broadcast schedule (root = rank 0)."""
+    sched = Schedule(num_nodes=num_nodes, num_chunks=1,
+                     name=f"binomial-tree-n{num_nodes}")
+    if num_nodes == 1:
+        return sched
+    full = range(1)
+
+    # Reduce: at round `mask`, ranks r with r % (2*mask) == mask fold into
+    # r - mask.
+    masks = []
+    mask = 1
+    while mask < num_nodes:
+        masks.append(mask)
+        mask *= 2
+
+    for mask in masks:
+        transfers = [
+            Transfer(src=r, dst=r - mask, chunks=full, op=TransferOp.REDUCE)
+            for r in range(mask, num_nodes, 2 * mask)]
+        if transfers:
+            sched.add_step(transfers)
+
+    # Broadcast: mirror with COPY, widest mask first.
+    for mask in reversed(masks):
+        transfers = [
+            Transfer(src=r - mask, dst=r, chunks=full, op=TransferOp.COPY)
+            for r in range(mask, num_nodes, 2 * mask)]
+        if transfers:
+            sched.add_step(transfers)
+
+    return sched
+
+
+def binomial_tree_step_count(num_nodes: int) -> int:
+    """Closed form: ``2⌈log2 N⌉``."""
+    if num_nodes <= 1:
+        return 0
+    return 2 * (num_nodes - 1).bit_length()

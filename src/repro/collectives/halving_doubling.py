@@ -1,0 +1,97 @@
+"""Recursive halving-doubling all-reduce (Rabenseifner; extension baseline).
+
+Reduce-scatter by recursive *halving* (each step exchanges half of the
+current working interval with a partner at shrinking distance), then
+all-gather by recursive *doubling*.  ``2 log2(n)`` steps but only
+``2 (n-1)/n * S`` bytes per node — the classic large-message algorithm on
+electrical networks, included as an extension baseline beyond the paper's
+E-Ring/RD pair.
+
+Non-power-of-two ranks fold exactly as in recursive doubling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .schedule import Schedule, Transfer, TransferOp
+
+
+def _largest_pow2_leq(n: int) -> int:
+    p = 1
+    while p * 2 <= n:
+        p *= 2
+    return p
+
+
+def generate_halving_doubling(num_nodes: int) -> Schedule:
+    """Build Rabenseifner's halving-doubling schedule for ``num_nodes``."""
+    n = _largest_pow2_leq(num_nodes)
+    sched = Schedule(num_nodes=num_nodes, num_chunks=max(n, 1),
+                     name=f"halving-doubling-n{num_nodes}")
+    if num_nodes == 1:
+        return sched
+    r = num_nodes - n
+    log_n = n.bit_length() - 1
+    full = range(n)
+
+    if r > 0:
+        sched.add_step(
+            Transfer(src=2 * i + 1, dst=2 * i, chunks=full,
+                     op=TransferOp.REDUCE)
+            for i in range(r))
+
+    participants = [2 * i for i in range(r)] + list(range(2 * r, num_nodes))
+
+    # Reduce-scatter by halving.  interval[node] = (lo, hi) chunk range.
+    interval: Dict[int, Tuple[int, int]] = {
+        node: (0, n) for node in participants}
+    halving_dists: List[int] = [n >> (s + 1) for s in range(log_n)]
+    for d in halving_dists:
+        transfers = []
+        nxt: Dict[int, Tuple[int, int]] = {}
+        for eff, node in enumerate(participants):
+            partner = participants[eff ^ d]
+            lo, hi = interval[node]
+            mid = (lo + hi) // 2
+            if eff & d == 0:  # keep lower half, ship upper
+                send, keep = range(mid, hi), (lo, mid)
+            else:             # keep upper half, ship lower
+                send, keep = range(lo, mid), (mid, hi)
+            transfers.append(Transfer(src=node, dst=partner, chunks=send,
+                                      op=TransferOp.REDUCE))
+            nxt[node] = keep
+        sched.add_step(transfers)
+        interval = nxt
+
+    # All-gather by doubling: reverse the halving order, COPY intervals.
+    for d in reversed(halving_dists):
+        transfers = []
+        nxt = {}
+        for eff, node in enumerate(participants):
+            partner = participants[eff ^ d]
+            lo, hi = interval[node]
+            transfers.append(Transfer(src=node, dst=partner,
+                                      chunks=range(lo, hi),
+                                      op=TransferOp.COPY))
+            p_lo, p_hi = interval[partner]
+            nxt[node] = (min(lo, p_lo), max(hi, p_hi))
+        sched.add_step(transfers)
+        interval = nxt
+
+    if r > 0:
+        sched.add_step(
+            Transfer(src=2 * i, dst=2 * i + 1, chunks=full,
+                     op=TransferOp.COPY)
+            for i in range(r))
+
+    return sched
+
+
+def halving_doubling_step_count(num_nodes: int) -> int:
+    """Closed form: ``2 log2(n)`` (+2 with a fold)."""
+    if num_nodes <= 1:
+        return 0
+    n = _largest_pow2_leq(num_nodes)
+    steps = 2 * (n.bit_length() - 1)
+    return steps + (2 if num_nodes != n else 0)

@@ -1,0 +1,91 @@
+"""Hierarchical (two-level) ring all-reduce — extension baseline.
+
+The standard rack-scale hierarchy (Blink-style): partition the ring into
+``G`` groups of ``g`` consecutive nodes and run
+
+1. *local reduce* — a ``g−1``-step pipelined accumulation along each
+   group's arc into the group's last node (the leader), full vectors;
+2. *global ring all-reduce* — the classic chunked ring among the ``G``
+   leaders (``2(G−1)`` steps of ``S/G`` bytes);
+3. *local broadcast* — the mirror ``g−1``-step pipelined copy.
+
+Total ``2(g−1) + 2(G−1)`` steps.  It shortens the ring pipeline without
+WDM awareness, making it the strongest *non-WDM* tree-ish baseline and a
+good foil for Wrht in the ablations: its local phases serialize whole
+vectors on single wavelengths exactly like O-Ring does.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ScheduleError
+from .schedule import Schedule, Transfer, TransferOp
+
+
+def generate_hierarchical_ring(num_nodes: int,
+                               group_size: int) -> Schedule:
+    """Two-level ring all-reduce with groups of ``group_size``.
+
+    ``group_size`` must divide ``num_nodes`` (groups are ring arcs);
+    ``group_size == num_nodes`` degenerates to local-only (one group),
+    ``group_size == 1`` to the flat ring among all nodes.
+    """
+    if num_nodes < 1:
+        raise ScheduleError(f"num_nodes must be >= 1, got {num_nodes}")
+    if group_size < 1 or num_nodes % group_size:
+        raise ScheduleError(
+            f"group_size {group_size} must divide num_nodes {num_nodes}")
+    num_groups = num_nodes // group_size
+    sched = Schedule(num_nodes=num_nodes, num_chunks=max(num_groups, 1),
+                     name=f"hier-ring-n{num_nodes}-g{group_size}")
+    if num_nodes == 1:
+        return sched
+    g = group_size
+    full = range(num_groups)
+    leaders = [k * g + (g - 1) for k in range(num_groups)]
+
+    # Phase 1: pipelined accumulation toward each group's leader.
+    for s in range(g - 1):
+        transfers: List[Transfer] = []
+        for grp in range(num_groups):
+            src = grp * g + s
+            transfers.append(Transfer(src=src, dst=src + 1, chunks=full,
+                                      op=TransferOp.REDUCE,
+                                      direction_hint="cw"))
+        sched.add_step(transfers)
+
+    # Phase 2: chunked ring all-reduce among the leaders.
+    if num_groups > 1:
+        for s in range(num_groups - 1):
+            sched.add_step(
+                Transfer(src=leaders[i], dst=leaders[(i + 1) % num_groups],
+                         chunks=((i - s) % num_groups,),
+                         op=TransferOp.REDUCE, direction_hint="cw")
+                for i in range(num_groups))
+        for s in range(num_groups - 1):
+            sched.add_step(
+                Transfer(src=leaders[i], dst=leaders[(i + 1) % num_groups],
+                         chunks=((i + 1 - s) % num_groups,),
+                         op=TransferOp.COPY, direction_hint="cw")
+                for i in range(num_groups))
+
+    # Phase 3: pipelined broadcast back down each group (leader -> ... -> 0).
+    for s in range(g - 1):
+        transfers = []
+        for grp in range(num_groups):
+            src = grp * g + (g - 1 - s)
+            transfers.append(Transfer(src=src, dst=src - 1, chunks=full,
+                                      op=TransferOp.COPY,
+                                      direction_hint="ccw"))
+        sched.add_step(transfers)
+
+    return sched
+
+
+def hierarchical_ring_step_count(num_nodes: int, group_size: int) -> int:
+    """Closed form: ``2(g−1) + 2(G−1)``."""
+    if num_nodes <= 1:
+        return 0
+    num_groups = num_nodes // group_size
+    return 2 * (group_size - 1) + 2 * max(num_groups - 1, 0)

@@ -1,0 +1,67 @@
+"""Chunk arithmetic shared by schedule generators and executors.
+
+The payload of ``data_bytes`` is split into ``num_chunks`` chunks.  The
+*analytic* convention used throughout timing code is a uniform split
+(``data_bytes / num_chunks`` each, fractional bytes allowed); the *exact*
+integer split (remainder spread over the first chunks) exists for byte-
+accurate accounting and for sizing verifier payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ScheduleError
+from .schedule import Schedule, Step, Transfer
+
+
+def uniform_chunk_bytes(data_bytes: float, num_chunks: int) -> float:
+    """Size of one chunk under the uniform (fractional) split."""
+    if num_chunks < 1:
+        raise ScheduleError("num_chunks must be >= 1")
+    if data_bytes < 0:
+        raise ScheduleError("data_bytes must be >= 0")
+    return data_bytes / num_chunks
+
+
+def exact_chunk_sizes(data_bytes: int, num_chunks: int) -> np.ndarray:
+    """Integer chunk sizes: ``base+1`` for the first ``remainder`` chunks."""
+    if num_chunks < 1:
+        raise ScheduleError("num_chunks must be >= 1")
+    if data_bytes < 0:
+        raise ScheduleError("data_bytes must be >= 0")
+    base, rem = divmod(int(data_bytes), num_chunks)
+    sizes = np.full(num_chunks, base, dtype=np.int64)
+    sizes[:rem] += 1
+    return sizes
+
+
+def transfer_bytes(transfer: Transfer, data_bytes: float,
+                   num_chunks: int) -> float:
+    """Bytes carried by ``transfer`` under the uniform split."""
+    return transfer.fraction_of(num_chunks) * data_bytes
+
+
+def step_bytes(step: Step, data_bytes: float, num_chunks: int) -> float:
+    """Total bytes injected during ``step`` (sum over transfers)."""
+    return sum(transfer_bytes(t, data_bytes, num_chunks) for t in step)
+
+
+def schedule_bytes_on_wire(schedule: Schedule, data_bytes: float) -> float:
+    """Total bytes every node injects over the whole schedule."""
+    return sum(step_bytes(s, data_bytes, schedule.num_chunks)
+               for s in schedule.steps)
+
+
+def max_transfer_bytes_in_step(step: Step, data_bytes: float,
+                               num_chunks: int) -> float:
+    """Largest single transfer of the step (the serialization bound)."""
+    return max(transfer_bytes(t, data_bytes, num_chunks) for t in step)
+
+
+def contiguous(chunks: Sequence[int]) -> bool:
+    """Whether ``chunks`` is a contiguous ascending index run."""
+    it = list(chunks)
+    return all(b - a == 1 for a, b in zip(it, it[1:]))

@@ -1,0 +1,61 @@
+"""Ring all-reduce (reduce-scatter + all-gather).
+
+The bandwidth-optimal algorithm of Patarasuk & Yuan [5] used by both
+baselines of the paper:
+
+* **E-Ring** — this schedule executed on the electrical network;
+* **O-Ring** — this schedule executed on the optical ring, one wavelength
+  per transfer (the paper's motivating inefficiency).
+
+The payload is cut into ``N`` chunks.  In reduce-scatter step
+``s ∈ [0, N-1)`` node ``i`` sends chunk ``(i - s) mod N`` to node
+``(i+1) mod N``, which accumulates it; after ``N-1`` steps node ``i``
+owns the fully-reduced chunk ``(i+1) mod N``.  All-gather then circulates
+the reduced chunks with COPY for another ``N-1`` steps.  Total:
+``2(N-1)`` steps, each node sending ``S/N`` bytes per step.
+"""
+
+from __future__ import annotations
+
+from .schedule import Schedule, Transfer, TransferOp
+
+
+def generate_ring_allreduce(num_nodes: int) -> Schedule:
+    """Build the ring all-reduce schedule for ``num_nodes`` ranks.
+
+    ``num_nodes == 1`` yields an empty schedule (nothing to do).
+    """
+    sched = Schedule(num_nodes=num_nodes, num_chunks=max(num_nodes, 1),
+                     name=f"ring-allreduce-n{num_nodes}")
+    if num_nodes == 1:
+        return sched
+    n = num_nodes
+
+    # Reduce-scatter: node i -> i+1, chunk (i - s) mod n, accumulate.
+    for s in range(n - 1):
+        sched.add_step(
+            Transfer(src=i, dst=(i + 1) % n, chunks=((i - s) % n,),
+                     op=TransferOp.REDUCE, direction_hint="cw")
+            for i in range(n))
+
+    # All-gather: node i now owns reduced chunk (i+1-s) mod n at gather
+    # step s; it forwards that chunk onward with COPY.
+    for s in range(n - 1):
+        sched.add_step(
+            Transfer(src=i, dst=(i + 1) % n, chunks=((i + 1 - s) % n,),
+                     op=TransferOp.COPY, direction_hint="cw")
+            for i in range(n))
+
+    return sched
+
+
+def ring_step_count(num_nodes: int) -> int:
+    """Closed form: ``2(N-1)`` steps."""
+    return 0 if num_nodes <= 1 else 2 * (num_nodes - 1)
+
+
+def ring_bytes_per_node(data_bytes: float, num_nodes: int) -> float:
+    """Bytes each node injects: ``2 (N-1)/N * S``."""
+    if num_nodes <= 1:
+        return 0.0
+    return 2 * (num_nodes - 1) / num_nodes * data_bytes

@@ -1,0 +1,169 @@
+"""The collective-schedule intermediate representation.
+
+A :class:`Schedule` describes an all-reduce (or any collective) as a list
+of synchronous :class:`Step`\\ s.  Within a step, every :class:`Transfer`
+happens concurrently and reads the sender's *pre-step* state (synchronous
+round / BSP semantics) — generators are written against this convention
+and the verifier enforces it.
+
+The payload is modelled as ``num_chunks`` equal chunks; a transfer names
+the chunk indices it carries (``range`` objects keep full-vector and
+contiguous-slice transfers O(1) in memory).  Receiver semantics:
+
+* ``TransferOp.REDUCE`` — the destination accumulates the received chunk
+  into its own (element-wise sum);
+* ``TransferOp.COPY``   — the destination overwrites its chunk.
+
+``direction_hint`` ("cw"/"ccw") is optional routing advice for ring
+substrates — Wrht uses it to keep intra-group flows inside the group's
+ring arc; non-ring executors ignore it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ScheduleError
+
+
+class TransferOp(enum.Enum):
+    """What the receiver does with an incoming chunk."""
+
+    REDUCE = "reduce"
+    COPY = "copy"
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point transfer of ``chunks`` from ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    chunks: Sequence[int]
+    op: TransferOp
+    direction_hint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ScheduleError(f"transfer {self.src}->{self.dst} is a loop")
+        if len(self.chunks) == 0:
+            raise ScheduleError(
+                f"transfer {self.src}->{self.dst} carries no chunks")
+        if self.direction_hint not in (None, "cw", "ccw"):
+            raise ScheduleError(
+                f"bad direction hint {self.direction_hint!r}")
+
+    @property
+    def num_chunks_carried(self) -> int:
+        """How many chunks this transfer moves."""
+        return len(self.chunks)
+
+    def fraction_of(self, num_chunks: int) -> float:
+        """Fraction of the full payload carried (``len(chunks)/num_chunks``)."""
+        return len(self.chunks) / num_chunks
+
+
+@dataclass(frozen=True)
+class Step:
+    """A synchronous round of concurrent transfers."""
+
+    transfers: Tuple[Transfer, ...]
+
+    def __post_init__(self) -> None:
+        if not self.transfers:
+            raise ScheduleError("a step must contain >=1 transfer")
+
+    def __len__(self) -> int:
+        return len(self.transfers)
+
+    def __iter__(self):
+        return iter(self.transfers)
+
+
+@dataclass
+class Schedule:
+    """A full collective schedule over ``num_nodes`` ranks."""
+
+    num_nodes: int
+    num_chunks: int
+    steps: List[Step] = field(default_factory=list)
+    name: str = "schedule"
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ScheduleError(f"num_nodes must be >=1, {self.num_nodes}")
+        if self.num_chunks < 1:
+            raise ScheduleError(f"num_chunks must be >=1, {self.num_chunks}")
+
+    # -- construction ---------------------------------------------------------
+
+    def add_step(self, transfers: Iterable[Transfer]) -> Step:
+        """Append a step (validates its transfers against this schedule)."""
+        step = Step(tuple(transfers))
+        for t in step:
+            self._check_transfer(t)
+        self._check_step_conflicts(step)
+        self.steps.append(step)
+        return step
+
+    def _check_transfer(self, t: Transfer) -> None:
+        for node in (t.src, t.dst):
+            if not (0 <= node < self.num_nodes):
+                raise ScheduleError(
+                    f"transfer {t.src}->{t.dst}: node {node} out of range "
+                    f"[0, {self.num_nodes})")
+        lo, hi = min(t.chunks), max(t.chunks)
+        if lo < 0 or hi >= self.num_chunks:
+            raise ScheduleError(
+                f"transfer {t.src}->{t.dst}: chunk out of range "
+                f"[0, {self.num_chunks})")
+
+    @staticmethod
+    def _check_step_conflicts(step: Step) -> None:
+        """Within a step a (dst, chunk) may take many REDUCEs or one COPY."""
+        writes: dict = {}
+        for t in step:
+            for c in t.chunks:
+                key = (t.dst, c)
+                prior = writes.get(key)
+                if prior is None:
+                    writes[key] = t.op
+                elif prior is TransferOp.COPY or t.op is TransferOp.COPY:
+                    raise ScheduleError(
+                        f"step has conflicting writes to node {t.dst} "
+                        f"chunk {c} (COPY may not be combined)")
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def num_steps(self) -> int:
+        """Number of synchronous steps."""
+        return len(self.steps)
+
+    @property
+    def num_transfers(self) -> int:
+        """Total transfers across all steps."""
+        return sum(len(s) for s in self.steps)
+
+    def validate(self) -> None:
+        """Re-validate every step (used after manual construction)."""
+        for step in self.steps:
+            for t in step:
+                self._check_transfer(t)
+            self._check_step_conflicts(step)
+
+    def participants(self) -> set:
+        """Every rank that sends or receives at least once."""
+        nodes: set = set()
+        for step in self.steps:
+            for t in step:
+                nodes.add(t.src)
+                nodes.add(t.dst)
+        return nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Schedule(name={self.name!r}, nodes={self.num_nodes}, "
+                f"chunks={self.num_chunks}, steps={self.num_steps}, "
+                f"transfers={self.num_transfers})")

@@ -1,0 +1,314 @@
+"""Wrht — Wavelength Reused Hierarchical Tree all-reduce (the paper, §2).
+
+Schedule construction
+---------------------
+*Reduce stage.*  The live node set starts as all ``N`` ring positions in
+ring order.  Each level partitions the live nodes into consecutive runs
+of ``m`` (the last run may be shorter); the *middle* node of each run is
+its representative and every other member sends its full partial vector
+to it (REDUCE) in one synchronous step.  Members below the representative
+travel clockwise, members above counter-clockwise, so each group's flows
+stay inside the group's ring arc — groups are link-disjoint and all reuse
+the same ``⌊m/2⌋`` wavelengths per direction (the paper's wavelength
+requirement).
+
+*All-to-all shortcut.*  Before building a tree level over ``p`` live
+nodes, if ``⌈p²/8⌉ ≤ w`` (Liang & Shen's ring all-to-all wavelength
+requirement) the level is replaced by a single all-to-all step after
+which *every* live node holds the global sum — this removes one
+broadcast level, giving the paper's ``2⌈log_m N⌉ − 1`` step count.
+
+*Broadcast stage.*  The exact mirror of the tree levels, representatives
+COPY-ing the result back to their group members.
+
+The generated schedule carries per-level metadata
+(:class:`WrhtScheduleInfo`) so the planner, the executor and the tests
+can reason about wavelength demand per step without re-deriving the
+grouping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, ScheduleError
+from .alltoall_wdm import alltoall_transfers, alltoall_wavelength_requirement
+from .schedule import Schedule, Transfer, TransferOp
+
+
+@dataclass(frozen=True)
+class WrhtParameters:
+    """Inputs of the Wrht generator.
+
+    ``group_size`` is the paper's ``m`` (>= 2); ``num_wavelengths`` is the
+    per-direction budget ``w``; disabling ``allow_alltoall_shortcut``
+    forces the pure-tree ``2⌈log_m N⌉`` variant (ablation).
+    """
+
+    num_nodes: int
+    group_size: int
+    num_wavelengths: int = 64
+    allow_alltoall_shortcut: bool = True
+    #: Additional cap on all-to-all participants: the shortcut fires only
+    #: when ``p <= alltoall_threshold`` (and wavelengths suffice).  ``None``
+    #: is the paper-literal rule — fire as soon as ``⌈p²/8⌉ ≤ w``.  Setting
+    #: it to ``group_size`` restricts the shortcut to the last tree level
+    #: (the ``m*`` reading of §2); the planner sweeps both.
+    alltoall_threshold: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.alltoall_threshold is not None and self.alltoall_threshold < 2:
+            raise ConfigurationError(
+                f"alltoall_threshold must be >= 2 or None, got "
+                f"{self.alltoall_threshold}")
+        if self.num_nodes < 1:
+            raise ConfigurationError(
+                f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.group_size < 2:
+            raise ConfigurationError(
+                f"group_size must be >= 2, got {self.group_size}")
+        if self.num_wavelengths < 1:
+            raise ConfigurationError(
+                f"num_wavelengths must be >= 1, got {self.num_wavelengths}")
+        if self.tree_wavelength_requirement > self.num_wavelengths:
+            raise ConfigurationError(
+                f"group_size {self.group_size} needs "
+                f"{self.tree_wavelength_requirement} wavelengths per "
+                f"direction; only {self.num_wavelengths} available")
+
+    @property
+    def tree_wavelength_requirement(self) -> int:
+        """The paper's per-direction tree-step requirement ``⌊m/2⌋``."""
+        return self.group_size // 2
+
+
+@dataclass(frozen=True)
+class GroupLevel:
+    """One tree level: the groups (member lists) and their representatives."""
+
+    groups: Tuple[Tuple[int, ...], ...]
+    representatives: Tuple[int, ...]
+
+    @property
+    def max_side(self) -> int:
+        """Worst one-side member count = per-direction wavelength demand."""
+        worst = 0
+        for g, rep in zip(self.groups, self.representatives):
+            rep_pos = g.index(rep)
+            worst = max(worst, rep_pos, len(g) - 1 - rep_pos)
+        return worst
+
+
+@dataclass
+class WrhtScheduleInfo:
+    """Metadata accompanying a generated Wrht schedule."""
+
+    params: WrhtParameters
+    levels: List[GroupLevel] = field(default_factory=list)
+    alltoall_participants: Optional[Tuple[int, ...]] = None
+    final_root: Optional[int] = None
+
+    @property
+    def used_alltoall(self) -> bool:
+        """Whether the all-to-all shortcut terminated the reduce stage."""
+        return self.alltoall_participants is not None
+
+    @property
+    def num_tree_levels(self) -> int:
+        """Hierarchical levels before the shortcut / root."""
+        return len(self.levels)
+
+
+def alltoall_actual_demand(participants: Sequence[int], num_nodes: int) -> int:
+    """Exact per-direction wavelength demand of a shortest-arc all-to-all.
+
+    Counts, for every ordered participant pair routed on its shortest arc
+    (antipodal ties split by ``src < dst``, matching
+    :meth:`RingTopology.shortest_direction`), how many flows cross each
+    directed ring link; returns the maximum.  The paper's ``⌈p²/8⌉`` is
+    the even-spread value of this quantity — representative positions are
+    not always evenly spread, so the generator checks both.
+    """
+    n = num_nodes
+    # Difference arrays over link indices: cw link i is i->i+1, ccw link i
+    # is i->i-1.  A flow covering a contiguous run of `length` links from
+    # `start` adds +1 at start and -1 past the end (split on wraparound).
+    cw_diff = [0] * (n + 1)
+    ccw_diff = [0] * (n + 1)
+
+    def mark(diff, start, length):
+        end = start + length
+        if end <= n:
+            diff[start] += 1
+            diff[end] -= 1
+        else:  # wraps: [start, n) and [0, end-n)
+            diff[start] += 1
+            diff[n] -= 1
+            diff[0] += 1
+            diff[end - n] -= 1
+
+    parts = list(participants)
+    for src in parts:
+        for dst in parts:
+            if src == dst:
+                continue
+            cw = (dst - src) % n
+            ccw = (src - dst) % n
+            if cw < ccw or (cw == ccw and src < dst):
+                mark(cw_diff, src, cw)  # cw links src, src+1, ...
+            else:
+                # ccw link index j covers hop j -> j-1; the flow uses
+                # j = src, src-1, ..., dst+1, i.e. a contiguous run of
+                # `ccw` indices *descending* from src: equivalently the
+                # ascending run starting at (src - ccw + 1) mod n.
+                mark(ccw_diff, (src - ccw + 1) % n, ccw)
+
+    def peak(diff):
+        worst = cur = 0
+        for d in diff[:n]:
+            cur += d
+            worst = max(worst, cur)
+        return worst
+
+    return max(peak(cw_diff), peak(ccw_diff))
+
+
+def _middle_index(group_len: int) -> int:
+    """Index of the representative inside a group (the paper's
+    'intermediate node'); ``len//2`` gives ⌊m/2⌋ members on the left and
+    ⌈m/2⌉-1 on the right, matching the ⌊m/2⌋ wavelength requirement."""
+    return group_len // 2
+
+
+def _partition(live: Sequence[int], m: int) -> List[List[int]]:
+    """Consecutive runs of ``m`` live nodes (ring order, last may be short).
+
+    A trailing *singleton* run is kept as its own group: its node is its
+    own representative and simply survives to the next level with no
+    communication.  (Merging it into the predecessor would push that
+    group's wavelength demand past the paper's ``⌊m/2⌋``.)  The recursion
+    still terminates because ``⌈p/m⌉ < p`` for ``p ≥ 2, m ≥ 2``.
+    """
+    return [list(live[k:k + m]) for k in range(0, len(live), m)]
+
+
+def generate_wrht(params: WrhtParameters) -> Tuple[Schedule, WrhtScheduleInfo]:
+    """Build the Wrht schedule; returns ``(schedule, info)``."""
+    n = params.num_nodes
+    m = params.group_size
+    w = params.num_wavelengths
+    sched = Schedule(num_nodes=n, num_chunks=1,
+                     name=f"wrht-n{n}-m{m}-w{w}")
+    info = WrhtScheduleInfo(params=params)
+    if n == 1:
+        info.final_root = 0
+        return sched, info
+    full = range(1)
+
+    live: List[int] = list(range(n))
+
+    # ---- reduce stage -------------------------------------------------------
+    while len(live) > 1:
+        p = len(live)
+        if (params.allow_alltoall_shortcut
+                and alltoall_wavelength_requirement(p) <= w
+                and (params.alltoall_threshold is None
+                     or p <= params.alltoall_threshold)
+                and alltoall_actual_demand(live, n) <= w):
+            sched.add_step(alltoall_transfers(live, full))
+            info.alltoall_participants = tuple(live)
+            break
+
+        groups = _partition(live, m)
+        transfers: List[Transfer] = []
+        reps: List[int] = []
+        for g in groups:
+            rep_idx = _middle_index(len(g))
+            rep = g[rep_idx]
+            reps.append(rep)
+            for pos, member in enumerate(g):
+                if member == rep:
+                    continue
+                # Ring positions in a group ascend (no wraparound), so
+                # members below the rep travel CW, above travel CCW.
+                hint = "cw" if pos < rep_idx else "ccw"
+                transfers.append(Transfer(src=member, dst=rep, chunks=full,
+                                          op=TransferOp.REDUCE,
+                                          direction_hint=hint))
+        if not transfers:  # pragma: no cover - p >= 2 gives >=1 pair group
+            raise ScheduleError("Wrht level produced no transfers")
+        sched.add_step(transfers)
+        info.levels.append(GroupLevel(
+            groups=tuple(tuple(g) for g in groups),
+            representatives=tuple(reps)))
+        live = reps
+
+    if not info.used_alltoall:
+        info.final_root = live[0]
+
+    # ---- broadcast stage ------------------------------------------------------
+    # Mirror of the tree levels (deepest level last built = first to
+    # broadcast).  Levels terminated by the all-to-all need no mirror for
+    # the all-to-all itself: every participant already has the sum.
+    for level in reversed(info.levels):
+        transfers = []
+        for g, rep in zip(level.groups, level.representatives):
+            rep_idx = g.index(rep)
+            for pos, member in enumerate(g):
+                if member == rep:
+                    continue
+                hint = "ccw" if pos < rep_idx else "cw"  # rep -> member
+                transfers.append(Transfer(src=rep, dst=member, chunks=full,
+                                          op=TransferOp.COPY,
+                                          direction_hint=hint))
+        sched.add_step(transfers)
+
+    return sched, info
+
+
+# ---------------------------------------------------------------------------
+# closed forms from the paper (§2), cross-checked against the generator in
+# the test suite
+# ---------------------------------------------------------------------------
+
+def wrht_tree_levels(num_nodes: int, group_size: int) -> int:
+    """``⌈log_m N⌉`` — tree levels to reach a single root."""
+    if num_nodes <= 1:
+        return 0
+    return math.ceil(math.log(num_nodes) / math.log(group_size))
+
+
+def wrht_theoretical_steps(num_nodes: int, group_size: int,
+                           num_wavelengths: int,
+                           allow_alltoall_shortcut: bool = True,
+                           alltoall_threshold: Optional[int] = None) -> int:
+    """Step count, evaluated level-by-level like the generator.
+
+    With ``alltoall_threshold = group_size`` this reproduces the paper's
+    closed forms ``2⌈log_m N⌉`` (no shortcut) and ``2⌈log_m N⌉ − 1``
+    (shortcut at the last level); with ``None`` the shortcut may fire
+    earlier, which can only reduce the count further.
+    """
+    if num_nodes <= 1:
+        return 0
+    steps = 0
+    live = num_nodes
+    while live > 1:
+        if (allow_alltoall_shortcut
+                and alltoall_wavelength_requirement(live) <= num_wavelengths
+                and (alltoall_threshold is None
+                     or live <= alltoall_threshold)):
+            return steps + 1  # all-to-all replaces reduce+broadcast levels
+        steps += 2  # one reduce level + its broadcast mirror
+        live = math.ceil(live / group_size)
+    return steps
+
+
+def wrht_last_level_survivors(num_nodes: int, group_size: int) -> int:
+    """The paper's ``m* = ⌈N / m^{⌈log_m N⌉−1}⌉``."""
+    if num_nodes <= 1:
+        return num_nodes
+    levels = wrht_tree_levels(num_nodes, group_size)
+    return math.ceil(num_nodes / group_size ** (levels - 1))

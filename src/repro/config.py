@@ -1,0 +1,201 @@
+"""Validated system configurations.
+
+Two system descriptions drive every experiment in the paper:
+
+* :class:`OpticalRingSystem` — a TeraRack-style micro-ring-resonator rack:
+  ``num_nodes`` GPUs on a (bidirectional) WDM ring, ``num_wavelengths``
+  wavelengths per waveguide direction, each carrying
+  ``wavelength_rate`` bytes/s.  Per-step overheads are the MRR tuning /
+  reconfiguration time and distance-dependent propagation.
+
+* :class:`ElectricalSystem` — the SimGrid-modelled electrical baseline:
+  hosts with ``link_rate`` NICs behind a non-blocking switch (for RD) or in
+  a point-to-point ring (for E-Ring), with a per-step latency ``step_latency``
+  covering software + switching.
+
+Both are frozen dataclasses with eager validation so a mis-configured
+experiment fails at construction, not deep inside a sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from . import units
+from .errors import ConfigurationError
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class OpticalRingSystem:
+    """A WDM optical ring interconnect (TeraRack-style).
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of computing nodes (GPUs) on the ring. ``N`` in the paper.
+    num_wavelengths:
+        Wavelengths available per waveguide direction. ``w`` in the paper.
+        TeraRack provisions 64.
+    wavelength_rate:
+        Line rate of one wavelength in **bytes/second** (``B``); TeraRack
+        uses 25 Gb/s channels, i.e. ``25 * units.GBPS``.
+    bidirectional:
+        Whether the ring has two counter-rotating waveguides.  The Wrht
+        grouping needs both directions (members on each side of a
+        representative send toward it); unidirectional rings are supported
+        for ablations.
+    tuning_time:
+        Per-communication-step overhead: micro-ring resonator tuning plus
+        step synchronisation.  Charged once per schedule step.
+    node_spacing:
+        Physical distance between adjacent nodes (metres) — drives
+        propagation delay.
+    propagation_delay_per_meter:
+        Signal propagation delay per metre of waveguide.
+    allow_striping:
+        Whether a single logical flow may be striped over several free
+        wavelengths (the WDM exploitation Wrht relies on).  O-Ring is always
+        modelled without striping, per the paper's motivation.
+    """
+
+    num_nodes: int
+    num_wavelengths: int = 64
+    wavelength_rate: float = 25 * units.GBPS
+    bidirectional: bool = True
+    tuning_time: float = 25 * units.USEC
+    node_spacing: float = 0.5 * units.METER
+    propagation_delay_per_meter: float = units.PROPAGATION_DELAY_PER_METER
+    allow_striping: bool = True
+    #: Fixed synchronisation overhead charged on *every* schedule step
+    #: (control plane / barrier), on top of MRR tuning which is only paid
+    #: when a node's channel selection actually changes.
+    step_overhead: float = 1 * units.USEC
+
+    def __post_init__(self) -> None:
+        _require(self.num_nodes >= 2, f"need >=2 nodes, got {self.num_nodes}")
+        _require(self.num_wavelengths >= 1,
+                 f"need >=1 wavelength, got {self.num_wavelengths}")
+        _require(self.wavelength_rate > 0, "wavelength_rate must be > 0")
+        _require(self.tuning_time >= 0, "tuning_time must be >= 0")
+        _require(self.step_overhead >= 0, "step_overhead must be >= 0")
+        _require(self.node_spacing >= 0, "node_spacing must be >= 0")
+        _require(self.propagation_delay_per_meter >= 0,
+                 "propagation_delay_per_meter must be >= 0")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def node_injection_rate(self) -> float:
+        """Peak bytes/s a node can inject per direction (all wavelengths)."""
+        return self.num_wavelengths * self.wavelength_rate
+
+    @property
+    def hop_propagation_delay(self) -> float:
+        """Propagation delay of one ring hop, in seconds."""
+        return self.node_spacing * self.propagation_delay_per_meter
+
+    def propagation_delay(self, hops: int) -> float:
+        """Propagation delay of a path of ``hops`` ring hops."""
+        if hops < 0:
+            raise ConfigurationError(f"hops must be >= 0, got {hops}")
+        return hops * self.hop_propagation_delay
+
+    def with_(self, **changes) -> "OpticalRingSystem":
+        """Return a copy with ``changes`` applied (sweep helper)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ElectricalSystem:
+    """An electrical interconnect for the SimGrid-style baselines.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of hosts.
+    link_rate:
+        Host NIC rate in bytes/second (full duplex).
+    step_latency:
+        Per-communication-step latency (software stack + switch traversal),
+        charged once per schedule step — the α of the α–β model.
+    topology:
+        ``"switch"`` — every host hangs off one non-blocking switch (the
+        natural substrate for recursive doubling);
+        ``"ring"`` — point-to-point neighbour links (the E-Ring substrate).
+    switch_ports_rate:
+        Per-port rate of the switch; defaults to ``link_rate``.
+    """
+
+    num_nodes: int
+    link_rate: float = 100 * units.GBPS
+    step_latency: float = 10 * units.USEC
+    topology: str = "switch"
+    switch_ports_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.num_nodes >= 2, f"need >=2 nodes, got {self.num_nodes}")
+        _require(self.link_rate > 0, "link_rate must be > 0")
+        _require(self.step_latency >= 0, "step_latency must be >= 0")
+        _require(self.topology in ("switch", "ring"),
+                 f"topology must be 'switch' or 'ring', got {self.topology!r}")
+        if self.switch_ports_rate is not None:
+            _require(self.switch_ports_rate > 0,
+                     "switch_ports_rate must be > 0")
+
+    @property
+    def effective_port_rate(self) -> float:
+        """Rate of a switch port (defaults to the host link rate)."""
+        return (self.link_rate if self.switch_ports_rate is None
+                else self.switch_ports_rate)
+
+    def with_(self, **changes) -> "ElectricalSystem":
+        """Return a copy with ``changes`` applied (sweep helper)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An all-reduce workload: a payload of ``data_bytes`` across all nodes.
+
+    ``name`` labels figures; ``dtype_bytes`` only matters when a workload is
+    derived from a parameter count (gradients are fp32 by default).
+    """
+
+    data_bytes: float
+    name: str = "payload"
+    dtype_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        _require(self.data_bytes > 0, "data_bytes must be > 0")
+        _require(self.dtype_bytes > 0, "dtype_bytes must be > 0")
+
+    @classmethod
+    def from_parameters(cls, num_parameters: float, name: str = "model",
+                        dtype_bytes: int = 4) -> "Workload":
+        """Workload for all-reducing the gradients of ``num_parameters``."""
+        _require(num_parameters > 0, "num_parameters must be > 0")
+        return cls(data_bytes=num_parameters * dtype_bytes, name=name,
+                   dtype_bytes=dtype_bytes)
+
+    @property
+    def num_elements(self) -> int:
+        """Number of dtype-sized elements in the payload (rounded up)."""
+        return int(-(-self.data_bytes // self.dtype_bytes))
+
+
+#: Default optical system factory used throughout the benchmarks: TeraRack
+#: numbers (64 wavelengths x 25 Gb/s).
+def default_optical(num_nodes: int, **overrides) -> OpticalRingSystem:
+    """The paper's optical system at ``num_nodes`` (TeraRack defaults)."""
+    return OpticalRingSystem(num_nodes=num_nodes, **overrides)
+
+
+def default_electrical(num_nodes: int, **overrides) -> ElectricalSystem:
+    """The paper's electrical system at ``num_nodes``."""
+    return ElectricalSystem(num_nodes=num_nodes, **overrides)

@@ -1,0 +1,41 @@
+"""Core layer: cost models, the Wrht planner, executors, comparison suite.
+
+* :mod:`~repro.core.cost_model` — closed-form α–β–WDM communication-time
+  models for every algorithm (fast; used by the planner and the Fig. 2
+  harness, cross-validated against full simulation in the tests);
+* :mod:`~repro.core.executor` — full-fidelity execution of any schedule
+  on the optical ring (real per-step RWA) or the electrical fluid
+  simulator;
+* :mod:`~repro.core.planner` — chooses Wrht's group size ``m`` and
+  all-to-all variant for a given system + payload;
+* :mod:`~repro.core.comparison` — the "all four algorithms on one
+  workload" driver behind every figure;
+* :mod:`~repro.core.allreduce_api` — a numerical all-reduce front end
+  that really reduces user arrays while reporting modelled time.
+"""
+
+from .comparison import AlgorithmResult, ComparisonResult, compare_algorithms
+from .cost_model import (ering_time, oring_time, rd_time,
+                         ring_allreduce_time_optical, wrht_time,
+                         wrht_time_from_schedule)
+from .executor import (ExecutionReport, StepReport, execute_on_electrical,
+                       execute_on_optical_ring)
+from .planner import WrhtPlan, plan_wrht
+
+__all__ = [
+    "ering_time",
+    "rd_time",
+    "oring_time",
+    "ring_allreduce_time_optical",
+    "wrht_time",
+    "wrht_time_from_schedule",
+    "ExecutionReport",
+    "StepReport",
+    "execute_on_optical_ring",
+    "execute_on_electrical",
+    "WrhtPlan",
+    "plan_wrht",
+    "AlgorithmResult",
+    "ComparisonResult",
+    "compare_algorithms",
+]

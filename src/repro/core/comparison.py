@@ -1,0 +1,142 @@
+"""The "four algorithms, one workload" driver behind every figure.
+
+:func:`compare_algorithms` evaluates the paper's four contenders on one
+(node count, payload) point:
+
+* ``"e-ring"`` — ring all-reduce on the electrical network (SimGrid
+  substitute);
+* ``"rd"``     — recursive doubling on the electrical network;
+* ``"o-ring"`` — ring all-reduce on the optical ring, one wavelength per
+  transfer;
+* ``"wrht"``   — the planned Wrht schedule on the optical ring.
+
+``fidelity="analytic"`` uses the closed-form cost models (default — the
+tests pin them to simulation); ``fidelity="simulate"`` generates and
+executes every schedule on the full substrates (slow at large N: a ring
+schedule has 2(N−1) steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..collectives.recursive_doubling import (
+    generate_recursive_doubling, recursive_doubling_step_count)
+from ..collectives.ring_allreduce import (generate_ring_allreduce,
+                                          ring_step_count)
+from ..config import (ElectricalSystem, OpticalRingSystem, Workload,
+                      default_electrical, default_optical)
+from ..errors import ConfigurationError
+from . import cost_model
+from .executor import execute_on_electrical, execute_on_optical_ring
+from .planner import WrhtPlan, plan_wrht
+
+ALGORITHMS: Tuple[str, ...] = ("e-ring", "rd", "o-ring", "wrht")
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """One algorithm's outcome on one workload point."""
+
+    algorithm: str
+    time_seconds: float
+    num_steps: int
+    substrate: str
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class ComparisonResult:
+    """All algorithms' outcomes on one (N, payload) point."""
+
+    num_nodes: int
+    workload: Workload
+    results: Dict[str, AlgorithmResult] = field(default_factory=dict)
+
+    def time(self, algorithm: str) -> float:
+        """Seconds for ``algorithm`` (KeyError if not evaluated)."""
+        return self.results[algorithm].time_seconds
+
+    def reduction_vs(self, baseline: str, target: str = "wrht") -> float:
+        """Fractional time reduction of ``target`` vs ``baseline``.
+
+        The paper's headline metric: ``1 − T_target / T_baseline``.
+        """
+        return 1.0 - self.time(target) / self.time(baseline)
+
+    def speedup_vs(self, baseline: str, target: str = "wrht") -> float:
+        """``T_baseline / T_target``."""
+        return self.time(baseline) / self.time(target)
+
+    def normalized_times(self, unit: float = 1e-3) -> Dict[str, float]:
+        """Times divided by ``unit`` (default ms) — Fig. 2's y-axis."""
+        return {a: r.time_seconds / unit for a, r in self.results.items()}
+
+
+def compare_algorithms(
+    num_nodes: int,
+    workload: Workload,
+    optical: Optional[OpticalRingSystem] = None,
+    electrical: Optional[ElectricalSystem] = None,
+    algorithms: Iterable[str] = ALGORITHMS,
+    fidelity: str = "analytic",
+) -> ComparisonResult:
+    """Evaluate ``algorithms`` at ``num_nodes`` on ``workload``."""
+    if fidelity not in ("analytic", "simulate"):
+        raise ConfigurationError(
+            f"fidelity must be 'analytic' or 'simulate', got {fidelity!r}")
+    opt = optical if optical is not None else default_optical(num_nodes)
+    ele = (electrical if electrical is not None
+           else default_electrical(num_nodes))
+    if opt.num_nodes != num_nodes or ele.num_nodes != num_nodes:
+        raise ConfigurationError(
+            "system num_nodes must match the requested scale")
+
+    out = ComparisonResult(num_nodes=num_nodes, workload=workload)
+    for algo in algorithms:
+        out.results[algo] = _evaluate(algo, num_nodes, workload, opt, ele,
+                                      fidelity)
+    return out
+
+
+def _evaluate(algo: str, n: int, workload: Workload,
+              opt: OpticalRingSystem, ele: ElectricalSystem,
+              fidelity: str) -> AlgorithmResult:
+    if algo == "e-ring":
+        ering = ele.with_(topology="ring")
+        if fidelity == "simulate":
+            rep = execute_on_electrical(generate_ring_allreduce(n), ering,
+                                        workload)
+            return AlgorithmResult(algo, rep.total_time, rep.num_steps,
+                                   rep.substrate)
+        return AlgorithmResult(algo, cost_model.ering_time(ering, workload),
+                               ring_step_count(n), "electrical-ring")
+    if algo == "rd":
+        if fidelity == "simulate":
+            rep = execute_on_electrical(generate_recursive_doubling(n), ele,
+                                        workload)
+            return AlgorithmResult(algo, rep.total_time, rep.num_steps,
+                                   rep.substrate)
+        return AlgorithmResult(algo, cost_model.rd_time(ele, workload),
+                               recursive_doubling_step_count(n),
+                               "electrical-switch")
+    if algo == "o-ring":
+        if fidelity == "simulate":
+            rep = execute_on_optical_ring(generate_ring_allreduce(n), opt,
+                                          workload, striping="off")
+            return AlgorithmResult(algo, rep.total_time, rep.num_steps,
+                                   rep.substrate)
+        return AlgorithmResult(algo, cost_model.oring_time(opt, workload),
+                               ring_step_count(n), "optical-ring")
+    if algo == "wrht":
+        plan = plan_wrht(opt, workload)
+        detail = {"group_size": plan.group_size, "variant": plan.variant,
+                  "used_alltoall": plan.info.used_alltoall}
+        if fidelity == "simulate":
+            rep = execute_on_optical_ring(plan.schedule, opt, workload)
+            return AlgorithmResult(algo, rep.total_time, rep.num_steps,
+                                   rep.substrate, detail)
+        return AlgorithmResult(algo, plan.predicted_time, plan.num_steps,
+                               "optical-ring", detail)
+    raise ConfigurationError(f"unknown algorithm {algo!r}")

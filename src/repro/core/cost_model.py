@@ -1,0 +1,216 @@
+"""Closed-form communication-time models (α–β–WDM).
+
+These reproduce, in closed form, exactly what the executors compute step
+by step — the test suite cross-validates them against full simulation.
+They exist because the planner sweeps hundreds of candidate
+configurations and the Fig. 2 grid sweeps four models × four scales,
+where generating + simulating every 2(N−1)-step ring schedule would be
+wasteful (the HPC guide's "find a better algorithm before optimizing
+code" applies: the closed form *is* the better algorithm).
+
+Conventions (matching the executors):
+
+* a step's duration = per-step overhead + slowest transfer, where a
+  transfer of ``b`` bytes on ``k`` wavelengths (optical) or a ``B``-rate
+  link (electrical) serializes in ``b/(kB)``;
+* optical steps pay ``step_overhead`` always and ``tuning_time`` when
+  channel selections change (ring all-reduce retunes once; hierarchical
+  schedules retune every step);
+* electrical steps pay ``step_latency``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..collectives import analysis as can
+from ..collectives.schedule import Schedule
+from ..collectives.wrht import (WrhtParameters, WrhtScheduleInfo,
+                                generate_wrht)
+from ..config import ElectricalSystem, OpticalRingSystem, Workload
+from ..errors import ConfigurationError
+from ..topology.ring import RingTopology
+
+# ---------------------------------------------------------------------------
+# electrical baselines (the paper's E-Ring and RD, SimGrid-modelled)
+# ---------------------------------------------------------------------------
+
+
+def ering_time(system: ElectricalSystem, workload: Workload) -> float:
+    """Ring all-reduce on the electrical network.
+
+    ``2(N−1)`` steps, each moving ``S/N`` per link at full rate:
+    ``T = 2(N−1) · (S/(N·B_e) + α_e)``.
+    """
+    n = system.num_nodes
+    if n <= 1:
+        return 0.0
+    s = workload.data_bytes
+    per_step = s / n / system.link_rate + system.step_latency
+    return 2 * (n - 1) * per_step
+
+
+def rd_time(system: ElectricalSystem, workload: Workload) -> float:
+    """Recursive doubling on the electrical network.
+
+    ``log2(n)`` full-vector exchange steps (+2 fold steps when N is not a
+    power of two): ``T = steps · (S/B_e + α_e)``.
+    """
+    n = system.num_nodes
+    if n <= 1:
+        return 0.0
+    pow2 = 1 << (n.bit_length() - 1)
+    steps = pow2.bit_length() - 1
+    if n != pow2:
+        steps += 2
+    s = workload.data_bytes
+    return steps * (s / system.link_rate + system.step_latency)
+
+
+def halving_doubling_time(system: ElectricalSystem,
+                          workload: Workload) -> float:
+    """Rabenseifner on the electrical network (extension baseline).
+
+    ``2·log2(n)`` steps; step ``s`` of each stage moves ``S/2^{s+1}``.
+    """
+    n = system.num_nodes
+    if n <= 1:
+        return 0.0
+    pow2 = 1 << (n.bit_length() - 1)
+    log_n = pow2.bit_length() - 1
+    s = workload.data_bytes
+    total = 0.0
+    for lvl in range(log_n):
+        frac = s / (2 ** (lvl + 1))
+        total += 2 * (frac / system.link_rate + system.step_latency)
+    if n != pow2:
+        total += 2 * (s / system.link_rate + system.step_latency)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# optical baselines
+# ---------------------------------------------------------------------------
+
+
+def ring_allreduce_time_optical(system: OpticalRingSystem,
+                                workload: Workload,
+                                striping: int = 1) -> float:
+    """Ring all-reduce on the optical ring.
+
+    Each of ``2(N−1)`` steps sends ``S/N`` one hop on ``striping``
+    wavelengths; the neighbour circuit never changes, so tuning is paid
+    once.  ``striping=1`` is the paper's O-Ring; larger values are the
+    EXT-A3 ablation.
+    """
+    n = system.num_nodes
+    if n <= 1:
+        return 0.0
+    if striping < 1 or striping > system.num_wavelengths:
+        raise ConfigurationError(
+            f"striping {striping} outside [1, {system.num_wavelengths}]")
+    s = workload.data_bytes
+    per_step = (s / n / (striping * system.wavelength_rate)
+                + system.propagation_delay(1)
+                + system.step_overhead)
+    return system.tuning_time + 2 * (n - 1) * per_step
+
+
+def oring_time(system: OpticalRingSystem, workload: Workload) -> float:
+    """The paper's O-Ring: ring all-reduce, one wavelength per transfer."""
+    return ring_allreduce_time_optical(system, workload, striping=1)
+
+
+# ---------------------------------------------------------------------------
+# Wrht
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WrhtCostDetail:
+    """Per-step decomposition of the Wrht analytic model."""
+
+    step_times: Tuple[float, ...]
+    striping: Tuple[int, ...]
+    demands: Tuple[int, ...]
+    total_time: float
+
+
+def wrht_time_from_schedule(schedule: Schedule,
+                            system: OpticalRingSystem,
+                            workload: Workload) -> WrhtCostDetail:
+    """Analytic time of a generated Wrht schedule (no RWA, exact demand).
+
+    Mirrors :func:`repro.core.executor.execute_on_optical_ring` with
+    ``striping='auto'``, charging tuning on every step (hierarchical
+    steps always retune; the executor agrees except on degenerate
+    repeated steps).
+    """
+    ring = RingTopology(system.num_nodes, capacity=1.0,
+                        bidirectional=system.bidirectional)
+    step_times: List[float] = []
+    stripings: List[int] = []
+    demands: List[int] = []
+    chunk_bytes = workload.data_bytes / schedule.num_chunks
+    for step in schedule.steps:
+        demand = can.step_wavelength_demand(ring, step)
+        if demand > system.num_wavelengths:
+            raise ConfigurationError(
+                f"step needs {demand} wavelengths; system has "
+                f"{system.num_wavelengths}")
+        k = (max(1, system.num_wavelengths // demand)
+             if system.allow_striping else 1)
+        # slowest transfer: max over transfers of serialization+propagation
+        slowest = 0.0
+        for t in step:
+            direction = can.transfer_direction(ring, t)
+            hops = ring.distance(t.src, t.dst, direction)
+            b = len(t.chunks) * chunk_bytes
+            dt = b / (k * system.wavelength_rate) \
+                + system.propagation_delay(hops)
+            slowest = max(slowest, dt)
+        step_times.append(system.tuning_time + system.step_overhead
+                          + slowest)
+        stripings.append(k)
+        demands.append(demand)
+    return WrhtCostDetail(step_times=tuple(step_times),
+                          striping=tuple(stripings),
+                          demands=tuple(demands),
+                          total_time=sum(step_times))
+
+
+def wrht_time(system: OpticalRingSystem, workload: Workload,
+              params: WrhtParameters,
+              ) -> Tuple[float, Schedule, WrhtScheduleInfo]:
+    """Generate the Wrht schedule for ``params`` and cost it analytically.
+
+    Returns ``(total_time, schedule, info)``.
+    """
+    schedule, info = generate_wrht(params)
+    detail = wrht_time_from_schedule(schedule, system, workload)
+    return detail.total_time, schedule, info
+
+
+# ---------------------------------------------------------------------------
+# paper closed forms (§2) — used for sanity cross-checks, not planning
+# ---------------------------------------------------------------------------
+
+
+def wrht_paper_step_bound(num_nodes: int, group_size: int) -> int:
+    """``2⌈log_m N⌉`` — the paper's step upper bound without shortcut."""
+    if num_nodes <= 1:
+        return 0
+    return 2 * math.ceil(math.log(num_nodes) / math.log(group_size))
+
+
+def wrht_paper_time_no_striping(system: OpticalRingSystem,
+                                workload: Workload, num_steps: int,
+                                ) -> float:
+    """The simplest §2-style estimate: every step ships a full vector on
+    one wavelength — ``steps · (S/B + overheads)``."""
+    s = workload.data_bytes
+    per_step = (s / system.wavelength_rate + system.tuning_time
+                + system.step_overhead)
+    return num_steps * per_step

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the Wrht reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch a single base class.  The hierarchy distinguishes the
+layer that failed: configuration, topology, wavelength assignment, schedule
+construction/validation, semantic verification, and simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A system/algorithm configuration value is invalid or inconsistent."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A topology query (node id, link, path) is invalid."""
+
+
+class WavelengthAllocationError(ReproError, RuntimeError):
+    """Routing-and-wavelength-assignment could not satisfy a request.
+
+    Raised when a step of a schedule demands more wavelengths than the
+    optical system provides, or when a specific (link, wavelength) slot is
+    double-booked.
+    """
+
+    def __init__(self, message: str, *, demanded: int | None = None,
+                 available: int | None = None) -> None:
+        super().__init__(message)
+        #: Number of wavelengths the failing step demanded (if known).
+        self.demanded = demanded
+        #: Number of wavelengths the system provides (if known).
+        self.available = available
+
+
+class ScheduleError(ReproError, ValueError):
+    """A collective schedule is structurally invalid."""
+
+
+class VerificationError(ReproError, AssertionError):
+    """A schedule failed semantic all-reduce verification."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event / fluid simulation reached an inconsistent state."""
+
+
+class PlanningError(ReproError, RuntimeError):
+    """The Wrht planner could not produce a feasible plan."""

@@ -1,0 +1,47 @@
+"""DNN model catalogs and the data-parallel training model.
+
+The paper's workloads are the gradients of four ImageNet CNNs.  This
+package reproduces their parameter counts from layer-by-layer
+definitions (:mod:`~repro.models.catalog`), turns them into all-reduce
+payloads with optional DDP-style bucket fusion
+(:mod:`~repro.models.gradients`), and provides a per-iteration training
+time model for the overlap extension experiments
+(:mod:`~repro.models.training`).
+"""
+
+from .catalog import (MODELS, PAPER_PARAM_COUNTS, DnnModel, alexnet,
+                      get_model, googlenet, paper_workload, resnet50, vgg16)
+from .flops import (forward_macs, sequential_forward_macs,
+                    training_flops_per_sample)
+from .gradients import (GradientBucket, bucketize_gradients, gradient_bytes,
+                        gradient_workload)
+from .layers import (BatchNorm2d, Conv2d, Layer, Linear,
+                     LocalResponseNorm, Pool2d)
+from .training import DataParallelTrainingModel, IterationBreakdown
+
+__all__ = [
+    "Layer",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "LocalResponseNorm",
+    "Pool2d",
+    "DnnModel",
+    "alexnet",
+    "vgg16",
+    "resnet50",
+    "googlenet",
+    "get_model",
+    "MODELS",
+    "PAPER_PARAM_COUNTS",
+    "paper_workload",
+    "gradient_bytes",
+    "gradient_workload",
+    "forward_macs",
+    "sequential_forward_macs",
+    "training_flops_per_sample",
+    "GradientBucket",
+    "bucketize_gradients",
+    "DataParallelTrainingModel",
+    "IterationBreakdown",
+]

@@ -1,0 +1,136 @@
+"""Forward-pass compute cost via activation-shape propagation.
+
+For *sequential* catalogs (AlexNet, VGG16) the multiply-accumulate count
+is derived exactly by propagating the activation shape layer by layer:
+
+* ``Conv2d``: ``MACs = Cout · (Cin/groups) · kh · kw · Hout · Wout``;
+* ``Linear``: ``MACs = in · out``;
+* pooling/norms contribute no MACs (their cost is negligible here).
+
+Branchy catalogs (ResNet50's residual blocks, GoogLeNet's inception
+concatenations) are not flattened in the layer lists, so their compute
+comes from the published table (:data:`PUBLISHED_FORWARD_MACS`) — the
+same convention tools like ptflops report.
+
+The training model consumes FLOPs = 2 × MACs (one multiply + one add).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from .catalog import DnnModel
+from .layers import BatchNorm2d, Conv2d, Linear, LocalResponseNorm, Pool2d
+
+#: Published forward multiply-accumulate counts (224x224 ImageNet input),
+#: as reported by standard profilers for the torchvision architectures.
+PUBLISHED_FORWARD_MACS: Dict[str, float] = {
+    "alexnet": 0.71e9,
+    "vgg16": 15.47e9,
+    "resnet50": 4.09e9,
+    "googlenet": 1.5e9,
+}
+
+#: Catalogs that are truly sequential (shape propagation is exact).
+_SEQUENTIAL = ("alexnet", "vgg16")
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Per-layer compute summary."""
+
+    name: str
+    macs: int
+    output_shape: Tuple[int, int, int]  # (C, H, W) or (features, 1, 1)
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ConfigurationError(
+            f"activation collapsed: size {size}, kernel {kernel}, "
+            f"stride {stride}, padding {padding}")
+    return out
+
+
+def sequential_forward_macs(model: DnnModel,
+                            input_hw: Tuple[int, int] = (224, 224),
+                            input_channels: int = 3) -> List[LayerCost]:
+    """Exact per-layer MACs of a sequential catalog.
+
+    Raises :class:`ConfigurationError` for catalogs with branchy
+    topology (use :func:`forward_macs` which falls back to the published
+    table).
+    """
+    if model.name not in _SEQUENTIAL:
+        raise ConfigurationError(
+            f"{model.name} is not a sequential catalog; use "
+            f"forward_macs() for the published value")
+    c, (h, w) = input_channels, input_hw
+    costs: List[LayerCost] = []
+    for layer in model.layers:
+        if isinstance(layer, Conv2d):
+            if layer.in_channels != c:
+                raise ConfigurationError(
+                    f"{layer.name}: expects {layer.in_channels} channels, "
+                    f"got {c}")
+            kh, kw = layer.kernel_size
+            h = _conv_out(h, kh, layer.stride, layer.padding)
+            w = _conv_out(w, kw, layer.stride, layer.padding)
+            c = layer.out_channels
+            macs = (layer.out_channels * (layer.in_channels // layer.groups)
+                    * kh * kw * h * w)
+        elif isinstance(layer, Pool2d):
+            if layer.stride == 0:  # global/adaptive
+                h = w = 1
+            else:
+                h = _conv_out(h, layer.kernel_size, layer.stride,
+                              layer.padding)
+                w = _conv_out(w, layer.kernel_size, layer.stride,
+                              layer.padding)
+            macs = 0
+        elif isinstance(layer, Linear):
+            flat = c * h * w
+            if layer.in_features != flat:
+                raise ConfigurationError(
+                    f"{layer.name}: expects {layer.in_features} features, "
+                    f"activation provides {flat}")
+            macs = layer.in_features * layer.out_features
+            c, h, w = layer.out_features, 1, 1
+        elif isinstance(layer, (BatchNorm2d, LocalResponseNorm)):
+            macs = 0
+        else:  # pragma: no cover - future layer kinds
+            macs = 0
+        costs.append(LayerCost(name=layer.name, macs=macs,
+                               output_shape=(c, h, w)))
+    return costs
+
+
+def forward_macs(model: DnnModel,
+                 input_hw: Tuple[int, int] = (224, 224)) -> float:
+    """Forward MACs per sample: exact for sequential catalogs, published
+    otherwise."""
+    if model.name in _SEQUENTIAL:
+        return float(sum(l.macs for l in
+                         sequential_forward_macs(model, input_hw)))
+    try:
+        return PUBLISHED_FORWARD_MACS[model.name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no compute data for model {model.name!r}") from None
+
+
+def training_flops_per_sample(model: DnnModel,
+                              input_hw: Tuple[int, int] = (224, 224),
+                              backward_factor: float = 2.0) -> float:
+    """Forward+backward FLOPs per training sample.
+
+    FLOPs = 2 x MACs; backward ≈ ``backward_factor`` x forward (the
+    standard 2x rule: gradients w.r.t. activations and weights).
+    """
+    if backward_factor < 0:
+        raise ConfigurationError("backward_factor must be >= 0")
+    fwd = 2.0 * forward_macs(model, input_hw)
+    return fwd * (1.0 + backward_factor)

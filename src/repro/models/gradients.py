@@ -1,0 +1,84 @@
+"""Gradient sizing and DDP-style bucket fusion.
+
+Data-parallel frameworks do not all-reduce layer by layer: gradients are
+fused into fixed-size *buckets* (PyTorch DDP defaults to 25 MB) that are
+reduced as they fill during the backward pass.  The bucket list is what
+the overlap extension experiments feed to the comparison driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .. import units
+from ..config import Workload
+from ..errors import ConfigurationError
+from .catalog import DnnModel
+
+#: PyTorch DDP's default fusion bucket size.
+DEFAULT_BUCKET_BYTES = 25 * units.MB
+
+
+def gradient_bytes(model: DnnModel, dtype_bytes: int = 4) -> int:
+    """Total gradient payload of one iteration (catalog-exact)."""
+    if dtype_bytes < 1:
+        raise ConfigurationError("dtype_bytes must be >= 1")
+    return model.num_parameters * dtype_bytes
+
+
+def gradient_workload(model: DnnModel, dtype_bytes: int = 4) -> Workload:
+    """A :class:`Workload` for the catalog-exact gradient payload."""
+    return Workload(data_bytes=gradient_bytes(model, dtype_bytes),
+                    name=model.name, dtype_bytes=dtype_bytes)
+
+
+@dataclass(frozen=True)
+class GradientBucket:
+    """A fused group of consecutive layers' gradients."""
+
+    index: int
+    layer_names: Tuple[str, ...]
+    num_parameters: int
+    nbytes: int
+
+    @property
+    def num_layers(self) -> int:
+        """Layers fused into this bucket."""
+        return len(self.layer_names)
+
+
+def bucketize_gradients(model: DnnModel,
+                        bucket_bytes: float = DEFAULT_BUCKET_BYTES,
+                        dtype_bytes: int = 4,
+                        reverse: bool = True) -> List[GradientBucket]:
+    """Fuse layer gradients into buckets of at most ``bucket_bytes``.
+
+    ``reverse=True`` walks layers back-to-front (gradients become ready
+    in backward order, which is how DDP fills buckets).  A single layer
+    larger than the bucket still gets its own (oversized) bucket.
+    """
+    if bucket_bytes <= 0:
+        raise ConfigurationError("bucket_bytes must be > 0")
+    layers = model.parameterized_layers
+    if reverse:
+        layers = list(reversed(layers))
+    buckets: List[GradientBucket] = []
+    cur_names: List[str] = []
+    cur_params = 0
+    for layer in layers:
+        layer_bytes = layer.num_parameters * dtype_bytes
+        cur_bytes = cur_params * dtype_bytes
+        if cur_names and cur_bytes + layer_bytes > bucket_bytes:
+            buckets.append(GradientBucket(
+                index=len(buckets), layer_names=tuple(cur_names),
+                num_parameters=cur_params,
+                nbytes=cur_params * dtype_bytes))
+            cur_names, cur_params = [], 0
+        cur_names.append(layer.name)
+        cur_params += layer.num_parameters
+    if cur_names:
+        buckets.append(GradientBucket(
+            index=len(buckets), layer_names=tuple(cur_names),
+            num_parameters=cur_params, nbytes=cur_params * dtype_bytes))
+    return buckets

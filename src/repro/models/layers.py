@@ -1,0 +1,136 @@
+"""Layer descriptors with exact trainable-parameter arithmetic.
+
+Only quantities relevant to communication matter here: the number of
+trainable parameters per layer (gradients are what get all-reduced).
+The arithmetic follows the standard conventions:
+
+* ``Conv2d``: ``out·(in/groups)·kh·kw`` weights (+ ``out`` biases);
+* ``Linear``: ``in·out`` weights (+ ``out`` biases);
+* ``BatchNorm2d``: ``2·channels`` affine parameters (running statistics
+  are buffers, not gradients);
+* ``LocalResponseNorm`` / ``Pool2d``: parameter-free (kept so catalogs
+  read like the real architectures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base descriptor: a named layer with a parameter count."""
+
+    name: str
+
+    @property
+    def num_parameters(self) -> int:
+        """Trainable parameters of this layer."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Conv2d(Layer):
+    """2-D convolution.
+
+    ``stride``/``padding`` do not affect the parameter count; they exist
+    so FLOP counting (:mod:`repro.models.flops`) can propagate
+    activation shapes through sequential catalogs.
+    """
+
+    in_channels: int = 0
+    out_channels: int = 0
+    kernel_size: Tuple[int, int] = (1, 1)
+    groups: int = 1
+    bias: bool = True
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise ConfigurationError(f"{self.name}: stride must be >= 1")
+        if self.padding < 0:
+            raise ConfigurationError(f"{self.name}: padding must be >= 0")
+        if self.in_channels < 1 or self.out_channels < 1:
+            raise ConfigurationError(f"{self.name}: channels must be >= 1")
+        if self.groups < 1 or self.in_channels % self.groups:
+            raise ConfigurationError(
+                f"{self.name}: groups {self.groups} must divide "
+                f"in_channels {self.in_channels}")
+        if self.out_channels % self.groups:
+            raise ConfigurationError(
+                f"{self.name}: groups {self.groups} must divide "
+                f"out_channels {self.out_channels}")
+        kh, kw = self.kernel_size
+        if kh < 1 or kw < 1:
+            raise ConfigurationError(f"{self.name}: bad kernel")
+
+    @property
+    def num_parameters(self) -> int:
+        kh, kw = self.kernel_size
+        weights = (self.out_channels * (self.in_channels // self.groups)
+                   * kh * kw)
+        return weights + (self.out_channels if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class Linear(Layer):
+    """Fully-connected layer."""
+
+    in_features: int = 0
+    out_features: int = 0
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        if self.in_features < 1 or self.out_features < 1:
+            raise ConfigurationError(f"{self.name}: features must be >= 1")
+
+    @property
+    def num_parameters(self) -> int:
+        return (self.in_features * self.out_features
+                + (self.out_features if self.bias else 0))
+
+
+@dataclass(frozen=True)
+class BatchNorm2d(Layer):
+    """Batch normalisation (affine)."""
+
+    channels: int = 0
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ConfigurationError(f"{self.name}: channels must be >= 1")
+
+    @property
+    def num_parameters(self) -> int:
+        return 2 * self.channels
+
+
+@dataclass(frozen=True)
+class LocalResponseNorm(Layer):
+    """Parameter-free local response normalisation (AlexNet/GoogLeNet era)."""
+
+    @property
+    def num_parameters(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Pool2d(Layer):
+    """Parameter-free pooling (max or average).
+
+    ``kernel_size``/``stride``/``padding`` feed shape propagation;
+    ``stride=0`` means "global" (adaptive to 1x1).
+    """
+
+    kind: str = "max"
+    kernel_size: int = 2
+    stride: int = 2
+    padding: int = 0
+
+    @property
+    def num_parameters(self) -> int:
+        return 0

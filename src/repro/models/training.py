@@ -1,0 +1,103 @@
+"""Per-iteration data-parallel training time model (extension).
+
+The paper's figures are communication-only; this model adds the compute
+side so the extension experiments can report end-to-end iteration time,
+communication fraction (the paper's intro cites 50-90 % for large
+clusters), and scaling efficiency, with an adjustable compute/
+communication overlap fraction (gradient bucketing lets backward overlap
+all-reduce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: A convenient default: a V100-class accelerator in mixed precision.
+DEFAULT_ACCELERATOR_FLOPS = 100e12
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """One training iteration's time decomposition."""
+
+    compute_time: float
+    communication_time: float
+    exposed_communication: float
+
+    @property
+    def iteration_time(self) -> float:
+        """Wall-clock per iteration."""
+        return self.compute_time + self.exposed_communication
+
+    @property
+    def communication_fraction(self) -> float:
+        """Share of the iteration spent in *exposed* communication."""
+        if self.iteration_time == 0:
+            return 0.0
+        return self.exposed_communication / self.iteration_time
+
+
+@dataclass(frozen=True)
+class DataParallelTrainingModel:
+    """Compute/communication interaction for synchronous data parallelism.
+
+    Parameters
+    ----------
+    flops_per_sample:
+        Forward+backward FLOPs per training sample (forward ≈ 1/3).
+    accelerator_flops:
+        Sustained FLOP/s of one worker.
+    per_worker_batch:
+        Samples per worker per iteration.
+    overlap_fraction:
+        Fraction of all-reduce hideable behind the backward pass
+        (0 = fully exposed, 1 = fully hidden up to the backward length).
+    """
+
+    flops_per_sample: float
+    accelerator_flops: float = DEFAULT_ACCELERATOR_FLOPS
+    per_worker_batch: int = 32
+    overlap_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops_per_sample <= 0:
+            raise ConfigurationError("flops_per_sample must be > 0")
+        if self.accelerator_flops <= 0:
+            raise ConfigurationError("accelerator_flops must be > 0")
+        if self.per_worker_batch < 1:
+            raise ConfigurationError("per_worker_batch must be >= 1")
+        if not (0.0 <= self.overlap_fraction <= 1.0):
+            raise ConfigurationError("overlap_fraction must be in [0, 1]")
+
+    @property
+    def compute_time(self) -> float:
+        """Forward+backward time per iteration on one worker."""
+        return (self.flops_per_sample * self.per_worker_batch
+                / self.accelerator_flops)
+
+    @property
+    def backward_time(self) -> float:
+        """Backward-pass share (the window usable for overlap), ~2/3."""
+        return self.compute_time * 2.0 / 3.0
+
+    def iteration(self, communication_time: float) -> IterationBreakdown:
+        """Combine compute with an all-reduce of ``communication_time``.
+
+        The hideable share is ``overlap_fraction`` of the all-reduce,
+        capped by the backward window; the rest is exposed.
+        """
+        if communication_time < 0:
+            raise ConfigurationError("communication_time must be >= 0")
+        hidden = min(communication_time * self.overlap_fraction,
+                     self.backward_time)
+        return IterationBreakdown(
+            compute_time=self.compute_time,
+            communication_time=communication_time,
+            exposed_communication=communication_time - hidden)
+
+    def scaling_efficiency(self, communication_time: float) -> float:
+        """Throughput vs the communication-free ideal (weak scaling)."""
+        it = self.iteration(communication_time)
+        return self.compute_time / it.iteration_time

@@ -1,0 +1,43 @@
+"""TeraRack-style optical ring interconnect substrate.
+
+The paper evaluates Wrht on TeraRack [Khani et al. 2020]: GPUs on a
+silicon-photonic ring, each node able to add/drop any of ``w`` DWDM
+wavelengths per waveguide direction via micro-ring resonators (MRRs).
+
+This package provides the pieces the schedules interact with:
+
+* :mod:`~repro.optical.spectrum` — the wavelength grid;
+* :mod:`~repro.optical.mrr` — micro-ring resonator bank (tuning, power);
+* :mod:`~repro.optical.link` — per-(link, wavelength) occupancy;
+* :mod:`~repro.optical.ring_network` — the assembled ring network;
+* :mod:`~repro.optical.rwa` — routing & wavelength assignment
+  (First-Fit / Best-Fit) with optional striping;
+* :mod:`~repro.optical.transfer` — transfer descriptors and timing;
+* :mod:`~repro.optical.power` — energy accounting (extension).
+"""
+
+from .link import WaveguideLink
+from .mrr import MicroRingBank
+from .node import OpticalNode
+from .ring_network import OpticalRingNetwork
+from .rwa import (AssignmentPolicy, RwaResult, TransferRequest,
+                  assign_wavelengths, compute_striping_factor,
+                  max_link_demand)
+from .spectrum import WavelengthGrid
+from .transfer import OpticalTransfer, transfer_time
+
+__all__ = [
+    "WavelengthGrid",
+    "MicroRingBank",
+    "OpticalNode",
+    "WaveguideLink",
+    "OpticalRingNetwork",
+    "TransferRequest",
+    "RwaResult",
+    "AssignmentPolicy",
+    "assign_wavelengths",
+    "compute_striping_factor",
+    "max_link_demand",
+    "OpticalTransfer",
+    "transfer_time",
+]

@@ -1,0 +1,113 @@
+"""Physical-layer feasibility: the optical power budget (extension).
+
+A wavelength launched at node A must still be detectable at node B
+after crossing every hop in between.  On a micro-ring ring each hop
+costs waveguide/coupler insertion loss plus a small through-loss at
+every *non-dropping* node's ring bank.  This module models that budget
+and answers two questions the paper's system (1024 nodes!) raises:
+
+* what is the maximum arc length (hops) a circuit may span without
+  amplification? (:meth:`OpticalPowerBudget.max_reach_hops`)
+* is a given schedule physically realizable on a given ring, i.e. does
+  every transfer stay within reach? (:func:`validate_schedule_reach`)
+
+Defaults are TeraRack-flavoured: silicon waveguide + MRR through loss
+of a few hundredths of a dB per node means kilometre-scale reach is not
+the issue — per-node through loss is, which is why TeraRack-class
+systems quote tens-of-nodes reach per circuit and Wrht's short
+intra-group arcs are physically comfortable while a full-ring circuit
+at N=1024 would not be.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import OpticalRingSystem
+from ..errors import ConfigurationError
+from ..collectives.schedule import Schedule
+from ..topology.ring import RingTopology
+from ..collectives.analysis import transfer_direction
+
+
+@dataclass(frozen=True)
+class OpticalPowerBudget:
+    """Launch-to-receiver optical link budget in dB."""
+
+    launch_power_dbm: float = 10.0        # comb line power per channel
+    receiver_sensitivity_dbm: float = -18.0
+    per_node_through_loss_db: float = 0.25  # MRR bank pass-by loss
+    per_hop_waveguide_loss_db: float = 0.1
+    margin_db: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.per_node_through_loss_db < 0 \
+                or self.per_hop_waveguide_loss_db < 0:
+            raise ConfigurationError("losses must be >= 0")
+        if self.margin_db < 0:
+            raise ConfigurationError("margin must be >= 0")
+
+    @property
+    def loss_budget_db(self) -> float:
+        """Total dB available between launch and detection."""
+        return (self.launch_power_dbm - self.receiver_sensitivity_dbm
+                - self.margin_db)
+
+    def path_loss_db(self, hops: int) -> float:
+        """Loss of an ``hops``-hop arc (intermediate nodes pass through)."""
+        if hops < 0:
+            raise ConfigurationError("hops must be >= 0")
+        if hops == 0:
+            return 0.0
+        intermediates = max(hops - 1, 0)
+        return (hops * self.per_hop_waveguide_loss_db
+                + intermediates * self.per_node_through_loss_db)
+
+    def max_reach_hops(self) -> int:
+        """Longest arc that still closes the budget."""
+        budget = self.loss_budget_db
+        if budget < self.per_hop_waveguide_loss_db:
+            return 0
+        per_extra = (self.per_hop_waveguide_loss_db
+                     + self.per_node_through_loss_db)
+        if per_extra == 0:
+            return 10 ** 9  # lossless idealisation
+        # hops*wg + (hops-1)*through <= budget
+        hops = math.floor(
+            (budget + self.per_node_through_loss_db) / per_extra)
+        return max(hops, 0)
+
+    def reachable(self, hops: int) -> bool:
+        """Whether an ``hops``-hop circuit closes the budget."""
+        return self.path_loss_db(hops) <= self.loss_budget_db + 1e-12
+
+
+def validate_schedule_reach(schedule: Schedule,
+                            system: OpticalRingSystem,
+                            budget: OpticalPowerBudget | None = None,
+                            ) -> int:
+    """Check every transfer's arc against the power budget.
+
+    Returns the longest arc used; raises :class:`ConfigurationError`
+    naming the first transfer that exceeds reach.  Wrht's intra-group
+    arcs are short by construction; the all-to-all among far-flung
+    representatives is the step that stresses reach.
+    """
+    b = budget if budget is not None else OpticalPowerBudget()
+    ring = RingTopology(system.num_nodes, capacity=1.0,
+                        bidirectional=system.bidirectional)
+    reach = b.max_reach_hops()
+    worst = 0
+    for step_idx, step in enumerate(schedule.steps):
+        for t in step:
+            hops = ring.distance(t.src, t.dst,
+                                 transfer_direction(ring, t))
+            worst = max(worst, hops)
+            if hops > reach:
+                raise ConfigurationError(
+                    f"step {step_idx}: transfer {t.src}->{t.dst} spans "
+                    f"{hops} hops but the power budget reaches only "
+                    f"{reach} (loss {b.path_loss_db(hops):.1f} dB > "
+                    f"budget {b.loss_budget_db:.1f} dB)")
+    return worst

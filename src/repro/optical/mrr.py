@@ -1,0 +1,83 @@
+"""Micro-ring resonator (MRR) bank model.
+
+Each TeraRack node selects which wavelengths to add (modulate) or drop
+(receive) by thermally tuning micro-ring resonators on/off resonance.  For
+scheduling, the quantities that matter are:
+
+* how many rings a node has per direction (= how many wavelengths it can
+  add/drop simultaneously),
+* how long retuning takes (charged once per schedule step), and
+* heater/driver power (for the energy extension).
+
+The bank tracks which channels are currently selected so the simulator can
+distinguish "already tuned" steps (no retune cost) from reconfigurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Set
+
+from ..errors import ConfigurationError
+
+#: Typical thermal tuning power per ring, watts.
+DEFAULT_HEATER_POWER_W = 0.02
+#: Typical modulator/driver energy, joules per bit.
+DEFAULT_DRIVER_ENERGY_PJ_PER_BIT = 0.5
+
+
+@dataclass
+class MicroRingBank:
+    """A bank of ``num_rings`` MRRs filtering a ``num_channels`` grid.
+
+    ``tuning_time`` is the worst-case time to move the bank to a new
+    channel selection.
+    """
+
+    num_rings: int
+    num_channels: int
+    tuning_time: float
+    heater_power_w: float = DEFAULT_HEATER_POWER_W
+    _selected: Set[int] = field(default_factory=set, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_rings < 1:
+            raise ConfigurationError(f"need >=1 ring, got {self.num_rings}")
+        if self.num_channels < 1:
+            raise ConfigurationError(
+                f"need >=1 channel, got {self.num_channels}")
+        if self.tuning_time < 0:
+            raise ConfigurationError("tuning_time must be >= 0")
+
+    @property
+    def selected(self) -> FrozenSet[int]:
+        """Channels the bank is currently tuned to."""
+        return frozenset(self._selected)
+
+    def retune(self, channels: Set[int]) -> float:
+        """Tune the bank to ``channels``; returns the time this costs.
+
+        Selecting a subset/superset that fits the ring budget costs
+        ``tuning_time`` only if the selection actually changes.
+        """
+        channels = set(channels)
+        if len(channels) > self.num_rings:
+            raise ConfigurationError(
+                f"cannot tune {len(channels)} channels with "
+                f"{self.num_rings} rings")
+        for ch in channels:
+            if not (0 <= ch < self.num_channels):
+                raise ConfigurationError(
+                    f"channel {ch} out of range [0, {self.num_channels})")
+        if channels == self._selected:
+            return 0.0
+        self._selected = channels
+        return self.tuning_time
+
+    def reset(self) -> None:
+        """Detune every ring (between schedules)."""
+        self._selected.clear()
+
+    def static_power_w(self) -> float:
+        """Heater power currently drawn (selected rings only)."""
+        return len(self._selected) * self.heater_power_w

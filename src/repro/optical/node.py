@@ -1,0 +1,68 @@
+"""Optical node: a GPU endpoint with MRR banks per ring direction.
+
+A TeraRack node can concurrently transmit and receive on every wavelength
+of each waveguide direction — it owns a modulator (add) bank and a filter
+(drop) bank per direction.  The node object tracks tuning state so the
+executor can charge retuning once per step, and exposes injection/ejection
+capacity for sanity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from ..errors import ConfigurationError
+from .mrr import MicroRingBank
+
+
+@dataclass
+class OpticalNode:
+    """Node ``node_id`` with add/drop MRR banks for each direction."""
+
+    node_id: int
+    num_wavelengths: int
+    wavelength_rate: float
+    tuning_time: float
+    directions: tuple = ("cw", "ccw")
+    add_banks: Dict[str, MicroRingBank] = field(init=False, repr=False)
+    drop_banks: Dict[str, MicroRingBank] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ConfigurationError(f"node_id must be >= 0, {self.node_id}")
+        self.add_banks = {
+            d: MicroRingBank(self.num_wavelengths, self.num_wavelengths,
+                             self.tuning_time)
+            for d in self.directions}
+        self.drop_banks = {
+            d: MicroRingBank(self.num_wavelengths, self.num_wavelengths,
+                             self.tuning_time)
+            for d in self.directions}
+
+    @property
+    def injection_rate(self) -> float:
+        """Peak transmit bytes/s per direction."""
+        return self.num_wavelengths * self.wavelength_rate
+
+    def retune_for_step(self, tx: Dict[str, Set[int]],
+                        rx: Dict[str, Set[int]]) -> float:
+        """Retune add banks to ``tx`` and drop banks to ``rx``.
+
+        Returns the retuning time this node needs before the step can
+        start (0 when nothing changes); the executor takes the max across
+        nodes.
+        """
+        cost = 0.0
+        for direction, bank in self.add_banks.items():
+            cost = max(cost, bank.retune(tx.get(direction, set())))
+        for direction, bank in self.drop_banks.items():
+            cost = max(cost, bank.retune(rx.get(direction, set())))
+        return cost
+
+    def reset(self) -> None:
+        """Detune all banks (between schedules)."""
+        for bank in self.add_banks.values():
+            bank.reset()
+        for bank in self.drop_banks.values():
+            bank.reset()

@@ -1,0 +1,127 @@
+"""The assembled TeraRack-style optical ring network.
+
+Combines a :class:`~repro.topology.ring.RingTopology` (arc routing) with
+per-segment :class:`~repro.optical.link.WaveguideLink` occupancy and
+per-node :class:`~repro.optical.node.OpticalNode` state.  This is the
+object the schedule executor and RWA operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import OpticalRingSystem
+from ..errors import TopologyError, WavelengthAllocationError
+from ..topology.ring import Direction, RingTopology
+from .link import WaveguideLink
+from .node import OpticalNode
+from .spectrum import WavelengthGrid
+
+
+class OpticalRingNetwork:
+    """Stateful optical ring built from an :class:`OpticalRingSystem`."""
+
+    def __init__(self, system: OpticalRingSystem) -> None:
+        self.system = system
+        self.grid = WavelengthGrid(system.num_wavelengths,
+                                   system.wavelength_rate)
+        self.topology = RingTopology(
+            system.num_nodes,
+            capacity=system.node_injection_rate,
+            latency=system.hop_propagation_delay,
+            bidirectional=system.bidirectional,
+        )
+        directions = ("cw", "ccw") if system.bidirectional else ("cw",)
+        self.nodes: List[OpticalNode] = [
+            OpticalNode(i, system.num_wavelengths, system.wavelength_rate,
+                        system.tuning_time, directions=directions)
+            for i in range(system.num_nodes)]
+        self._links: Dict[Tuple[int, int, str], WaveguideLink] = {}
+        n = system.num_nodes
+        for i in range(n):
+            self._make_link(i, (i + 1) % n, "cw")
+        if system.bidirectional:
+            for i in range(n):
+                self._make_link(i, (i - 1) % n, "ccw")
+
+    def _make_link(self, src: int, dst: int, direction: str) -> None:
+        link = WaveguideLink(src, dst, direction,
+                             self.system.num_wavelengths)
+        self._links[link.ident] = link
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of ring nodes."""
+        return self.system.num_nodes
+
+    @property
+    def num_wavelengths(self) -> int:
+        """Wavelengths per waveguide direction."""
+        return self.system.num_wavelengths
+
+    def waveguide(self, src: int, dst: int, direction: str) -> WaveguideLink:
+        """The waveguide segment ``src -> dst`` in ``direction``."""
+        try:
+            return self._links[(src, dst, direction)]
+        except KeyError:
+            raise TopologyError(
+                f"no waveguide {src}->{dst} direction {direction!r}") from None
+
+    def arc_waveguides(self, src: int, dst: int,
+                       direction: Direction) -> List[WaveguideLink]:
+        """Waveguide segments along the arc ``src -> dst``."""
+        return [self._links[l.ident]
+                for l in self.topology.arc_links(src, dst, direction)]
+
+    def all_waveguides(self) -> List[WaveguideLink]:
+        """Every waveguide segment."""
+        return list(self._links.values())
+
+    # -- occupancy ------------------------------------------------------------
+
+    def occupy_path(self, src: int, dst: int, direction: Direction,
+                    wavelengths: List[int], owner: object) -> None:
+        """Claim ``wavelengths`` on every segment of the arc for ``owner``.
+
+        All-or-nothing: on conflict, everything claimed so far is rolled
+        back before the error propagates.
+        """
+        segments = self.arc_waveguides(src, dst, direction)
+        claimed: List[Tuple[WaveguideLink, int]] = []
+        try:
+            for seg in segments:
+                for w in wavelengths:
+                    seg.occupy(w, owner)
+                    claimed.append((seg, w))
+        except WavelengthAllocationError:
+            for seg, w in claimed:
+                seg.release(w, owner)
+            raise
+
+    def release_owner(self, owner: object) -> None:
+        """Release every slot owned by ``owner`` across the ring."""
+        for link in self._links.values():
+            link.release_owner(owner)
+
+    def clear(self) -> None:
+        """Release every slot on every segment (between steps)."""
+        for link in self._links.values():
+            link.clear()
+
+    def reset(self) -> None:
+        """Clear occupancy and detune every node (between schedules)."""
+        self.clear()
+        for node in self.nodes:
+            node.reset()
+
+    # -- capacity summaries ----------------------------------------------------
+
+    def slot_capacity(self) -> int:
+        """Total (segment, wavelength) slots in the ring."""
+        return len(self._links) * self.system.num_wavelengths
+
+    def occupied_slots(self) -> int:
+        """Currently occupied (segment, wavelength) slots."""
+        return sum(l.occupied_count() for l in self._links.values())

@@ -1,0 +1,196 @@
+"""Routing and wavelength assignment (RWA) on the optical ring.
+
+Within one synchronous schedule step every transfer must hold its
+wavelengths on every segment of its arc for the whole step, so the RWA
+problem is: route each request (pick an arc direction) and colour it with
+``num_wavelengths`` channels such that no (segment, wavelength) slot is
+used twice.
+
+Two classic heuristics from the paper's references are provided:
+
+* **First-Fit** [Ozdaglar & Bertsekas 2003] — scan wavelengths from index 0
+  and take the first that is free along the whole arc;
+* **Best-Fit** [Sathishkumar & Mahalingam 2015] — prefer the feasible
+  wavelength that is already the most used elsewhere on the ring, packing
+  channels tightly and keeping low-index channels free for long arcs.
+
+Striping support: a request may ask for several wavelengths; helper
+:func:`compute_striping_factor` derives the uniform striping factor a step
+can afford from its worst-case segment congestion, which is how Wrht turns
+spare wavelengths into bandwidth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import WavelengthAllocationError
+from ..topology.ring import Direction, RingTopology
+from .ring_network import OpticalRingNetwork
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """One point-to-point transfer wanting wavelengths on a ring arc.
+
+    ``direction=None`` lets the router pick the shortest arc.
+    ``num_wavelengths`` is the striping width (1 = a single channel).
+    """
+
+    src: int
+    dst: int
+    size: float = 0.0
+    direction: Optional[Direction] = None
+    num_wavelengths: int = 1
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise WavelengthAllocationError(
+                f"transfer {self.src}->{self.dst} is a loopback")
+        if self.num_wavelengths < 1:
+            raise WavelengthAllocationError(
+                "num_wavelengths must be >= 1")
+
+
+class AssignmentPolicy(enum.Enum):
+    """Wavelength selection heuristic."""
+
+    FIRST_FIT = "first-fit"
+    BEST_FIT = "best-fit"
+
+
+@dataclass
+class RwaResult:
+    """Outcome of assigning one step's requests.
+
+    ``assignments[i]`` is ``(direction, wavelengths)`` for request ``i``.
+    ``distinct_wavelengths`` counts channels used anywhere;
+    ``max_index_used + 1`` is the spectrum span (what a First-Fit-style
+    "number of wavelengths required" statement refers to);
+    ``max_link_load`` is the congestion lower bound.
+    """
+
+    assignments: Dict[int, Tuple[Direction, Tuple[int, ...]]] = field(
+        default_factory=dict)
+    distinct_wavelengths: int = 0
+    max_index_used: int = -1
+    max_link_load: int = 0
+
+    @property
+    def spectrum_span(self) -> int:
+        """Highest wavelength index used + 1 (0 when nothing assigned)."""
+        return self.max_index_used + 1
+
+
+def resolve_direction(ring: RingTopology, request: TransferRequest) -> Direction:
+    """Direction for ``request``: explicit, else shortest arc."""
+    if request.direction is not None:
+        return request.direction
+    return ring.shortest_direction(request.src, request.dst)
+
+
+def _request_links(ring: RingTopology, request: TransferRequest,
+                   direction: Direction) -> List[Tuple[int, int, str]]:
+    return [l.ident for l in ring.arc_links(request.src, request.dst,
+                                            direction)]
+
+
+def max_link_demand(requests: Sequence[TransferRequest],
+                    ring: RingTopology,
+                    count_stripes: bool = True) -> int:
+    """Worst per-segment wavelength demand of ``requests``.
+
+    With ``count_stripes`` each request counts ``num_wavelengths``; without
+    it each request counts once (pure path congestion).  This is the lower
+    bound on the wavelengths any RWA needs for the step.
+    """
+    load: Dict[Tuple[int, int, str], int] = {}
+    for req in requests:
+        d = resolve_direction(ring, req)
+        weight = req.num_wavelengths if count_stripes else 1
+        for ident in _request_links(ring, req, d):
+            load[ident] = load.get(ident, 0) + weight
+    return max(load.values(), default=0)
+
+
+def compute_striping_factor(requests: Sequence[TransferRequest],
+                            ring: RingTopology,
+                            num_wavelengths: int) -> int:
+    """Uniform striping factor a step can afford.
+
+    If the worst segment carries ``L`` distinct flows, each flow can be
+    striped over ``⌊w / L⌋`` wavelengths without exceeding the per-segment
+    budget ``w``.  Returns at least 1; raises when even one wavelength per
+    flow cannot fit (the step is infeasible).
+    """
+    demand = max_link_demand(requests, ring, count_stripes=False)
+    if demand == 0:
+        return num_wavelengths
+    if demand > num_wavelengths:
+        raise WavelengthAllocationError(
+            f"step needs {demand} wavelengths on its hottest segment but "
+            f"only {num_wavelengths} exist",
+            demanded=demand, available=num_wavelengths)
+    return max(1, num_wavelengths // demand)
+
+
+def assign_wavelengths(network: OpticalRingNetwork,
+                       requests: Sequence[TransferRequest],
+                       policy: AssignmentPolicy = AssignmentPolicy.FIRST_FIT,
+                       ) -> RwaResult:
+    """Assign wavelengths for one step's ``requests`` on ``network``.
+
+    Mutates the network's occupancy (owner = request index) — call
+    :meth:`OpticalRingNetwork.clear` between steps.  Requests are processed
+    in the given order, longest arcs first within equal order is *not*
+    applied: generators emit deterministic orders and tests rely on them.
+
+    Raises :class:`WavelengthAllocationError` if any request cannot be
+    placed.
+    """
+    ring = network.topology
+    result = RwaResult(max_link_load=max_link_demand(requests, ring))
+    used: set[int] = set()
+
+    for idx, req in enumerate(requests):
+        if req.num_wavelengths > network.num_wavelengths:
+            raise WavelengthAllocationError(
+                f"request {idx} wants {req.num_wavelengths} wavelengths; "
+                f"system has {network.num_wavelengths}",
+                demanded=req.num_wavelengths,
+                available=network.num_wavelengths)
+        direction = resolve_direction(ring, req)
+        segments = network.arc_waveguides(req.src, req.dst, direction)
+        free = [w for w in range(network.num_wavelengths)
+                if all(seg.is_free(w) for seg in segments)]
+        if len(free) < req.num_wavelengths:
+            raise WavelengthAllocationError(
+                f"request {idx} ({req.src}->{req.dst}, {direction.value}) "
+                f"needs {req.num_wavelengths} wavelengths, only "
+                f"{len(free)} free along its arc",
+                demanded=req.num_wavelengths, available=len(free))
+        if policy is AssignmentPolicy.FIRST_FIT:
+            chosen = free[: req.num_wavelengths]
+        else:  # BEST_FIT: most-used feasible channels first, stable by index
+            usage = _global_usage(network)
+            chosen = sorted(free, key=lambda w: (-usage[w], w))
+            chosen = sorted(chosen[: req.num_wavelengths])
+        network.occupy_path(req.src, req.dst, direction, list(chosen), idx)
+        result.assignments[idx] = (direction, tuple(chosen))
+        used.update(chosen)
+        result.max_index_used = max(result.max_index_used, max(chosen))
+
+    result.distinct_wavelengths = len(used)
+    return result
+
+
+def _global_usage(network: OpticalRingNetwork) -> List[int]:
+    """Per-wavelength occupancy count across all segments."""
+    usage = [0] * network.num_wavelengths
+    for link in network.all_waveguides():
+        for w in link.owners():
+            usage[w] += 1
+    return usage

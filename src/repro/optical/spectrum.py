@@ -1,0 +1,62 @@
+"""Wavelength grid of a WDM system.
+
+A :class:`WavelengthGrid` is the set of DWDM channels a waveguide carries.
+Channels are identified by integer indices ``0..num_channels-1``; physical
+frequencies only matter for reporting, so the grid also derives ITU-style
+channel frequencies from a base frequency and spacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: ITU-T DWDM anchor frequency (Hz), 193.1 THz.
+ITU_ANCHOR_HZ = 193.1e12
+#: Common DWDM channel spacing (Hz), 100 GHz.
+DEFAULT_SPACING_HZ = 100e9
+
+
+@dataclass(frozen=True)
+class WavelengthGrid:
+    """``num_channels`` channels, each carrying ``channel_rate`` bytes/s."""
+
+    num_channels: int
+    channel_rate: float
+    base_frequency_hz: float = ITU_ANCHOR_HZ
+    spacing_hz: float = DEFAULT_SPACING_HZ
+
+    def __post_init__(self) -> None:
+        if self.num_channels < 1:
+            raise ConfigurationError(
+                f"need >=1 channel, got {self.num_channels}")
+        if self.channel_rate <= 0:
+            raise ConfigurationError("channel_rate must be > 0")
+        if self.spacing_hz <= 0:
+            raise ConfigurationError("spacing_hz must be > 0")
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Total bytes/s across the grid."""
+        return self.num_channels * self.channel_rate
+
+    def validate_channel(self, channel: int) -> None:
+        """Raise unless ``channel`` is a valid index."""
+        if not (0 <= channel < self.num_channels):
+            raise ConfigurationError(
+                f"channel {channel} out of range [0, {self.num_channels})")
+
+    def frequency_hz(self, channel: int) -> float:
+        """Optical carrier frequency of ``channel``."""
+        self.validate_channel(channel)
+        return self.base_frequency_hz + channel * self.spacing_hz
+
+    def wavelength_nm(self, channel: int) -> float:
+        """Vacuum wavelength of ``channel`` in nanometres."""
+        c = 299_792_458.0
+        return c / self.frequency_hz(channel) * 1e9
+
+    def channels(self) -> range:
+        """Iterator over channel indices."""
+        return range(self.num_channels)

@@ -1,0 +1,71 @@
+"""Optical transfer descriptors and timing.
+
+An optical circuit, once its wavelengths are held end-to-end, is a fixed-
+rate pipe: a transfer of ``size`` bytes striped over ``k`` wavelengths of
+rate ``B`` and crossing ``h`` ring hops is delivered after
+
+    t = size / (k * B)  +  h * hop_propagation_delay
+
+MRR tuning is charged per *step*, not per transfer (all nodes retune in
+parallel before the step's circuits light up), so it lives in the executor
+/ cost model, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..config import OpticalRingSystem
+from ..errors import ConfigurationError
+from ..topology.ring import Direction
+
+
+@dataclass(frozen=True)
+class OpticalTransfer:
+    """A placed transfer: arc + wavelengths + payload size."""
+
+    src: int
+    dst: int
+    direction: Direction
+    wavelengths: Tuple[int, ...]
+    size: float
+    hops: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ConfigurationError("size must be >= 0")
+        if self.hops < 0:
+            raise ConfigurationError("hops must be >= 0")
+        if not self.wavelengths:
+            raise ConfigurationError("a transfer needs >=1 wavelength")
+
+    @property
+    def striping(self) -> int:
+        """Number of wavelengths the payload is striped over."""
+        return len(self.wavelengths)
+
+
+def transfer_time(system: OpticalRingSystem, size: float, hops: int,
+                  num_wavelengths: int = 1) -> float:
+    """Delivery time of ``size`` bytes over ``hops`` hops on ``k`` channels.
+
+    Excludes per-step tuning (charged once per step by the executor).
+    """
+    if num_wavelengths < 1:
+        raise ConfigurationError("num_wavelengths must be >= 1")
+    if num_wavelengths > system.num_wavelengths:
+        raise ConfigurationError(
+            f"{num_wavelengths} wavelengths requested; system has "
+            f"{system.num_wavelengths}")
+    if size < 0:
+        raise ConfigurationError("size must be >= 0")
+    rate = num_wavelengths * system.wavelength_rate
+    return size / rate + system.propagation_delay(hops)
+
+
+def placed_transfer_time(system: OpticalRingSystem,
+                         transfer: OpticalTransfer) -> float:
+    """Delivery time of a placed :class:`OpticalTransfer`."""
+    return transfer_time(system, transfer.size, transfer.hops,
+                         transfer.striping)

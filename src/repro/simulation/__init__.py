@@ -1,0 +1,32 @@
+"""Discrete-event / fluid network simulation (the SimGrid substitute).
+
+The electrical baselines (E-Ring, RD) of the paper were evaluated with
+SimGrid.  At the granularity the paper needs, SimGrid's TCP model is a
+*fluid* model: active flows share link capacity max-min fairly and a flow
+of S bytes over an uncongested path of rate B and latency L completes in
+``L + S/B``.  This package implements exactly that:
+
+* :mod:`~repro.simulation.engine` — a classic event-calendar simulator;
+* :mod:`~repro.simulation.flows` — the max-min fair-share solver
+  (progressive filling);
+* :mod:`~repro.simulation.fluid` — the flow-level network simulator that
+  advances flows between rate recomputations;
+* :mod:`~repro.simulation.trace` — per-link utilization accounting.
+"""
+
+from .engine import Event, EventQueue, Simulator
+from .flows import Flow, max_min_fair_rates
+from .fluid import FlowResult, FluidNetworkSimulator
+from .trace import LinkTrace, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Flow",
+    "max_min_fair_rates",
+    "FluidNetworkSimulator",
+    "FlowResult",
+    "LinkTrace",
+    "TraceRecorder",
+]

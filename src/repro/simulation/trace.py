@@ -1,0 +1,74 @@
+"""Utilization traces for fluid simulations.
+
+The recorder accumulates, per link, the integral of carried rate over time
+(bytes actually moved) plus the busy time, so reports can show average
+utilization per link — useful when studying electrical congestion in the
+fat-tree ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+LinkId = Hashable
+
+
+@dataclass
+class LinkTrace:
+    """Accumulated statistics for one link."""
+
+    capacity: float
+    bytes_carried: float = 0.0
+    busy_time: float = 0.0
+    peak_rate: float = 0.0
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, start: float, duration: float, rate: float,
+               keep_samples: bool) -> None:
+        """Account ``rate`` bytes/s carried during ``[start, start+duration)``."""
+        if duration <= 0 or rate <= 0:
+            return
+        self.bytes_carried += rate * duration
+        self.busy_time += duration
+        self.peak_rate = max(self.peak_rate, rate)
+        if keep_samples:
+            self.samples.append((start, rate))
+
+    def mean_utilization(self, horizon: float) -> float:
+        """Average fraction of capacity used over ``[0, horizon]``."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.bytes_carried / (self.capacity * horizon))
+
+
+class TraceRecorder:
+    """Collects :class:`LinkTrace` objects for a fluid simulation run."""
+
+    def __init__(self, capacities: Dict[LinkId, float],
+                 keep_samples: bool = False) -> None:
+        self._keep_samples = keep_samples
+        self.links: Dict[LinkId, LinkTrace] = {
+            lid: LinkTrace(capacity=c) for lid, c in capacities.items()}
+
+    def record_interval(self, start: float, duration: float,
+                        link_rates: Dict[LinkId, float]) -> None:
+        """Record the (constant) per-link rates of one fluid interval."""
+        for lid, rate in link_rates.items():
+            trace = self.links.get(lid)
+            if trace is not None:
+                trace.record(start, duration, rate, self._keep_samples)
+
+    def total_bytes(self) -> float:
+        """Total bytes carried across all links (hop-bytes)."""
+        return sum(t.bytes_carried for t in self.links.values())
+
+    def hottest_link(self) -> Tuple[LinkId, LinkTrace] | None:
+        """The link with the most bytes carried, or ``None`` if idle."""
+        best: Tuple[LinkId, LinkTrace] | None = None
+        for lid, t in self.links.items():
+            if best is None or t.bytes_carried > best[1].bytes_carried:
+                best = (lid, t)
+        if best is not None and best[1].bytes_carried == 0:
+            return None
+        return best

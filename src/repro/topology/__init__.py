@@ -1,0 +1,28 @@
+"""Network topologies.
+
+The paper's systems live on two topologies:
+
+* :class:`~repro.topology.ring.RingTopology` — the optical WDM ring (and the
+  electrical point-to-point ring used by E-Ring);
+* :class:`~repro.topology.switched.SwitchedStar` — a non-blocking switch,
+  the electrical substrate for recursive doubling.
+
+:class:`~repro.topology.torus.Torus2D` and
+:class:`~repro.topology.switched.FatTree` are extensions used by ablation
+experiments.
+"""
+
+from .base import Link, Topology
+from .ring import Direction, RingTopology
+from .switched import FatTree, SwitchedStar
+from .torus import Torus2D
+
+__all__ = [
+    "Link",
+    "Topology",
+    "Direction",
+    "RingTopology",
+    "SwitchedStar",
+    "FatTree",
+    "Torus2D",
+]

@@ -1,0 +1,108 @@
+"""Topology abstractions shared by the electrical and optical substrates.
+
+A topology is a directed multigraph of :class:`Link` objects between node
+ids.  Node ids are small integers; *hosts* are ``0..num_hosts-1`` and
+internal elements (switches) use negative ids so host ids can double as
+ranks in collective schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link ``src -> dst``.
+
+    ``capacity`` is in bytes/second, ``latency`` in seconds.  ``key``
+    disambiguates parallel links (e.g. the two directions of a bidirectional
+    ring share endpoints but not keys).
+    """
+
+    src: int
+    dst: int
+    capacity: float
+    latency: float = 0.0
+    key: str = ""
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise TopologyError(
+                f"link {self.src}->{self.dst} capacity must be > 0")
+        if self.latency < 0:
+            raise TopologyError(
+                f"link {self.src}->{self.dst} latency must be >= 0")
+
+    @property
+    def ident(self) -> Tuple[int, int, str]:
+        """Hashable identity of this link (src, dst, key)."""
+        return (self.src, self.dst, self.key)
+
+
+class Topology:
+    """Base class: a set of nodes plus directed links and path queries."""
+
+    def __init__(self, num_hosts: int) -> None:
+        if num_hosts < 1:
+            raise TopologyError(f"need >=1 host, got {num_hosts}")
+        self._num_hosts = num_hosts
+        self._links: Dict[Tuple[int, int, str], Link] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def _add_link(self, link: Link) -> None:
+        if link.ident in self._links:
+            raise TopologyError(f"duplicate link {link.ident}")
+        self._links[link.ident] = link
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of host (rank) nodes."""
+        return self._num_hosts
+
+    @property
+    def links(self) -> List[Link]:
+        """All directed links, in insertion order."""
+        return list(self._links.values())
+
+    def link(self, src: int, dst: int, key: str = "") -> Link:
+        """The link ``src -> dst`` with ``key``; raises if absent."""
+        try:
+            return self._links[(src, dst, key)]
+        except KeyError:
+            raise TopologyError(f"no link {src}->{dst} (key={key!r})") from None
+
+    def has_link(self, src: int, dst: int, key: str = "") -> bool:
+        """Whether link ``src -> dst`` with ``key`` exists."""
+        return (src, dst, key) in self._links
+
+    def validate_host(self, host: int) -> None:
+        """Raise :class:`TopologyError` unless ``host`` is a valid rank."""
+        if not (0 <= host < self._num_hosts):
+            raise TopologyError(
+                f"host {host} out of range [0, {self._num_hosts})")
+
+    # -- routing ------------------------------------------------------------
+
+    def path(self, src: int, dst: int) -> Sequence[Link]:
+        """The route from host ``src`` to host ``dst`` as a link sequence.
+
+        Subclasses implement their natural (deterministic) routing.
+        """
+        raise NotImplementedError
+
+    def path_latency(self, path: Iterable[Link]) -> float:
+        """Sum of link latencies along ``path``."""
+        return sum(l.latency for l in path)
+
+    def path_bottleneck(self, path: Sequence[Link]) -> float:
+        """Minimum capacity along ``path`` (infinite for empty paths)."""
+        if not path:
+            return float("inf")
+        return min(l.capacity for l in path)

@@ -1,0 +1,156 @@
+"""Ring topology with directional arc routing.
+
+The ring is the substrate of both O-Ring/Wrht (optical) and E-Ring
+(electrical point-to-point).  It is modelled as two directed cycles:
+
+* clockwise (``Direction.CW``): node ``i`` -> ``(i+1) mod N``
+* counter-clockwise (``Direction.CCW``): node ``i`` -> ``(i-1) mod N``
+
+A *unidirectional* ring only has the CW cycle.  Arc routing, hop distances
+and link enumeration along an arc are the primitive queries used by the
+wavelength-assignment module: a transfer from ``src`` to ``dst`` in a given
+direction occupies every directed link of that arc.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence, Tuple
+
+from ..errors import TopologyError
+from .base import Link, Topology
+
+
+class Direction(enum.Enum):
+    """Travel direction around the ring."""
+
+    CW = "cw"    #: clockwise: ascending node index
+    CCW = "ccw"  #: counter-clockwise: descending node index
+
+    def opposite(self) -> "Direction":
+        """The other direction."""
+        return Direction.CCW if self is Direction.CW else Direction.CW
+
+
+class RingTopology(Topology):
+    """A (bi)directional ring of ``num_hosts`` nodes.
+
+    Parameters mirror :class:`repro.topology.base.Link`: every hop link gets
+    the same ``capacity`` and ``latency``.
+    """
+
+    def __init__(self, num_hosts: int, capacity: float,
+                 latency: float = 0.0, bidirectional: bool = True) -> None:
+        super().__init__(num_hosts)
+        if num_hosts < 2:
+            raise TopologyError(f"a ring needs >=2 nodes, got {num_hosts}")
+        self.bidirectional = bidirectional
+        for i in range(num_hosts):
+            nxt = (i + 1) % num_hosts
+            self._add_link(Link(i, nxt, capacity, latency, key="cw"))
+        if bidirectional:
+            for i in range(num_hosts):
+                prv = (i - 1) % num_hosts
+                self._add_link(Link(i, prv, capacity, latency, key="ccw"))
+
+    # -- distances ----------------------------------------------------------
+
+    def cw_distance(self, src: int, dst: int) -> int:
+        """Hops from ``src`` to ``dst`` travelling clockwise."""
+        self.validate_host(src)
+        self.validate_host(dst)
+        return (dst - src) % self.num_hosts
+
+    def ccw_distance(self, src: int, dst: int) -> int:
+        """Hops from ``src`` to ``dst`` travelling counter-clockwise."""
+        self.validate_host(src)
+        self.validate_host(dst)
+        return (src - dst) % self.num_hosts
+
+    def distance(self, src: int, dst: int,
+                 direction: Direction | None = None) -> int:
+        """Hop count from ``src`` to ``dst``.
+
+        With ``direction=None`` returns the *shortest* feasible distance
+        (either arc on a bidirectional ring, the CW arc otherwise).
+        """
+        if direction is Direction.CW:
+            return self.cw_distance(src, dst)
+        if direction is Direction.CCW:
+            if not self.bidirectional:
+                raise TopologyError("ring is unidirectional; no CCW travel")
+            return self.ccw_distance(src, dst)
+        if not self.bidirectional:
+            return self.cw_distance(src, dst)
+        return min(self.cw_distance(src, dst), self.ccw_distance(src, dst))
+
+    def shortest_direction(self, src: int, dst: int) -> Direction:
+        """The direction of the shortest arc.
+
+        Antipodal ties are split deterministically — CW when
+        ``src < dst``, CCW otherwise — so that the two flows of an
+        antipodal exchange load *different* waveguides (important for
+        all-to-all wavelength demand).  On a unidirectional ring this is
+        always CW.
+        """
+        if not self.bidirectional:
+            return Direction.CW
+        cw = self.cw_distance(src, dst)
+        ccw = self.ccw_distance(src, dst)
+        if cw < ccw:
+            return Direction.CW
+        if ccw < cw:
+            return Direction.CCW
+        return Direction.CW if src < dst else Direction.CCW
+
+    # -- arcs ---------------------------------------------------------------
+
+    def arc_nodes(self, src: int, dst: int,
+                  direction: Direction) -> List[int]:
+        """Nodes visited travelling ``src -> dst`` in ``direction``.
+
+        Includes both endpoints; ``src == dst`` yields ``[src]``.
+        """
+        self.validate_host(src)
+        self.validate_host(dst)
+        step = 1 if direction is Direction.CW else -1
+        if direction is Direction.CCW and not self.bidirectional:
+            raise TopologyError("ring is unidirectional; no CCW travel")
+        nodes = [src]
+        cur = src
+        while cur != dst:
+            cur = (cur + step) % self.num_hosts
+            nodes.append(cur)
+            if len(nodes) > self.num_hosts:  # pragma: no cover - safety
+                raise TopologyError("arc traversal failed to terminate")
+        return nodes
+
+    def arc_links(self, src: int, dst: int,
+                  direction: Direction) -> List[Link]:
+        """Directed links of the arc ``src -> dst`` in ``direction``."""
+        key = "cw" if direction is Direction.CW else "ccw"
+        nodes = self.arc_nodes(src, dst, direction)
+        return [self.link(a, b, key) for a, b in zip(nodes, nodes[1:])]
+
+    def path(self, src: int, dst: int) -> Sequence[Link]:
+        """Shortest-arc route from ``src`` to ``dst``."""
+        if src == dst:
+            return []
+        return self.arc_links(src, dst, self.shortest_direction(src, dst))
+
+    # -- segment helpers used by Wrht grouping -------------------------------
+
+    def segment(self, start: int, length: int) -> List[int]:
+        """``length`` consecutive nodes clockwise from ``start``."""
+        self.validate_host(start)
+        if not (1 <= length <= self.num_hosts):
+            raise TopologyError(
+                f"segment length {length} out of range [1, {self.num_hosts}]")
+        return [(start + k) % self.num_hosts for k in range(length)]
+
+    def arcs_disjoint(self, arc_a: Tuple[int, int], arc_b: Tuple[int, int],
+                      direction: Direction) -> bool:
+        """Whether two arcs (given as (src, dst)) share any directed link."""
+        links_a = {l.ident for l in self.arc_links(*arc_a, direction)}
+        links_b = {l.ident for l in self.arc_links(*arc_b, direction)}
+        return not (links_a & links_b)

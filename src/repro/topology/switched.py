@@ -1,0 +1,108 @@
+"""Switched electrical topologies.
+
+:class:`SwitchedStar` is the electrical substrate of the RD baseline: every
+host has a full-duplex link to one non-blocking switch, so any permutation
+of host pairs communicates at full port rate.  :class:`FatTree` is a
+two-level oversubscribable variant used by ablation experiments to study
+electrical congestion.
+
+Switch nodes use negative ids so host ids remain collective ranks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import TopologyError
+from .base import Link, Topology
+
+#: Node id of the (single) core switch in a star.
+STAR_SWITCH = -1
+
+
+class SwitchedStar(Topology):
+    """``num_hosts`` hosts behind one non-blocking switch.
+
+    Each host ``h`` owns an uplink ``h -> STAR_SWITCH`` and a downlink
+    ``STAR_SWITCH -> h``, both of ``capacity`` bytes/s and ``latency/2``
+    seconds, so a host-to-host path has total latency ``latency``.
+    """
+
+    def __init__(self, num_hosts: int, capacity: float,
+                 latency: float = 0.0) -> None:
+        super().__init__(num_hosts)
+        if num_hosts < 2:
+            raise TopologyError(f"a star needs >=2 hosts, got {num_hosts}")
+        half = latency / 2.0
+        for h in range(num_hosts):
+            self._add_link(Link(h, STAR_SWITCH, capacity, half, key="up"))
+            self._add_link(Link(STAR_SWITCH, h, capacity, half, key="down"))
+
+    def path(self, src: int, dst: int) -> Sequence[Link]:
+        """Host-to-host route via the switch."""
+        self.validate_host(src)
+        self.validate_host(dst)
+        if src == dst:
+            return []
+        return [self.link(src, STAR_SWITCH, "up"),
+                self.link(STAR_SWITCH, dst, "down")]
+
+
+class FatTree(Topology):
+    """A 2-level fat-tree: hosts -> edge switches -> one core switch.
+
+    ``hosts_per_edge`` hosts share each edge switch; the edge->core uplink
+    capacity is ``capacity * hosts_per_edge / oversubscription``, so
+    ``oversubscription=1`` is non-blocking and larger values starve
+    cross-edge traffic — used to reproduce electrical congestion effects.
+    """
+
+    def __init__(self, num_hosts: int, capacity: float,
+                 hosts_per_edge: int = 8, latency: float = 0.0,
+                 oversubscription: float = 1.0) -> None:
+        super().__init__(num_hosts)
+        if hosts_per_edge < 1:
+            raise TopologyError("hosts_per_edge must be >= 1")
+        if oversubscription <= 0:
+            raise TopologyError("oversubscription must be > 0")
+        self.hosts_per_edge = hosts_per_edge
+        self.num_edges = -(-num_hosts // hosts_per_edge)
+        half = latency / 2.0
+        core = self._core_id()
+        up_cap = capacity * hosts_per_edge / oversubscription
+        for h in range(num_hosts):
+            e = self._edge_id(h // hosts_per_edge)
+            self._add_link(Link(h, e, capacity, half, key="up"))
+            self._add_link(Link(e, h, capacity, half, key="down"))
+        for idx in range(self.num_edges):
+            e = self._edge_id(idx)
+            self._add_link(Link(e, core, up_cap, half, key="up"))
+            self._add_link(Link(core, e, up_cap, half, key="down"))
+
+    @staticmethod
+    def _edge_id(index: int) -> int:
+        return -(index + 2)  # -2, -3, ... (core is -1)
+
+    @staticmethod
+    def _core_id() -> int:
+        return -1
+
+    def edge_of(self, host: int) -> int:
+        """Edge-switch node id serving ``host``."""
+        self.validate_host(host)
+        return self._edge_id(host // self.hosts_per_edge)
+
+    def path(self, src: int, dst: int) -> Sequence[Link]:
+        """Route: same-edge pairs stay local, others go via the core."""
+        self.validate_host(src)
+        self.validate_host(dst)
+        if src == dst:
+            return []
+        e_src, e_dst = self.edge_of(src), self.edge_of(dst)
+        path: List[Link] = [self.link(src, e_src, "up")]
+        if e_src != e_dst:
+            core = self._core_id()
+            path.append(self.link(e_src, core, "up"))
+            path.append(self.link(core, e_dst, "down"))
+        path.append(self.link(e_dst, dst, "down"))
+        return path

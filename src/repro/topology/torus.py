@@ -1,0 +1,72 @@
+"""2-D torus topology (extension).
+
+Used by ablation experiments that place hierarchical all-reduce on a torus
+instead of a ring; dimension-ordered (X then Y) routing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import TopologyError
+from .base import Link, Topology
+
+
+class Torus2D(Topology):
+    """``rows x cols`` torus with unidirectional +X / +Y and -X / -Y links."""
+
+    def __init__(self, rows: int, cols: int, capacity: float,
+                 latency: float = 0.0) -> None:
+        if rows < 2 or cols < 2:
+            raise TopologyError(
+                f"torus needs >=2 rows and cols, got {rows}x{cols}")
+        super().__init__(rows * cols)
+        self.rows = rows
+        self.cols = cols
+        for r in range(rows):
+            for c in range(cols):
+                n = self.node_id(r, c)
+                for key, (dr, dc) in (("x+", (0, 1)), ("x-", (0, -1)),
+                                      ("y+", (1, 0)), ("y-", (-1, 0))):
+                    m = self.node_id((r + dr) % rows, (c + dc) % cols)
+                    self._add_link(Link(n, m, capacity, latency, key=key))
+
+    def node_id(self, row: int, col: int) -> int:
+        """Rank of the node at ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise TopologyError(f"coordinate ({row},{col}) out of range")
+        return row * self.cols + col
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """``(row, col)`` of ``node``."""
+        self.validate_host(node)
+        return divmod(node, self.cols)
+
+    @staticmethod
+    def _ring_steps(src: int, dst: int, size: int) -> Tuple[str, int]:
+        """Direction sign and hop count of the shortest 1-D ring arc."""
+        fwd = (dst - src) % size
+        bwd = (src - dst) % size
+        return ("+", fwd) if fwd <= bwd else ("-", bwd)
+
+    def path(self, src: int, dst: int) -> Sequence[Link]:
+        """Dimension-ordered route: X first, then Y, shortest arcs."""
+        if src == dst:
+            return []
+        (r0, c0), (r1, c1) = self.coords(src), self.coords(dst)
+        links: List[Link] = []
+        sign, hops = self._ring_steps(c0, c1, self.cols)
+        cur_c = c0
+        for _ in range(hops):
+            nxt_c = (cur_c + (1 if sign == "+" else -1)) % self.cols
+            links.append(self.link(self.node_id(r0, cur_c),
+                                   self.node_id(r0, nxt_c), f"x{sign}"))
+            cur_c = nxt_c
+        sign, hops = self._ring_steps(r0, r1, self.rows)
+        cur_r = r0
+        for _ in range(hops):
+            nxt_r = (cur_r + (1 if sign == "+" else -1)) % self.rows
+            links.append(self.link(self.node_id(cur_r, c1),
+                                   self.node_id(nxt_r, c1), f"y{sign}"))
+            cur_r = nxt_r
+        return links

@@ -1,0 +1,106 @@
+"""Unit constants and conversion helpers.
+
+Internally the library uses **SI base units everywhere**:
+
+* time    — seconds (``float``)
+* data    — bytes (``int`` or ``float``; fractional bytes are allowed in
+  analytic models)
+* rate    — bytes / second
+* length  — metres
+
+The constants below exist so call-sites read naturally
+(``25 * units.GBPS``, ``10 * units.USEC``) and so tests can assert exact
+conversion factors.  Network rates follow telecom convention: 1 Gb/s =
+1e9 bits/s (decimal), while data sizes offer both decimal (MB) and binary
+(MiB) spellings.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# time
+# --------------------------------------------------------------------------
+SEC = 1.0
+MSEC = 1e-3
+USEC = 1e-6
+NSEC = 1e-9
+
+# --------------------------------------------------------------------------
+# data sizes (bytes)
+# --------------------------------------------------------------------------
+BYTE = 1
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KIB = 1024
+MIB = 1024 ** 2
+GIB = 1024 ** 3
+
+# --------------------------------------------------------------------------
+# rates (bytes / second).  Telecom rates are quoted in bits/s, hence the /8.
+# --------------------------------------------------------------------------
+BIT = 1 / 8
+KBPS = 1e3 / 8
+MBPS = 1e6 / 8
+GBPS = 1e9 / 8
+TBPS = 1e12 / 8
+
+# --------------------------------------------------------------------------
+# length
+# --------------------------------------------------------------------------
+METER = 1.0
+CM = 1e-2
+MM = 1e-3
+
+#: Speed of light in silicon-photonic waveguide / fibre, ~2e8 m/s, expressed
+#: as a propagation *delay* per metre.  TeraRack-scale rings are a few metres
+#: so this term is small but modelled.
+PROPAGATION_DELAY_PER_METER = 5.0 * NSEC
+
+
+def bits(nbytes: float) -> float:
+    """Convert a byte count to bits."""
+    return nbytes * 8
+
+
+def gbps(rate_bytes_per_sec: float) -> float:
+    """Express a bytes/second rate in Gb/s (for reports)."""
+    return rate_bytes_per_sec * 8 / 1e9
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration with a sensible unit (for reports/CLI)."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    a = abs(seconds)
+    if a >= 1.0:
+        return f"{seconds:.3f} s"
+    if a >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if a >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.3f} ns"
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Render a byte count with a sensible decimal unit (for reports/CLI)."""
+    a = abs(nbytes)
+    if a >= GB:
+        return f"{nbytes / GB:.3f} GB"
+    if a >= MB:
+        return f"{nbytes / MB:.3f} MB"
+    if a >= KB:
+        return f"{nbytes / KB:.3f} KB"
+    return f"{nbytes:.0f} B"
+
+
+def fmt_rate(rate_bytes_per_sec: float) -> str:
+    """Render a rate in bit/s with a sensible unit (for reports/CLI)."""
+    bps = rate_bytes_per_sec * 8
+    if bps >= 1e12:
+        return f"{bps / 1e12:.3f} Tb/s"
+    if bps >= 1e9:
+        return f"{bps / 1e9:.3f} Gb/s"
+    if bps >= 1e6:
+        return f"{bps / 1e6:.3f} Mb/s"
+    return f"{bps:.0f} b/s"

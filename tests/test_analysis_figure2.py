@@ -1,0 +1,70 @@
+"""Tests for the Figure 2 harness (small scales for speed)."""
+
+import pytest
+
+from repro import units
+from repro.analysis.figure2 import (PAPER_MODELS, PAPER_SCALES,
+                                    Figure2Panel, figure2, figure2_panel,
+                                    panels_to_csv, render_panel)
+from repro.config import Workload
+
+
+SMALL_SCALES = (8, 16)
+
+
+class TestPanel:
+    def test_panel_shape(self):
+        panel = figure2_panel("alexnet", scales=SMALL_SCALES)
+        assert panel.scales == SMALL_SCALES
+        assert set(panel.times) == {"e-ring", "rd", "o-ring", "wrht"}
+        for times in panel.times.values():
+            assert len(times) == 2
+            assert all(t > 0 for t in times)
+
+    def test_paper_defaults(self):
+        assert PAPER_SCALES == (128, 256, 512, 1024)
+        assert PAPER_MODELS == ("alexnet", "vgg16", "resnet50",
+                                "googlenet")
+
+    def test_custom_workload(self):
+        wl = Workload(data_bytes=1 * units.MB, name="tiny")
+        panel = figure2_panel("alexnet", scales=(8,), workload=wl)
+        assert panel.comparisons[0].workload is wl
+
+    def test_normalized_is_ms(self):
+        panel = figure2_panel("googlenet", scales=(8,))
+        norm = panel.normalized()
+        for a, vals in norm.items():
+            assert vals[0] == pytest.approx(panel.times[a][0] * 1e3)
+
+    def test_winner_at(self):
+        panel = figure2_panel("vgg16", scales=SMALL_SCALES)
+        assert panel.winner_at(16) == "wrht"
+        with pytest.raises(ValueError):
+            panel.winner_at(999)
+
+    def test_algorithms_subset(self):
+        panel = figure2_panel("vgg16", scales=(8,),
+                              algorithms=("o-ring", "wrht"))
+        assert set(panel.times) == {"o-ring", "wrht"}
+
+
+class TestFigure2Grid:
+    def test_all_models(self):
+        panels = figure2(models=("alexnet", "googlenet"),
+                         scales=SMALL_SCALES)
+        assert set(panels) == {"alexnet", "googlenet"}
+
+    def test_csv_rows(self):
+        panels = figure2(models=("alexnet",), scales=SMALL_SCALES)
+        csv = panels_to_csv(panels)
+        lines = csv.splitlines()
+        assert lines[0] == "model,algorithm,num_nodes,time_ms"
+        assert len(lines) == 1 + 4 * len(SMALL_SCALES)
+        assert lines[1].startswith("alexnet,")
+
+    def test_render_contains_series(self):
+        panels = figure2(models=("alexnet",), scales=SMALL_SCALES)
+        text = render_panel(panels["alexnet"])
+        assert "WRHT" in text and "O-Ring" in text
+        assert "N=8" in text and "N=16" in text

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig2_args(self):
+        args = build_parser().parse_args(
+            ["fig2", "--model", "vgg16", "--scales", "8", "16", "--csv"])
+        assert args.model == "vgg16"
+        assert args.scales == [8, 16]
+        assert args.csv
+
+    def test_sweep_kinds(self):
+        for kind in ("wavelengths", "payload", "striping"):
+            args = build_parser().parse_args(["sweep", kind])
+            assert args.kind == kind
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--model", "bert"])
+
+
+class TestCommands:
+    def test_fig2_csv_small(self, capsys):
+        rc = main(["fig2", "--model", "googlenet", "--scales", "8", "16",
+                   "--csv"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("model,algorithm,num_nodes,time_ms")
+        assert "googlenet,wrht,16," in out
+
+    def test_fig2_chart_small(self, capsys):
+        rc = main(["fig2", "--model", "googlenet", "--scales", "8"])
+        assert rc == 0
+        assert "WRHT" in capsys.readouterr().out
+
+    def test_tables(self, capsys):
+        rc = main(["tables", "--m", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Communication steps per algorithm" in out
+        assert "Wavelength requirements" in out
+
+    def test_plan(self, capsys):
+        rc = main(["plan", "--nodes", "16", "--wavelengths", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "group size m" in out
+        assert "predicted time" in out
+
+    def test_plan_show_schedule(self, capsys):
+        rc = main(["plan", "--nodes", "16", "--wavelengths", "8",
+                   "--show-schedule"])
+        assert rc == 0
+        assert "step " in capsys.readouterr().out
+
+    def test_sweep_striping(self, capsys):
+        rc = main(["sweep", "striping", "--nodes", "16",
+                   "--bytes", "1000000"])
+        assert rc == 0
+        assert "EXT-A3" in capsys.readouterr().out
+
+    def test_sweep_payload(self, capsys):
+        rc = main(["sweep", "payload", "--nodes", "8"])
+        assert rc == 0
+        assert "winner" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Tests for the MPI-style Communicator facade."""
+
+import numpy as np
+import pytest
+
+from repro.config import OpticalRingSystem
+from repro.core.communicator import Communicator
+from repro.errors import ConfigurationError
+
+
+def ranks(n, width=5, seed=1):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=width) for _ in range(n)]
+
+
+class TestAllreduce:
+    def test_delegates_to_allreduce(self):
+        comm = Communicator(4)
+        data = ranks(4)
+        out = comm.allreduce(data)
+        expected = np.sum(data, axis=0)
+        for arr in out.data:
+            np.testing.assert_allclose(arr, expected)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Communicator(4).allreduce(ranks(3))
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_root_holds_sum(self, n, root):
+        if root >= n:
+            return
+        comm = Communicator(n)
+        data = ranks(n)
+        out = comm.reduce(data, root=root)
+        np.testing.assert_allclose(out.data[root], np.sum(data, axis=0))
+        assert out.collective == "reduce"
+        assert out.report.total_time > 0
+
+    def test_bad_root(self):
+        with pytest.raises(ConfigurationError):
+            Communicator(4).reduce(ranks(4), root=4)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("n", [2, 4, 6, 9])
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_everyone_gets_roots_data(self, n, root):
+        if root >= n:
+            return
+        comm = Communicator(n)
+        data = ranks(n)
+        out = comm.broadcast(data, root=root)
+        for arr in out.data:
+            np.testing.assert_allclose(arr, data[root])
+
+    def test_multidim(self):
+        comm = Communicator(4)
+        data = [np.full((2, 3), float(i)) for i in range(4)]
+        out = comm.broadcast(data, root=3)
+        for arr in out.data:
+            np.testing.assert_allclose(arr, data[3])
+            assert arr.shape == (2, 3)
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("n", [2, 4, 5, 8])
+    def test_concatenation_everywhere(self, n):
+        comm = Communicator(n)
+        data = ranks(n, width=3)
+        out = comm.allgather(data)
+        expected = np.concatenate(data)
+        for arr in out.data:
+            np.testing.assert_allclose(arr, expected)
+
+    def test_report_steps(self):
+        comm = Communicator(6)
+        out = comm.allgather(ranks(6))
+        assert out.report.num_steps == 5  # n-1 ring steps
+
+
+class TestConstruction:
+    def test_needs_two_ranks(self):
+        with pytest.raises(ConfigurationError):
+            Communicator(1)
+
+    def test_custom_system(self):
+        sys8 = OpticalRingSystem(num_nodes=8, num_wavelengths=8)
+        comm = Communicator(8, optical=sys8)
+        assert comm.optical.num_wavelengths == 8
+
+    def test_system_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Communicator(8, optical=OpticalRingSystem(num_nodes=4))

@@ -1,0 +1,87 @@
+"""Tests for the comparison driver (the Fig. 2 engine)."""
+
+import pytest
+
+from repro import units
+from repro.config import (ElectricalSystem, OpticalRingSystem, Workload,
+                          default_electrical, default_optical)
+from repro.core.comparison import (ALGORITHMS, ComparisonResult,
+                                   compare_algorithms)
+from repro.errors import ConfigurationError
+
+WL = Workload(data_bytes=50 * units.MB, name="t")
+
+
+class TestCompareAlgorithms:
+    def test_all_four_evaluated(self):
+        c = compare_algorithms(16, WL)
+        assert set(c.results) == set(ALGORITHMS)
+        for r in c.results.values():
+            assert r.time_seconds > 0
+            assert r.num_steps > 0
+
+    def test_subset(self):
+        c = compare_algorithms(16, WL, algorithms=("e-ring", "wrht"))
+        assert set(c.results) == {"e-ring", "wrht"}
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            compare_algorithms(16, WL, algorithms=("nccl",))
+
+    def test_bad_fidelity(self):
+        with pytest.raises(ConfigurationError):
+            compare_algorithms(16, WL, fidelity="exact")
+
+    def test_system_scale_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_algorithms(16, WL, optical=default_optical(8))
+
+    def test_wrht_wins_at_paper_scale(self):
+        c = compare_algorithms(128, Workload.from_parameters(62.3e6))
+        for baseline in ("e-ring", "rd", "o-ring"):
+            assert c.time("wrht") < c.time(baseline)
+
+    def test_reduction_and_speedup_consistent(self):
+        c = compare_algorithms(64, WL)
+        red = c.reduction_vs("o-ring")
+        spd = c.speedup_vs("o-ring")
+        assert red == pytest.approx(1 - 1 / spd)
+
+    def test_normalized_times_in_ms(self):
+        c = compare_algorithms(16, WL)
+        norm = c.normalized_times()
+        for algo, r in c.results.items():
+            assert norm[algo] == pytest.approx(r.time_seconds * 1e3)
+
+    def test_detail_carries_plan(self):
+        c = compare_algorithms(32, WL)
+        d = c.results["wrht"].detail
+        assert "group_size" in d and "variant" in d
+
+
+class TestFidelityAgreement:
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_analytic_equals_simulate_small_scale(self, n):
+        wl = Workload(data_bytes=20 * units.MB)
+        a = compare_algorithms(n, wl, fidelity="analytic")
+        s = compare_algorithms(n, wl, fidelity="simulate")
+        for algo in ALGORITHMS:
+            assert a.time(algo) == pytest.approx(s.time(algo), rel=1e-6), \
+                algo
+
+
+class TestCustomSystems:
+    def test_custom_optical_system_used(self):
+        slow = OpticalRingSystem(num_nodes=16, num_wavelengths=2,
+                                 wavelength_rate=1 * units.GBPS)
+        c_slow = compare_algorithms(16, WL, optical=slow,
+                                    algorithms=("o-ring",))
+        c_fast = compare_algorithms(16, WL, algorithms=("o-ring",))
+        assert c_slow.time("o-ring") > c_fast.time("o-ring")
+
+    def test_custom_electrical_system_used(self):
+        slow = ElectricalSystem(num_nodes=16, link_rate=1 * units.GBPS)
+        c_slow = compare_algorithms(16, WL, electrical=slow,
+                                    algorithms=("rd",))
+        c_fast = compare_algorithms(16, WL, algorithms=("rd",))
+        assert c_slow.time("rd") > c_fast.time("rd")

@@ -1,0 +1,100 @@
+"""Tests for validated system configuration dataclasses."""
+
+import pytest
+
+from repro import units
+from repro.config import (ElectricalSystem, OpticalRingSystem, Workload,
+                          default_electrical, default_optical)
+from repro.errors import ConfigurationError
+
+
+class TestOpticalRingSystem:
+    def test_defaults_are_terarack(self):
+        s = OpticalRingSystem(num_nodes=128)
+        assert s.num_wavelengths == 64
+        assert s.wavelength_rate == pytest.approx(25 * units.GBPS)
+        assert s.bidirectional
+        assert s.allow_striping
+
+    def test_node_injection_rate(self):
+        s = OpticalRingSystem(num_nodes=8, num_wavelengths=64,
+                              wavelength_rate=25 * units.GBPS)
+        assert s.node_injection_rate == pytest.approx(1.6 * units.TBPS)
+
+    def test_propagation(self):
+        s = OpticalRingSystem(num_nodes=8, node_spacing=0.5,
+                              propagation_delay_per_meter=5 * units.NSEC)
+        assert s.hop_propagation_delay == pytest.approx(2.5 * units.NSEC)
+        assert s.propagation_delay(4) == pytest.approx(10 * units.NSEC)
+
+    def test_propagation_negative_hops_rejected(self):
+        s = OpticalRingSystem(num_nodes=8)
+        with pytest.raises(ConfigurationError):
+            s.propagation_delay(-1)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_nodes=1),
+        dict(num_nodes=8, num_wavelengths=0),
+        dict(num_nodes=8, wavelength_rate=0),
+        dict(num_nodes=8, tuning_time=-1e-6),
+        dict(num_nodes=8, node_spacing=-1.0),
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            OpticalRingSystem(**kwargs)
+
+    def test_with_override(self):
+        s = OpticalRingSystem(num_nodes=8)
+        s2 = s.with_(num_wavelengths=16)
+        assert s2.num_wavelengths == 16
+        assert s2.num_nodes == 8
+        assert s.num_wavelengths == 64  # original untouched
+
+
+class TestElectricalSystem:
+    def test_defaults(self):
+        s = ElectricalSystem(num_nodes=128)
+        assert s.link_rate == pytest.approx(100 * units.GBPS)
+        assert s.topology == "switch"
+        assert s.effective_port_rate == s.link_rate
+
+    def test_port_rate_override(self):
+        s = ElectricalSystem(num_nodes=4, switch_ports_rate=40 * units.GBPS)
+        assert s.effective_port_rate == pytest.approx(40 * units.GBPS)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_nodes=1),
+        dict(num_nodes=4, link_rate=0),
+        dict(num_nodes=4, step_latency=-1),
+        dict(num_nodes=4, topology="mesh"),
+        dict(num_nodes=4, switch_ports_rate=0),
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ElectricalSystem(**kwargs)
+
+
+class TestWorkload:
+    def test_from_parameters_fp32(self):
+        w = Workload.from_parameters(138_357_544, name="vgg16")
+        assert w.data_bytes == pytest.approx(138_357_544 * 4)
+        assert w.name == "vgg16"
+
+    def test_num_elements_rounds_up(self):
+        w = Workload(data_bytes=10, dtype_bytes=4)
+        assert w.num_elements == 3
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Workload(data_bytes=0)
+        with pytest.raises(ConfigurationError):
+            Workload.from_parameters(0)
+
+
+class TestFactories:
+    def test_default_optical(self):
+        assert default_optical(256).num_nodes == 256
+
+    def test_default_electrical_override(self):
+        s = default_electrical(256, topology="ring")
+        assert s.topology == "ring"

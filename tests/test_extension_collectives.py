@@ -1,0 +1,107 @@
+"""Tests for extension collectives: hierarchical ring, pipelined Wrht."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import verify_allreduce
+from repro.collectives.hierarchical_ring import (
+    generate_hierarchical_ring, hierarchical_ring_step_count)
+from repro.collectives.schedule import TransferOp
+from repro.collectives.wrht import WrhtParameters, generate_wrht
+from repro.collectives.wrht_pipelined import (generate_wrht_pipelined,
+                                              pipelined_step_count)
+from repro.errors import ConfigurationError, ScheduleError
+
+
+class TestHierarchicalRing:
+    @pytest.mark.parametrize("n,g", [(8, 2), (8, 4), (16, 4), (36, 6),
+                                     (12, 12), (12, 1), (24, 3)])
+    def test_correct(self, n, g):
+        sched = generate_hierarchical_ring(n, g)
+        verify_allreduce(sched, elements_per_chunk=1)
+
+    @pytest.mark.parametrize("n,g,steps", [(16, 4, 12), (8, 2, 8),
+                                           (12, 12, 22), (12, 1, 22)])
+    def test_step_count(self, n, g, steps):
+        assert generate_hierarchical_ring(n, g).num_steps == steps
+        assert hierarchical_ring_step_count(n, g) == steps
+
+    def test_step_count_beats_flat_ring_at_scale(self):
+        n = 64
+        flat = 2 * (n - 1)
+        hier = hierarchical_ring_step_count(n, 8)
+        assert hier < flat
+
+    def test_indivisible_group_rejected(self):
+        with pytest.raises(ScheduleError):
+            generate_hierarchical_ring(10, 4)
+
+    def test_local_phases_use_ring_hints(self):
+        sched = generate_hierarchical_ring(8, 4)
+        first = sched.steps[0]
+        assert all(t.direction_hint == "cw" for t in first)
+        assert all(t.op is TransferOp.REDUCE for t in first)
+        last = sched.steps[-1]
+        assert all(t.direction_hint == "ccw" for t in last)
+        assert all(t.op is TransferOp.COPY for t in last)
+
+    @given(n=st.integers(2, 10), mult=st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_any_divisible_pair(self, n, mult):
+        total = n * mult
+        if total < 2:
+            return
+        sched = generate_hierarchical_ring(total, n)
+        verify_allreduce(sched, elements_per_chunk=1)
+
+
+class TestPipelinedWrht:
+    def params(self, n=27, m=3, w=64):
+        return WrhtParameters(num_nodes=n, group_size=m,
+                              num_wavelengths=w, alltoall_threshold=m)
+
+    @pytest.mark.parametrize("chunks", [1, 2, 4, 8, 16])
+    def test_correct_for_any_chunking(self, chunks):
+        sched, _ = generate_wrht_pipelined(self.params(), chunks)
+        verify_allreduce(sched, elements_per_chunk=1)
+
+    def test_single_chunk_equals_plain_wrht_steps(self):
+        base, _ = generate_wrht(self.params())
+        piped, _ = generate_wrht_pipelined(self.params(), 1)
+        assert piped.num_steps == base.num_steps
+
+    def test_step_count_formula(self):
+        p = self.params()
+        base, _ = generate_wrht(p)
+        for c in (2, 5, 9):
+            sched, _ = generate_wrht_pipelined(p, c)
+            assert sched.num_steps == base.num_steps + c - 1
+            assert pipelined_step_count(p, c) == sched.num_steps
+
+    def test_steady_state_concurrency(self):
+        """Mid-pipeline steps run several levels at once."""
+        p = self.params()
+        base, _ = generate_wrht(p)
+        sched, _ = generate_wrht_pipelined(p, 8)
+        base_max = max(len(s) for s in base.steps)
+        piped_max = max(len(s) for s in sched.steps)
+        assert piped_max > base_max
+
+    def test_transfers_carry_single_chunks(self):
+        sched, _ = generate_wrht_pipelined(self.params(), 4)
+        for step in sched.steps:
+            for t in step:
+                assert t.num_chunks_carried == 1
+
+    def test_bad_chunk_count(self):
+        with pytest.raises(ConfigurationError):
+            generate_wrht_pipelined(self.params(), 0)
+
+    @given(n=st.integers(2, 60), m=st.integers(2, 6),
+           c=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_pipelining_preserves_correctness(self, n, m, c):
+        p = WrhtParameters(num_nodes=n, group_size=m, num_wavelengths=64,
+                           alltoall_threshold=m)
+        sched, _ = generate_wrht_pipelined(p, c)
+        verify_allreduce(sched, elements_per_chunk=1)

@@ -1,0 +1,122 @@
+"""Tests pinning the DNN catalogs to published parameter counts."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.models import (MODELS, PAPER_PARAM_COUNTS, alexnet,
+                          bucketize_gradients, get_model, googlenet,
+                          gradient_bytes, gradient_workload, paper_workload,
+                          resnet50, vgg16)
+
+
+class TestExactCounts:
+    def test_vgg16_canonical(self):
+        assert vgg16().num_parameters == 138_357_544
+
+    def test_resnet50_canonical(self):
+        assert resnet50().num_parameters == 25_557_032
+
+    def test_alexnet_canonical(self):
+        assert alexnet().num_parameters == 61_100_840
+
+    def test_googlenet_caffe_reference(self):
+        assert googlenet().num_parameters == 6_998_552
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_within_3pct_of_paper(self, name):
+        m = get_model(name)
+        rel = abs(m.num_parameters - m.paper_param_count) \
+            / m.paper_param_count
+        assert rel < 0.03, f"{name}: {m.num_parameters} vs paper " \
+                           f"{m.paper_param_count}"
+
+
+class TestStructure:
+    def test_vgg16_has_13_convs_3_fcs(self):
+        from repro.models.layers import Conv2d, Linear
+        m = vgg16()
+        convs = [l for l in m.layers if isinstance(l, Conv2d)]
+        fcs = [l for l in m.layers if isinstance(l, Linear)]
+        assert len(convs) == 13 and len(fcs) == 3
+
+    def test_resnet50_block_count(self):
+        from repro.models.layers import Conv2d
+        m = resnet50()
+        convs = [l for l in m.layers if isinstance(l, Conv2d)]
+        # 1 stem + 3*(3+4+6+3) bottleneck convs + 4 downsamples = 53
+        assert len(convs) == 53
+
+    def test_googlenet_has_9_inceptions(self):
+        m = googlenet()
+        names = {l.name.split(".")[0] for l in m.layers
+                 if l.name.startswith("inception")}
+        assert len(names) == 9
+
+    def test_fc_layers_dominate_alexnet(self):
+        m = alexnet()
+        fc = sum(l.num_parameters for l in m.layers
+                 if l.name.startswith("fc"))
+        assert fc / m.num_parameters > 0.9
+
+    def test_get_model_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_model("transformer")
+
+    def test_get_model_case_insensitive(self):
+        assert get_model("VGG16").name == "vgg16"
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", sorted(PAPER_PARAM_COUNTS))
+    def test_paper_workload_uses_paper_count(self, name):
+        wl = paper_workload(name)
+        assert wl.data_bytes == pytest.approx(
+            PAPER_PARAM_COUNTS[name] * 4)
+
+    def test_paper_workload_fp16(self):
+        assert paper_workload("vgg16", dtype_bytes=2).data_bytes == \
+            pytest.approx(138e6 * 2)
+
+    def test_paper_workload_unknown(self):
+        with pytest.raises(ConfigurationError):
+            paper_workload("bert")
+
+    def test_gradient_workload_catalog_exact(self):
+        wl = gradient_workload(vgg16())
+        assert wl.data_bytes == 138_357_544 * 4
+        assert gradient_bytes(vgg16()) == 138_357_544 * 4
+
+
+class TestBucketing:
+    def test_buckets_partition_all_parameters(self):
+        m = resnet50()
+        buckets = bucketize_gradients(m)
+        assert sum(b.num_parameters for b in buckets) == m.num_parameters
+
+    def test_bucket_size_respected_except_oversized_layers(self):
+        m = resnet50()
+        limit = 25 * units.MB
+        for b in bucketize_gradients(m, bucket_bytes=limit):
+            if b.num_layers > 1:
+                assert b.nbytes <= limit
+
+    def test_oversized_layer_gets_own_bucket(self):
+        m = vgg16()  # fc1 is ~411 MB alone
+        buckets = bucketize_gradients(m, bucket_bytes=25 * units.MB)
+        big = [b for b in buckets if b.nbytes > 25 * units.MB]
+        assert big and all(b.num_layers == 1 for b in big)
+
+    def test_reverse_order_default(self):
+        m = alexnet()
+        buckets = bucketize_gradients(m)
+        assert buckets[0].layer_names[0] == "fc8"  # last layer first
+
+    def test_forward_order_option(self):
+        m = alexnet()
+        buckets = bucketize_gradients(m, reverse=False)
+        assert buckets[0].layer_names[0] == "conv1"
+
+    def test_bad_bucket_size(self):
+        with pytest.raises(ConfigurationError):
+            bucketize_gradients(alexnet(), bucket_bytes=0)

@@ -1,0 +1,76 @@
+"""Tests for FLOP counting via shape propagation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.catalog import alexnet, googlenet, resnet50, vgg16
+from repro.models.flops import (PUBLISHED_FORWARD_MACS, forward_macs,
+                                sequential_forward_macs,
+                                training_flops_per_sample)
+
+
+class TestShapePropagation:
+    def test_alexnet_shapes(self):
+        costs = sequential_forward_macs(alexnet())
+        shapes = {c.name: c.output_shape for c in costs}
+        assert shapes["conv1"] == (64, 55, 55)
+        assert shapes["pool1"] == (64, 27, 27)
+        assert shapes["pool2"] == (192, 13, 13)
+        assert shapes["pool5"] == (256, 6, 6)
+        assert shapes["fc8"] == (1000, 1, 1)
+
+    def test_vgg16_shapes(self):
+        costs = sequential_forward_macs(vgg16())
+        final_pool = [c for c in costs if c.name.startswith("pool")][-1]
+        assert final_pool.output_shape == (512, 7, 7)
+
+    def test_macs_match_published_alexnet(self):
+        macs = forward_macs(alexnet())
+        assert macs == pytest.approx(0.71e9, rel=0.02)
+
+    def test_macs_match_published_vgg16(self):
+        macs = forward_macs(vgg16())
+        assert macs == pytest.approx(15.47e9, rel=0.01)
+
+    def test_pool_and_norm_cost_nothing(self):
+        for c in sequential_forward_macs(alexnet()):
+            if c.name.startswith(("pool", "lrn")):
+                assert c.macs == 0
+
+    def test_conv_dominates_vgg_fc_dominates_params(self):
+        costs = sequential_forward_macs(vgg16())
+        conv = sum(c.macs for c in costs if c.name.startswith("conv"))
+        fc = sum(c.macs for c in costs if c.name.startswith("fc"))
+        assert conv > 3 * fc  # compute lives in convs...
+        m = vgg16()
+        fc_params = sum(l.num_parameters for l in m.layers
+                        if l.name.startswith("fc"))
+        assert fc_params > m.num_parameters / 2  # ...params in FCs
+
+
+class TestFallbacks:
+    def test_branchy_models_use_published_table(self):
+        assert forward_macs(resnet50()) == \
+            PUBLISHED_FORWARD_MACS["resnet50"]
+        assert forward_macs(googlenet()) == \
+            PUBLISHED_FORWARD_MACS["googlenet"]
+
+    def test_sequential_api_rejects_branchy(self):
+        with pytest.raises(ConfigurationError):
+            sequential_forward_macs(resnet50())
+
+
+class TestTrainingFlops:
+    def test_fwd_bwd_factor(self):
+        fwd_flops = 2 * forward_macs(vgg16())
+        total = training_flops_per_sample(vgg16(), backward_factor=2.0)
+        assert total == pytest.approx(3 * fwd_flops)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            training_flops_per_sample(vgg16(), backward_factor=-1)
+
+    def test_wrong_input_size_detected(self):
+        # fc6 expects 6x6x256; a 112x112 input breaks that.
+        with pytest.raises(ConfigurationError):
+            sequential_forward_macs(alexnet(), input_hw=(112, 112))

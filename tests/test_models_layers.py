@@ -1,0 +1,62 @@
+"""Tests for layer parameter arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.layers import (BatchNorm2d, Conv2d, Linear,
+                                 LocalResponseNorm, Pool2d)
+
+
+class TestConv2d:
+    def test_basic_count(self):
+        # 64 filters of 3x11x11 + 64 biases
+        c = Conv2d("c", 3, 64, (11, 11))
+        assert c.num_parameters == 64 * 3 * 121 + 64 == 23296
+
+    def test_no_bias(self):
+        c = Conv2d("c", 3, 64, (7, 7), bias=False)
+        assert c.num_parameters == 64 * 3 * 49
+
+    def test_grouped(self):
+        # original AlexNet conv2: 256 out, 48-in groups of 2
+        c = Conv2d("c", 96, 256, (5, 5), groups=2)
+        assert c.num_parameters == 256 * 48 * 25 + 256
+
+    def test_groups_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            Conv2d("c", 10, 64, (3, 3), groups=3)
+        with pytest.raises(ConfigurationError):
+            Conv2d("c", 9, 64, (3, 3), groups=3)
+
+    def test_bad_channels(self):
+        with pytest.raises(ConfigurationError):
+            Conv2d("c", 0, 64, (3, 3))
+
+    def test_bad_kernel(self):
+        with pytest.raises(ConfigurationError):
+            Conv2d("c", 3, 64, (0, 3))
+
+
+class TestLinear:
+    def test_count(self):
+        fc = Linear("fc", 9216, 4096)
+        assert fc.num_parameters == 9216 * 4096 + 4096
+
+    def test_no_bias(self):
+        assert Linear("fc", 10, 5, bias=False).num_parameters == 50
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Linear("fc", 0, 5)
+
+
+class TestOthers:
+    def test_batchnorm(self):
+        assert BatchNorm2d("bn", 64).num_parameters == 128
+        with pytest.raises(ConfigurationError):
+            BatchNorm2d("bn", 0)
+
+    def test_parameter_free(self):
+        assert LocalResponseNorm("lrn").num_parameters == 0
+        assert Pool2d("pool").num_parameters == 0
+        assert Pool2d("avg", kind="avg").num_parameters == 0

@@ -1,0 +1,187 @@
+"""Tests + properties for routing and wavelength assignment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.config import OpticalRingSystem
+from repro.errors import WavelengthAllocationError
+from repro.optical import (AssignmentPolicy, OpticalRingNetwork,
+                           TransferRequest, assign_wavelengths,
+                           compute_striping_factor, max_link_demand)
+from repro.topology.ring import Direction
+
+
+def make_net(n=8, w=8, bidir=True):
+    return OpticalRingNetwork(OpticalRingSystem(
+        num_nodes=n, num_wavelengths=w, bidirectional=bidir))
+
+
+class TestRequestValidation:
+    def test_loopback_rejected(self):
+        with pytest.raises(WavelengthAllocationError):
+            TransferRequest(1, 1)
+
+    def test_zero_wavelengths_rejected(self):
+        with pytest.raises(WavelengthAllocationError):
+            TransferRequest(0, 1, num_wavelengths=0)
+
+
+class TestFirstFit:
+    def test_disjoint_arcs_reuse_wavelength_zero(self):
+        net = make_net()
+        reqs = [TransferRequest(0, 1, direction=Direction.CW),
+                TransferRequest(2, 3, direction=Direction.CW),
+                TransferRequest(4, 5, direction=Direction.CW)]
+        res = assign_wavelengths(net, reqs)
+        assert all(w == (0,) for _, w in res.assignments.values())
+        assert res.distinct_wavelengths == 1
+
+    def test_overlapping_arcs_get_distinct_wavelengths(self):
+        net = make_net()
+        reqs = [TransferRequest(0, 3, direction=Direction.CW),
+                TransferRequest(1, 4, direction=Direction.CW)]
+        res = assign_wavelengths(net, reqs)
+        w0 = res.assignments[0][1]
+        w1 = res.assignments[1][1]
+        assert set(w0) & set(w1) == set()
+        assert res.spectrum_span == 2
+
+    def test_opposite_directions_do_not_conflict(self):
+        net = make_net()
+        reqs = [TransferRequest(1, 0, direction=Direction.CCW),
+                TransferRequest(0, 1, direction=Direction.CW)]
+        res = assign_wavelengths(net, reqs)
+        assert res.assignments[0][1] == (0,)
+        assert res.assignments[1][1] == (0,)
+
+    def test_exhaustion_raises_with_counts(self):
+        net = make_net(w=2)
+        reqs = [TransferRequest(0, 2, direction=Direction.CW)
+                for _ in range(3)]
+        with pytest.raises(WavelengthAllocationError) as ei:
+            assign_wavelengths(net, reqs)
+        assert ei.value.available == 0
+
+    def test_striped_request(self):
+        net = make_net(w=8)
+        res = assign_wavelengths(
+            net, [TransferRequest(0, 2, num_wavelengths=4,
+                                  direction=Direction.CW)])
+        assert res.assignments[0][1] == (0, 1, 2, 3)
+
+    def test_request_larger_than_system_rejected(self):
+        net = make_net(w=4)
+        with pytest.raises(WavelengthAllocationError):
+            assign_wavelengths(net, [TransferRequest(0, 1,
+                                                     num_wavelengths=5)])
+
+    def test_shortest_arc_auto_routing(self):
+        net = make_net(n=8)
+        res = assign_wavelengths(net, [TransferRequest(0, 6)])
+        assert res.assignments[0][0] is Direction.CCW
+
+
+class TestBestFit:
+    def test_best_fit_packs_onto_used_wavelengths(self):
+        net = make_net(n=12, w=8)
+        # First-fit a transfer on wavelength 0 far away.
+        reqs = [TransferRequest(0, 2, direction=Direction.CW),
+                TransferRequest(1, 3, direction=Direction.CW),  # forced to 1
+                TransferRequest(6, 8, direction=Direction.CW)]
+        res = assign_wavelengths(net, reqs, AssignmentPolicy.BEST_FIT)
+        # The third is disjoint from both; best-fit should reuse the most
+        # loaded wavelength (0 and 1 are tied at 2 segments each -> 0).
+        assert res.assignments[2][1] == (0,)
+
+    def test_policies_agree_on_span_for_disjoint(self):
+        for policy in AssignmentPolicy:
+            net = make_net()
+            reqs = [TransferRequest(0, 1, direction=Direction.CW),
+                    TransferRequest(4, 5, direction=Direction.CW)]
+            res = assign_wavelengths(net, reqs, policy)
+            assert res.spectrum_span == 1
+
+
+class TestDemandHelpers:
+    def test_max_link_demand_counts_overlap(self):
+        net = make_net()
+        reqs = [TransferRequest(0, 3, direction=Direction.CW),
+                TransferRequest(1, 4, direction=Direction.CW),
+                TransferRequest(2, 5, direction=Direction.CW)]
+        assert max_link_demand(reqs, net.topology) == 3
+
+    def test_max_link_demand_with_stripes(self):
+        net = make_net()
+        reqs = [TransferRequest(0, 2, num_wavelengths=3,
+                                direction=Direction.CW)]
+        assert max_link_demand(reqs, net.topology) == 3
+        assert max_link_demand(reqs, net.topology, count_stripes=False) == 1
+
+    def test_striping_factor(self):
+        net = make_net(w=8)
+        reqs = [TransferRequest(0, 3, direction=Direction.CW),
+                TransferRequest(1, 4, direction=Direction.CW)]
+        # hottest segment carries 2 flows -> each can stripe over 4
+        assert compute_striping_factor(reqs, net.topology, 8) == 4
+
+    def test_striping_factor_infeasible(self):
+        net = make_net(w=2)
+        reqs = [TransferRequest(0, 3, direction=Direction.CW),
+                TransferRequest(1, 4, direction=Direction.CW),
+                TransferRequest(2, 5, direction=Direction.CW)]
+        with pytest.raises(WavelengthAllocationError):
+            compute_striping_factor(reqs, net.topology, 2)
+
+    def test_striping_factor_empty(self):
+        net = make_net(w=8)
+        assert compute_striping_factor([], net.topology, 8) == 8
+
+
+@st.composite
+def random_requests(draw):
+    n = draw(st.integers(4, 24))
+    k = draw(st.integers(1, 12))
+    reqs = []
+    for _ in range(k):
+        src = draw(st.integers(0, n - 1))
+        span = draw(st.integers(1, n - 1))
+        dst = (src + span) % n
+        direction = draw(st.sampled_from([Direction.CW, Direction.CCW, None]))
+        reqs.append(TransferRequest(src, dst, direction=direction))
+    return n, reqs
+
+
+class TestRwaProperties:
+    @given(random_requests())
+    @settings(max_examples=80, deadline=None)
+    def test_no_slot_double_booked(self, case):
+        n, reqs = case
+        net = make_net(n=n, w=64)
+        res = assign_wavelengths(net, reqs)
+        # The network state itself enforces this, but double-check by
+        # recomputing occupancy from assignments.
+        seen = {}
+        for idx, (direction, wavelengths) in res.assignments.items():
+            req = reqs[idx]
+            for link in net.topology.arc_links(req.src, req.dst, direction):
+                for w in wavelengths:
+                    slot = (link.ident, w)
+                    assert slot not in seen, f"slot {slot} reused"
+                    seen[slot] = idx
+
+    @given(random_requests())
+    @settings(max_examples=80, deadline=None)
+    def test_span_at_least_max_load(self, case):
+        n, reqs = case
+        net = make_net(n=n, w=64)
+        res = assign_wavelengths(net, reqs)
+        assert res.spectrum_span >= max_link_demand(reqs, net.topology)
+
+    @given(random_requests())
+    @settings(max_examples=40, deadline=None)
+    def test_best_fit_never_worse_than_system(self, case):
+        n, reqs = case
+        net = make_net(n=n, w=64)
+        res = assign_wavelengths(net, reqs, AssignmentPolicy.BEST_FIT)
+        assert res.spectrum_span <= 64

@@ -1,0 +1,101 @@
+"""Tests for the packet-level simulator + fluid-model cross-validation."""
+
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.simulation.fluid import FluidNetworkSimulator
+from repro.simulation.packet import (PacketFlow, PacketNetworkSimulator,
+                                     packet_step_time)
+from repro.topology import RingTopology, SwitchedStar
+
+GB100 = 100 * units.GBPS
+
+
+class TestSingleFlow:
+    def test_one_hop_formula(self):
+        star = SwitchedStar(4, GB100, latency=10 * units.USEC)
+        sim = PacketNetworkSimulator(star, mtu=1500)
+        flow = PacketFlow(0, 1, 15000.0)  # 10 packets
+        sim.run([flow])
+        # 2 hops: serialize whole message on first link, last packet
+        # re-serialized on second, plus both latencies.
+        expected = (15000 / GB100 + 1500 / GB100 + 10e-6)
+        assert flow.finish_time == pytest.approx(expected, rel=1e-9)
+
+    def test_store_and_forward_overhead_vanishes_with_small_mtu(self):
+        star = SwitchedStar(4, GB100, latency=0.0)
+        big = packet_step_time(star, [(0, 1, 150000.0)], mtu=150000)
+        small = packet_step_time(star, [(0, 1, 150000.0)], mtu=1500)
+        fluid_time = 150000.0 / GB100
+        # huge MTU: full store-and-forward doubles the time over 2 hops
+        assert big == pytest.approx(2 * fluid_time, rel=1e-9)
+        # small MTU: pipelining approaches the fluid limit
+        assert small == pytest.approx(fluid_time * 1.01, rel=1e-2)
+
+    def test_loopback(self):
+        star = SwitchedStar(4, GB100)
+        flow = PacketFlow(2, 2, 1000.0, start_time=5.0)
+        PacketNetworkSimulator(star).run([flow])
+        assert flow.finish_time == 5.0
+
+    def test_packet_accounting(self):
+        star = SwitchedStar(4, GB100)
+        flow = PacketFlow(0, 1, 4500.0)
+        PacketNetworkSimulator(star, mtu=1500).run([flow])
+        assert flow.num_packets == 3
+        assert flow.packets_delivered == 3
+
+    def test_fractional_tail_packet(self):
+        star = SwitchedStar(4, GB100)
+        flow = PacketFlow(0, 1, 1600.0)
+        PacketNetworkSimulator(star, mtu=1500).run([flow])
+        assert flow.num_packets == 2
+
+
+class TestContention:
+    def test_shared_link_serializes(self):
+        star = SwitchedStar(4, GB100, latency=0.0)
+        t = packet_step_time(star, [(0, 1, 75 * units.KB),
+                                    (2, 1, 75 * units.KB)], mtu=1500)
+        # both must cross the downlink: ~ sum of serializations
+        assert t == pytest.approx(150 * units.KB / GB100, rel=0.05)
+
+    def test_fifo_interleaving_is_roughly_fair(self):
+        star = SwitchedStar(4, GB100, latency=0.0)
+        f1 = PacketFlow(0, 1, 75 * units.KB)
+        f2 = PacketFlow(2, 1, 75 * units.KB)
+        PacketNetworkSimulator(star, mtu=1500).run([f1, f2])
+        # equal-size flows finish within ~one packet of each other
+        assert abs(f1.finish_time - f2.finish_time) < 5 * 1500 / GB100
+
+
+class TestFluidCrossValidation:
+    @pytest.mark.parametrize("pairs", [
+        [(0, 1, 125 * units.KB)],
+        [(0, 1, 125 * units.KB), (2, 3, 250 * units.KB)],
+        [(i, (i + 1) % 8, 50 * units.KB) for i in range(8)],
+    ])
+    def test_uncongested_agreement_within_mtu_terms(self, pairs):
+        ring = RingTopology(8, GB100, latency=1 * units.USEC)
+        fluid = FluidNetworkSimulator(ring)
+        t_fluid = fluid.step_time(pairs)
+        t_packet = packet_step_time(ring, pairs, mtu=1500)
+        # packet model adds at most per-hop store-and-forward of one MTU
+        assert t_packet >= t_fluid * (1 - 1e-9)
+        assert t_packet <= t_fluid + 8 * 1500 / GB100 + 1e-9
+
+    def test_congested_agreement(self):
+        star = SwitchedStar(6, GB100, latency=0.0)
+        pairs = [(0, 1, 100 * units.KB), (2, 1, 100 * units.KB),
+                 (3, 1, 100 * units.KB)]
+        fluid = FluidNetworkSimulator(star).step_time(pairs)
+        packet = packet_step_time(star, pairs, mtu=1500)
+        assert packet == pytest.approx(fluid, rel=0.05)
+
+
+class TestValidation:
+    def test_bad_mtu(self):
+        star = SwitchedStar(4, GB100)
+        with pytest.raises(SimulationError):
+            PacketNetworkSimulator(star, mtu=0)

@@ -1,0 +1,40 @@
+"""Tests for the process-parallel experiment driver."""
+
+import pytest
+
+from repro import units
+from repro.analysis.figure2 import figure2
+from repro.analysis.parallel import figure2_parallel, plan_grid_parallel
+
+
+class TestFigure2Parallel:
+    def test_matches_serial(self):
+        models, scales = ("googlenet",), (8, 16)
+        serial = figure2(models=models, scales=scales)
+        parallel = figure2_parallel(models=models, scales=scales,
+                                    max_workers=2)
+        for m in models:
+            for a, times in serial[m].times.items():
+                assert parallel[m].times[a] == pytest.approx(times,
+                                                             rel=1e-12)
+
+    def test_single_worker_path(self):
+        panels = figure2_parallel(models=("googlenet",), scales=(8,),
+                                  max_workers=1)
+        assert panels["googlenet"].times["wrht"][0] > 0
+
+
+class TestPlanGridParallel:
+    def test_grid_rows(self):
+        rows = plan_grid_parallel((8, 16), (4, 8), 1 * units.MB,
+                                  max_workers=2)
+        assert len(rows) == 4
+        assert [(r[0], r[1]) for r in rows] == [(8, 4), (8, 8),
+                                                (16, 4), (16, 8)]
+        for _, _, t, m, steps in rows:
+            assert t > 0 and m >= 2 and steps >= 1
+
+    def test_more_wavelengths_never_slower(self):
+        rows = plan_grid_parallel((16,), (2, 16), 10 * units.MB,
+                                  max_workers=1)
+        assert rows[1][2] <= rows[0][2] + 1e-12

@@ -1,0 +1,108 @@
+"""Tests for the Wrht planner."""
+
+import pytest
+
+from repro import units
+from repro.config import OpticalRingSystem, Workload
+from repro.core.cost_model import wrht_time
+from repro.core.planner import (WrhtPlan, default_group_sizes,
+                                feasible_group_sizes, plan_table, plan_wrht)
+from repro.collectives.wrht import WrhtParameters
+from repro.errors import PlanningError
+
+
+def opt(n, w=64, **kw):
+    return OpticalRingSystem(num_nodes=n, num_wavelengths=w, **kw)
+
+
+WL = Workload(data_bytes=100 * units.MB, name="t")
+
+
+class TestCandidates:
+    def test_feasible_bounds(self):
+        sizes = feasible_group_sizes(1024, 64)
+        assert sizes[0] == 2
+        assert sizes[-1] == 129  # 2w+1
+
+    def test_feasible_capped_by_n(self):
+        assert feasible_group_sizes(8, 64)[-1] == 8
+
+    def test_default_is_subset_of_feasible(self):
+        default = set(default_group_sizes(1024, 64))
+        assert default <= set(feasible_group_sizes(1024, 64))
+        assert 2 in default and 3 in default
+        assert 129 in default  # boundary always included
+
+    def test_default_small_system(self):
+        assert default_group_sizes(4, 2) == [2, 3, 4]
+
+
+class TestPlanWrht:
+    def test_returns_best_feasible_plan(self):
+        plan = plan_wrht(opt(64), WL)
+        assert isinstance(plan, WrhtPlan)
+        assert plan.predicted_time > 0
+        assert 2 <= plan.group_size <= 64
+
+    def test_plan_beats_every_swept_candidate(self):
+        system = opt(128, 32)
+        plan = plan_wrht(system, WL)
+        for m in feasible_group_sizes(128, 32):
+            params = WrhtParameters(num_nodes=128, group_size=m,
+                                    num_wavelengths=32,
+                                    alltoall_threshold=m)
+            t, _, _ = wrht_time(system, WL, params)
+            assert plan.predicted_time <= t * (1 + 1e-9), m
+
+    def test_explicit_candidates_respected(self):
+        plan = plan_wrht(opt(64), WL, group_sizes=[5])
+        assert plan.group_size == 5
+
+    def test_infeasible_candidates_skipped(self):
+        # m=200 needs 100 wavelengths; only m=4 is usable.
+        plan = plan_wrht(opt(256, 32), WL, group_sizes=[200, 4])
+        assert plan.group_size == 4
+
+    def test_all_infeasible_raises(self):
+        with pytest.raises(PlanningError):
+            plan_wrht(opt(256, 4), WL, group_sizes=[100])
+
+    def test_unidirectional_rejected(self):
+        with pytest.raises(PlanningError):
+            plan_wrht(opt(64, bidirectional=False), WL)
+
+    def test_deterministic(self):
+        p1 = plan_wrht(opt(128), WL)
+        p2 = plan_wrht(opt(128), WL)
+        assert p1.group_size == p2.group_size
+        assert p1.variant == p2.variant
+        assert p1.predicted_time == p2.predicted_time
+
+    def test_striping_prefers_small_groups(self):
+        # With striping on and plenty of wavelengths, small m wins
+        # (more steps but each at full node bandwidth).
+        plan = plan_wrht(opt(1024, 64), Workload(data_bytes=500 * units.MB))
+        assert plan.group_size <= 4
+
+    def test_no_striping_prefers_fewer_steps(self):
+        # Without striping every step costs a full S/B, so the planner
+        # should use large groups to minimise step count.
+        plan = plan_wrht(opt(1024, 64, allow_striping=False),
+                         Workload(data_bytes=500 * units.MB))
+        assert plan.group_size > 16
+        assert plan.num_steps <= 5
+
+
+class TestPlanTable:
+    def test_rows_cover_candidates(self):
+        rows = plan_table(opt(64, 8), WL, group_sizes=[2, 3, 4])
+        assert [r[0] for r in rows] == [2, 3, 4]
+        for _, steps, t in rows:
+            assert steps > 0 and t > 0
+
+    def test_table_consistent_with_planner(self):
+        system = opt(64, 8)
+        rows = plan_table(system, WL)
+        best_in_table = min(r[2] for r in rows)
+        plan = plan_wrht(system, WL)
+        assert plan.predicted_time <= best_in_table * (1 + 1e-9)

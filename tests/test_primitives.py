@@ -1,0 +1,75 @@
+"""Tests for chunk arithmetic primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.primitives import (contiguous, exact_chunk_sizes,
+                                          max_transfer_bytes_in_step,
+                                          schedule_bytes_on_wire,
+                                          step_bytes, transfer_bytes,
+                                          uniform_chunk_bytes)
+from repro.collectives.ring_allreduce import generate_ring_allreduce
+from repro.collectives.schedule import Schedule, Step, Transfer, TransferOp
+from repro.errors import ScheduleError
+
+
+class TestUniformSplit:
+    def test_basic(self):
+        assert uniform_chunk_bytes(100.0, 4) == 25.0
+
+    def test_fractional_allowed(self):
+        assert uniform_chunk_bytes(10.0, 3) == pytest.approx(10 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            uniform_chunk_bytes(10.0, 0)
+        with pytest.raises(ScheduleError):
+            uniform_chunk_bytes(-1.0, 2)
+
+
+class TestExactSplit:
+    def test_remainder_spread(self):
+        sizes = exact_chunk_sizes(10, 3)
+        assert list(sizes) == [4, 3, 3]
+
+    def test_sums_to_total(self):
+        sizes = exact_chunk_sizes(1_000_003, 7)
+        assert sizes.sum() == 1_000_003
+        assert sizes.max() - sizes.min() <= 1
+
+    @given(total=st.integers(0, 10 ** 9), chunks=st.integers(1, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_property_partition(self, total, chunks):
+        sizes = exact_chunk_sizes(total, chunks)
+        assert sizes.sum() == total
+        assert len(sizes) == chunks
+        assert sizes.max() - sizes.min() <= 1
+
+
+class TestTransferBytes:
+    def test_fraction(self):
+        t = Transfer(0, 1, range(2), TransferOp.REDUCE)
+        assert transfer_bytes(t, 100.0, 4) == 50.0
+
+    def test_step_and_max(self):
+        step = Step((Transfer(0, 1, range(1), TransferOp.REDUCE),
+                     Transfer(1, 2, range(3), TransferOp.REDUCE)))
+        assert step_bytes(step, 100.0, 4) == pytest.approx(100.0)
+        assert max_transfer_bytes_in_step(step, 100.0, 4) == \
+            pytest.approx(75.0)
+
+    def test_schedule_bytes_ring(self):
+        n = 8
+        sched = generate_ring_allreduce(n)
+        # every node sends 2(n-1)/n of S; n nodes total
+        total = schedule_bytes_on_wire(sched, 1.0)
+        assert total == pytest.approx(n * 2 * (n - 1) / n)
+
+
+class TestContiguous:
+    def test_contiguous_cases(self):
+        assert contiguous(range(3))
+        assert contiguous((5,))
+        assert not contiguous((1, 3))
+        assert contiguous(())

@@ -1,0 +1,100 @@
+"""Tests for the schedule IR: Transfer/Step/Schedule validation."""
+
+import pytest
+
+from repro.collectives.schedule import Schedule, Step, Transfer, TransferOp
+from repro.errors import ScheduleError
+
+
+def t(src, dst, chunks=(0,), op=TransferOp.REDUCE, hint=None):
+    return Transfer(src=src, dst=dst, chunks=chunks, op=op,
+                    direction_hint=hint)
+
+
+class TestTransfer:
+    def test_loop_rejected(self):
+        with pytest.raises(ScheduleError):
+            t(1, 1)
+
+    def test_empty_chunks_rejected(self):
+        with pytest.raises(ScheduleError):
+            t(0, 1, chunks=())
+
+    def test_bad_hint_rejected(self):
+        with pytest.raises(ScheduleError):
+            t(0, 1, hint="up")
+
+    def test_range_chunks_supported(self):
+        tr = t(0, 1, chunks=range(4))
+        assert tr.num_chunks_carried == 4
+        assert tr.fraction_of(8) == pytest.approx(0.5)
+
+    def test_hints_accepted(self):
+        assert t(0, 1, hint="cw").direction_hint == "cw"
+        assert t(0, 1, hint="ccw").direction_hint == "ccw"
+
+
+class TestStep:
+    def test_empty_step_rejected(self):
+        with pytest.raises(ScheduleError):
+            Step(())
+
+    def test_iteration(self):
+        s = Step((t(0, 1), t(1, 2)))
+        assert len(s) == 2
+        assert [x.src for x in s] == [0, 1]
+
+
+class TestSchedule:
+    def test_basic_construction(self):
+        sched = Schedule(num_nodes=4, num_chunks=2)
+        sched.add_step([t(0, 1), t(2, 3)])
+        assert sched.num_steps == 1
+        assert sched.num_transfers == 2
+
+    def test_node_out_of_range(self):
+        sched = Schedule(num_nodes=2, num_chunks=1)
+        with pytest.raises(ScheduleError):
+            sched.add_step([t(0, 5)])
+
+    def test_chunk_out_of_range(self):
+        sched = Schedule(num_nodes=4, num_chunks=2)
+        with pytest.raises(ScheduleError):
+            sched.add_step([t(0, 1, chunks=(2,))])
+
+    def test_multiple_reduces_to_same_chunk_allowed(self):
+        sched = Schedule(num_nodes=4, num_chunks=1)
+        sched.add_step([t(0, 3), t(1, 3), t(2, 3)])  # fan-in reduce
+
+    def test_copy_conflict_rejected(self):
+        sched = Schedule(num_nodes=4, num_chunks=1)
+        with pytest.raises(ScheduleError):
+            sched.add_step([t(0, 3, op=TransferOp.COPY),
+                            t(1, 3, op=TransferOp.COPY)])
+
+    def test_copy_reduce_mix_rejected(self):
+        sched = Schedule(num_nodes=4, num_chunks=1)
+        with pytest.raises(ScheduleError):
+            sched.add_step([t(0, 3, op=TransferOp.COPY),
+                            t(1, 3, op=TransferOp.REDUCE)])
+
+    def test_copy_and_reduce_to_different_chunks_ok(self):
+        sched = Schedule(num_nodes=4, num_chunks=2)
+        sched.add_step([t(0, 3, chunks=(0,), op=TransferOp.COPY),
+                        t(1, 3, chunks=(1,), op=TransferOp.REDUCE)])
+
+    def test_participants(self):
+        sched = Schedule(num_nodes=8, num_chunks=1)
+        sched.add_step([t(0, 1), t(2, 3)])
+        assert sched.participants() == {0, 1, 2, 3}
+
+    def test_validate_revalidates(self):
+        sched = Schedule(num_nodes=4, num_chunks=1)
+        sched.add_step([t(0, 1)])
+        sched.validate()  # fine
+
+    def test_invalid_shape_params(self):
+        with pytest.raises(ScheduleError):
+            Schedule(num_nodes=0, num_chunks=1)
+        with pytest.raises(ScheduleError):
+            Schedule(num_nodes=1, num_chunks=0)

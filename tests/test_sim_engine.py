@@ -1,0 +1,108 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_fifo_for_equal_times(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("a"))
+        q.push(1.0, lambda: order.append("b"))
+        q.pop().callback()
+        q.pop().callback()
+        assert order == ["a", "b"]
+
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None)
+        ev1 = q.push(1.0, lambda: None)
+        assert q.pop() is ev1
+
+    def test_cancel(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        ev2 = q.push(2.0, lambda: None)
+        ev.cancel()
+        assert q.pop() is ev2
+        assert len(q) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(3.0, lambda: None)
+        ev.cancel()
+        assert q.peek_time() == 3.0
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.schedule_at(2.0, lambda: seen.append(sim.now))
+        end = sim.run()
+        assert seen == [2.0, 5.0]
+        assert end == 5.0
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule_after(3.0, lambda: seen.append(sim.now))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert seen == [4.0]
+
+    def test_cascading_events(self):
+        sim = Simulator()
+        counter = []
+
+        def tick():
+            if len(counter) < 5:
+                counter.append(sim.now)
+                sim.schedule_after(1.0, tick)
+
+        sim.schedule_at(0.0, tick)
+        sim.run()
+        assert counter == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_run_until(self):
+        sim = Simulator()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda t=t: seen.append(t))
+        sim.run(until=2.5)
+        assert seen == [1.0, 2.0]
+        assert sim.now == 2.5
+        assert sim.pending() == 1
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_event_cap_guards_livelock(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule_after(0.0, forever)
+
+        sim.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)

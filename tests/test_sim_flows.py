@@ -1,0 +1,112 @@
+"""Tests + properties for the max-min fair share solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation.flows import (Flow, max_min_fair_rates,
+                                    validate_allocation)
+
+
+def mkflow(src, dst, path, size=1.0):
+    return Flow(src=src, dst=dst, size=size, path=tuple(path))
+
+
+class TestBasicSharing:
+    def test_single_flow_gets_bottleneck(self):
+        f = mkflow(0, 1, ["a", "b"])
+        rates = max_min_fair_rates([f], {"a": 10.0, "b": 4.0})
+        assert rates[0] == pytest.approx(4.0)
+
+    def test_equal_split(self):
+        flows = [mkflow(0, 1, ["x"]), mkflow(2, 1, ["x"])]
+        rates = max_min_fair_rates(flows, {"x": 10.0})
+        assert rates == pytest.approx([5.0, 5.0])
+
+    def test_unequal_paths_classic_triangle(self):
+        # f0 crosses both links, f1 only A, f2 only B. Max-min: f0=5, f1=f2=5
+        flows = [mkflow(0, 2, ["A", "B"]), mkflow(0, 1, ["A"]),
+                 mkflow(1, 2, ["B"])]
+        rates = max_min_fair_rates(flows, {"A": 10.0, "B": 10.0})
+        assert rates == pytest.approx([5.0, 5.0, 5.0])
+
+    def test_long_flow_constrained_short_flow_fills(self):
+        # A: 10 shared by f0,f1; B: 100 used by f0 only -> f0=5, f1=5
+        # then a third flow on B alone should mop up B's slack
+        flows = [mkflow(0, 2, ["A", "B"]), mkflow(0, 1, ["A"]),
+                 mkflow(1, 2, ["B"])]
+        rates = max_min_fair_rates(flows, {"A": 10.0, "B": 100.0})
+        assert rates[0] == pytest.approx(5.0)
+        assert rates[1] == pytest.approx(5.0)
+        assert rates[2] == pytest.approx(95.0)
+
+    def test_loopback_infinite(self):
+        f = Flow(src=0, dst=0, size=1.0, path=())
+        rates = max_min_fair_rates([f], {"a": 1.0})
+        assert np.isinf(rates[0])
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_fair_rates([mkflow(0, 1, ["zz"])], {"a": 1.0})
+
+    def test_empty(self):
+        assert max_min_fair_rates([], {"a": 1.0}).size == 0
+
+
+class TestValidateAllocation:
+    def test_accepts_good_allocation(self):
+        flows = [mkflow(0, 1, ["x"]), mkflow(2, 1, ["x"])]
+        caps = {"x": 10.0}
+        rates = max_min_fair_rates(flows, caps)
+        validate_allocation(flows, caps, rates)
+
+    def test_rejects_overload(self):
+        flows = [mkflow(0, 1, ["x"])]
+        with pytest.raises(SimulationError):
+            validate_allocation(flows, {"x": 1.0}, np.array([2.0]))
+
+    def test_rejects_non_maxmin(self):
+        flows = [mkflow(0, 1, ["x"])]
+        with pytest.raises(SimulationError):
+            validate_allocation(flows, {"x": 10.0}, np.array([1.0]))
+
+
+@st.composite
+def random_instance(draw):
+    """Random links + flows over them."""
+    n_links = draw(st.integers(1, 6))
+    links = [f"L{i}" for i in range(n_links)]
+    caps = {l: draw(st.floats(0.5, 100.0)) for l in links}
+    n_flows = draw(st.integers(1, 10))
+    flows = []
+    for j in range(n_flows):
+        k = draw(st.integers(1, n_links))
+        path = draw(st.permutations(links).map(lambda p: tuple(p[:k])))
+        flows.append(Flow(src=0, dst=j + 1, size=1.0, path=path))
+    return flows, caps
+
+
+class TestMaxMinProperties:
+    @given(random_instance())
+    @settings(max_examples=120, deadline=None)
+    def test_allocation_is_feasible_and_maxmin(self, inst):
+        flows, caps = inst
+        rates = max_min_fair_rates(flows, caps)
+        validate_allocation(flows, caps, rates)
+
+    @given(random_instance())
+    @settings(max_examples=60, deadline=None)
+    def test_all_rates_positive(self, inst):
+        flows, caps = inst
+        rates = max_min_fair_rates(flows, caps)
+        assert np.all(rates > 0)
+
+    @given(random_instance(), st.floats(1.1, 4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_capacities_scales_rates(self, inst, factor):
+        flows, caps = inst
+        r1 = max_min_fair_rates(flows, caps)
+        r2 = max_min_fair_rates(
+            flows, {k: v * factor for k, v in caps.items()})
+        assert r2 == pytest.approx(r1 * factor, rel=1e-9)

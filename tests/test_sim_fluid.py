@@ -1,0 +1,119 @@
+"""Tests for the flow-level (fluid) network simulator."""
+
+import pytest
+
+from repro import units
+from repro.simulation import FluidNetworkSimulator
+from repro.topology import RingTopology, SwitchedStar
+
+GB100 = 100 * units.GBPS
+
+
+class TestUncongested:
+    def test_single_flow_latency_plus_serialization(self):
+        star = SwitchedStar(4, GB100, latency=10 * units.USEC)
+        sim = FluidNetworkSimulator(star)
+        results = sim.run_pairs([(0, 1, 125 * units.MB)])  # 1 Gbit
+        # 1 Gbit / 100 Gb/s = 10 ms, + 10 us latency
+        assert results[0].finish_time == pytest.approx(
+            10e-3 + 10e-6, rel=1e-9)
+
+    def test_disjoint_flows_do_not_interact(self):
+        star = SwitchedStar(4, GB100, latency=0.0)
+        sim = FluidNetworkSimulator(star)
+        results = sim.run_pairs([(0, 1, 125 * units.MB),
+                                 (2, 3, 125 * units.MB)])
+        for r in results:
+            assert r.finish_time == pytest.approx(10e-3, rel=1e-9)
+
+
+class TestCongested:
+    def test_shared_downlink_halves_rate(self):
+        star = SwitchedStar(4, GB100, latency=0.0)
+        sim = FluidNetworkSimulator(star)
+        results = sim.run_pairs([(0, 1, 125 * units.MB),
+                                 (2, 1, 125 * units.MB)])
+        for r in results:
+            assert r.finish_time == pytest.approx(20e-3, rel=1e-9)
+
+    def test_short_flow_releases_bandwidth(self):
+        # Two flows share a downlink; when the small one completes, the big
+        # one speeds up: 125MB small, 250MB big.
+        star = SwitchedStar(4, GB100, latency=0.0)
+        sim = FluidNetworkSimulator(star)
+        big = sim.make_flow(0, 1, 250 * units.MB)
+        small = sim.make_flow(2, 1, 125 * units.MB)
+        results = {r.size: r for r in sim.run([big, small])}
+        # small: 125MB at 50Gb/s = 20ms.
+        assert results[125 * units.MB].finish_time == pytest.approx(
+            20e-3, rel=1e-9)
+        # big: 125MB done at t=20ms, remaining 125MB at full rate = +10ms.
+        assert results[250 * units.MB].finish_time == pytest.approx(
+            30e-3, rel=1e-9)
+
+    def test_staggered_start(self):
+        star = SwitchedStar(4, GB100, latency=0.0)
+        sim = FluidNetworkSimulator(star)
+        f1 = sim.make_flow(0, 1, 125 * units.MB, start_time=0.0)
+        f2 = sim.make_flow(2, 1, 125 * units.MB, start_time=5e-3)
+        results = {(r.src, r.dst): r for r in sim.run([f1, f2])}
+        # f1 alone for 5ms (50MB done ... at 100Gb/s 12.5GB/s*5ms=62.5MB),
+        # then shares: remaining 62.5MB at 6.25GB/s = 10ms -> total 15ms
+        assert results[(0, 1)].finish_time == pytest.approx(15e-3, rel=1e-6)
+        # f2: shares 10ms (62.5MB), then alone 62.5MB at 12.5GB/s = 5ms
+        assert results[(2, 1)].finish_time == pytest.approx(20e-3, rel=1e-6)
+
+
+class TestRingSubstrate:
+    def test_neighbor_exchange_full_rate(self):
+        ring = RingTopology(8, capacity=GB100, latency=1 * units.USEC)
+        sim = FluidNetworkSimulator(ring)
+        pairs = [(i, (i + 1) % 8, 125 * units.MB) for i in range(8)]
+        t = sim.step_time(pairs)
+        assert t == pytest.approx(10e-3 + 1e-6, rel=1e-6)
+
+    def test_far_flow_crosses_many_links(self):
+        ring = RingTopology(8, capacity=GB100, latency=1 * units.USEC)
+        sim = FluidNetworkSimulator(ring)
+        results = sim.run_pairs([(0, 4, 125 * units.MB)])
+        assert results[0].finish_time == pytest.approx(10e-3 + 4e-6, rel=1e-6)
+
+
+class TestTrace:
+    def test_bytes_accounted(self):
+        star = SwitchedStar(4, GB100, latency=0.0)
+        sim = FluidNetworkSimulator(star, keep_trace=True)
+        sim.run_pairs([(0, 1, 125 * units.MB)])
+        # flow crosses 2 links: up + down
+        assert sim.trace.total_bytes() == pytest.approx(
+            2 * 125 * units.MB, rel=1e-6)
+        hottest = sim.trace.hottest_link()
+        assert hottest is not None
+        _, trace = hottest
+        assert trace.peak_rate == pytest.approx(GB100, rel=1e-9)
+
+    def test_mean_utilization(self):
+        star = SwitchedStar(4, GB100, latency=0.0)
+        sim = FluidNetworkSimulator(star, keep_trace=True)
+        results = sim.run_pairs([(0, 1, 125 * units.MB)])
+        horizon = results[0].finish_time
+        lid = (0, -1, "up")
+        assert sim.trace.links[lid].mean_utilization(horizon) == \
+            pytest.approx(1.0, rel=1e-6)
+
+
+class TestFlowResult:
+    def test_mean_rate(self):
+        star = SwitchedStar(4, GB100, latency=0.0)
+        sim = FluidNetworkSimulator(star)
+        r = sim.run_pairs([(0, 1, 125 * units.MB)])[0]
+        assert r.mean_rate == pytest.approx(GB100, rel=1e-6)
+        assert r.duration == pytest.approx(10e-3, rel=1e-6)
+
+    def test_rerunnable(self):
+        star = SwitchedStar(4, GB100, latency=0.0)
+        sim = FluidNetworkSimulator(star)
+        flow = sim.make_flow(0, 1, 125 * units.MB)
+        t1 = sim.run([flow])[0].finish_time
+        t2 = sim.run([flow])[0].finish_time
+        assert t1 == t2

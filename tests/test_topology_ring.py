@@ -1,0 +1,137 @@
+"""Tests for the ring topology: distances, arcs, routing, segments."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.errors import TopologyError
+from repro.topology import Direction, RingTopology
+
+
+def make_ring(n=8, bidirectional=True):
+    return RingTopology(n, capacity=25 * units.GBPS,
+                        latency=2.5 * units.NSEC,
+                        bidirectional=bidirectional)
+
+
+class TestConstruction:
+    def test_link_counts_bidirectional(self):
+        ring = make_ring(8)
+        assert len(ring.links) == 16
+
+    def test_link_counts_unidirectional(self):
+        ring = make_ring(8, bidirectional=False)
+        assert len(ring.links) == 8
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            make_ring(1)
+
+    def test_every_cw_link_present(self):
+        ring = make_ring(5)
+        for i in range(5):
+            assert ring.has_link(i, (i + 1) % 5, "cw")
+
+
+class TestDistances:
+    def test_cw_ccw_are_complementary(self):
+        ring = make_ring(10)
+        assert ring.cw_distance(2, 7) == 5
+        assert ring.ccw_distance(2, 7) == 5
+        assert ring.cw_distance(7, 2) == 5
+
+    def test_wraparound(self):
+        ring = make_ring(8)
+        assert ring.cw_distance(6, 1) == 3
+        assert ring.ccw_distance(1, 6) == 3
+
+    def test_self_distance_zero(self):
+        ring = make_ring(8)
+        assert ring.distance(3, 3) == 0
+
+    def test_shortest_direction_tie_prefers_cw(self):
+        ring = make_ring(8)
+        assert ring.shortest_direction(0, 4) is Direction.CW
+
+    def test_unidirectional_distance_is_cw(self):
+        ring = make_ring(8, bidirectional=False)
+        assert ring.distance(0, 7) == 7
+
+    def test_ccw_on_unidirectional_rejected(self):
+        ring = make_ring(8, bidirectional=False)
+        with pytest.raises(TopologyError):
+            ring.distance(0, 1, Direction.CCW)
+
+    @given(n=st.integers(3, 64), a=st.integers(0, 63), b=st.integers(0, 63))
+    def test_distances_sum_to_n(self, n, a, b):
+        a, b = a % n, b % n
+        ring = make_ring(n)
+        cw, ccw = ring.cw_distance(a, b), ring.ccw_distance(a, b)
+        if a == b:
+            assert cw == ccw == 0
+        else:
+            assert cw + ccw == n
+        assert ring.distance(a, b) == min(cw, ccw)
+
+
+class TestArcs:
+    def test_arc_nodes_cw(self):
+        ring = make_ring(8)
+        assert ring.arc_nodes(6, 1, Direction.CW) == [6, 7, 0, 1]
+
+    def test_arc_nodes_ccw(self):
+        ring = make_ring(8)
+        assert ring.arc_nodes(1, 6, Direction.CCW) == [1, 0, 7, 6]
+
+    def test_arc_links_match_nodes(self):
+        ring = make_ring(8)
+        links = ring.arc_links(6, 1, Direction.CW)
+        assert [(l.src, l.dst) for l in links] == [(6, 7), (7, 0), (0, 1)]
+        assert all(l.key == "cw" for l in links)
+
+    def test_path_uses_shortest_arc(self):
+        ring = make_ring(8)
+        path = ring.path(0, 6)  # ccw distance 2 < cw distance 6
+        assert [(l.src, l.dst) for l in path] == [(0, 7), (7, 6)]
+
+    def test_path_self_is_empty(self):
+        ring = make_ring(8)
+        assert list(ring.path(2, 2)) == []
+
+    @given(n=st.integers(3, 32), a=st.integers(0, 31), b=st.integers(0, 31))
+    def test_arc_link_count_equals_distance(self, n, a, b):
+        a, b = a % n, b % n
+        ring = make_ring(n)
+        links = ring.arc_links(a, b, Direction.CW)
+        assert len(links) == ring.cw_distance(a, b)
+
+
+class TestSegments:
+    def test_segment_wraps(self):
+        ring = make_ring(8)
+        assert ring.segment(6, 4) == [6, 7, 0, 1]
+
+    def test_segment_bounds(self):
+        ring = make_ring(8)
+        with pytest.raises(TopologyError):
+            ring.segment(0, 0)
+        with pytest.raises(TopologyError):
+            ring.segment(0, 9)
+
+    def test_disjoint_arcs(self):
+        ring = make_ring(12)
+        assert ring.arcs_disjoint((0, 3), (4, 7), Direction.CW)
+        assert not ring.arcs_disjoint((0, 5), (4, 7), Direction.CW)
+
+
+class TestLatency:
+    def test_path_latency_accumulates(self):
+        ring = make_ring(8)
+        path = ring.arc_links(0, 3, Direction.CW)
+        assert ring.path_latency(path) == pytest.approx(3 * 2.5 * units.NSEC)
+
+    def test_bottleneck(self):
+        ring = make_ring(8)
+        path = ring.arc_links(0, 3, Direction.CW)
+        assert ring.path_bottleneck(path) == pytest.approx(25 * units.GBPS)
+        assert ring.path_bottleneck([]) == float("inf")

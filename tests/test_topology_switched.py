@@ -1,0 +1,92 @@
+"""Tests for switched star / fat-tree topologies."""
+
+import pytest
+
+from repro import units
+from repro.errors import TopologyError
+from repro.topology import FatTree, SwitchedStar
+from repro.topology.switched import STAR_SWITCH
+
+
+class TestSwitchedStar:
+    def test_link_count(self):
+        star = SwitchedStar(6, 100 * units.GBPS)
+        assert len(star.links) == 12  # up + down per host
+
+    def test_path_via_switch(self):
+        star = SwitchedStar(4, 100 * units.GBPS, latency=10 * units.USEC)
+        path = star.path(0, 3)
+        assert [(l.src, l.dst) for l in path] == [(0, STAR_SWITCH),
+                                                  (STAR_SWITCH, 3)]
+        assert star.path_latency(path) == pytest.approx(10 * units.USEC)
+
+    def test_self_path_empty(self):
+        star = SwitchedStar(4, 100 * units.GBPS)
+        assert list(star.path(1, 1)) == []
+
+    def test_invalid_host(self):
+        star = SwitchedStar(4, 100 * units.GBPS)
+        with pytest.raises(TopologyError):
+            star.path(0, 4)
+
+    def test_needs_two_hosts(self):
+        with pytest.raises(TopologyError):
+            SwitchedStar(1, 100 * units.GBPS)
+
+
+class TestFatTree:
+    def test_same_edge_path_is_two_hops(self):
+        ft = FatTree(16, 100 * units.GBPS, hosts_per_edge=8)
+        path = ft.path(0, 7)  # same edge
+        assert len(path) == 2
+
+    def test_cross_edge_path_is_four_hops(self):
+        ft = FatTree(16, 100 * units.GBPS, hosts_per_edge=8)
+        path = ft.path(0, 8)  # different edges
+        assert len(path) == 4
+
+    def test_oversubscription_shrinks_uplink(self):
+        ft = FatTree(16, 100 * units.GBPS, hosts_per_edge=8,
+                     oversubscription=4.0)
+        uplink = [l for l in ft.links
+                  if l.src == ft.edge_of(0) and l.dst == -1][0]
+        assert uplink.capacity == pytest.approx(100 * units.GBPS * 8 / 4)
+
+    def test_edge_count(self):
+        ft = FatTree(10, 100 * units.GBPS, hosts_per_edge=4)
+        assert ft.num_edges == 3
+
+    def test_invalid_params(self):
+        with pytest.raises(TopologyError):
+            FatTree(8, 100 * units.GBPS, hosts_per_edge=0)
+        with pytest.raises(TopologyError):
+            FatTree(8, 100 * units.GBPS, oversubscription=0)
+
+
+class TestTorus:
+    def test_coords_roundtrip(self):
+        from repro.topology import Torus2D
+        t = Torus2D(3, 4, 100 * units.GBPS)
+        for n in range(12):
+            r, c = t.coords(n)
+            assert t.node_id(r, c) == n
+
+    def test_dimension_ordered_path(self):
+        from repro.topology import Torus2D
+        t = Torus2D(4, 4, 100 * units.GBPS)
+        # (0,0) -> (1,2): 2 X hops then 1 Y hop
+        path = t.path(t.node_id(0, 0), t.node_id(1, 2))
+        assert len(path) == 3
+        assert [l.key for l in path] == ["x+", "x+", "y+"]
+
+    def test_shortest_wraps(self):
+        from repro.topology import Torus2D
+        t = Torus2D(4, 4, 100 * units.GBPS)
+        # (0,0) -> (0,3) should go x- once, not x+ three times
+        path = t.path(t.node_id(0, 0), t.node_id(0, 3))
+        assert [l.key for l in path] == ["x-"]
+
+    def test_too_small(self):
+        from repro.topology import Torus2D
+        with pytest.raises(TopologyError):
+            Torus2D(1, 4, 100 * units.GBPS)

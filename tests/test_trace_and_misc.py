@@ -1,0 +1,91 @@
+"""Coverage for trace recording, error types and misc utilities."""
+
+import pytest
+
+from repro import units
+from repro.errors import (ConfigurationError, PlanningError, ReproError,
+                          ScheduleError, SimulationError, TopologyError,
+                          VerificationError, WavelengthAllocationError)
+from repro.simulation import FluidNetworkSimulator
+from repro.simulation.trace import LinkTrace, TraceRecorder
+from repro.topology import SwitchedStar
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, TopologyError, WavelengthAllocationError,
+        ScheduleError, VerificationError, SimulationError, PlanningError])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_wavelength_error_carries_counts(self):
+        e = WavelengthAllocationError("full", demanded=5, available=2)
+        assert e.demanded == 5 and e.available == 2
+
+    def test_wavelength_error_defaults(self):
+        e = WavelengthAllocationError("full")
+        assert e.demanded is None and e.available is None
+
+
+class TestLinkTrace:
+    def test_record_accumulates(self):
+        t = LinkTrace(capacity=10.0)
+        t.record(0.0, 2.0, 5.0, keep_samples=True)
+        t.record(2.0, 1.0, 10.0, keep_samples=True)
+        assert t.bytes_carried == pytest.approx(20.0)
+        assert t.busy_time == pytest.approx(3.0)
+        assert t.peak_rate == 10.0
+        assert len(t.samples) == 2
+
+    def test_zero_duration_ignored(self):
+        t = LinkTrace(capacity=10.0)
+        t.record(0.0, 0.0, 5.0, keep_samples=False)
+        assert t.bytes_carried == 0.0
+
+    def test_mean_utilization_clamped(self):
+        t = LinkTrace(capacity=10.0)
+        t.record(0.0, 1.0, 10.0, keep_samples=False)
+        assert t.mean_utilization(0.5) == 1.0  # clamped at 100%
+        assert t.mean_utilization(2.0) == pytest.approx(0.5)
+        assert t.mean_utilization(0.0) == 0.0
+
+
+class TestTraceRecorder:
+    def test_hottest_link_none_when_idle(self):
+        rec = TraceRecorder({"a": 1.0})
+        assert rec.hottest_link() is None
+
+    def test_unknown_links_ignored(self):
+        rec = TraceRecorder({"a": 1.0})
+        rec.record_interval(0.0, 1.0, {"zz": 5.0})
+        assert rec.total_bytes() == 0.0
+
+    def test_samples_kept_when_requested(self):
+        star = SwitchedStar(4, 100 * units.GBPS)
+        sim = FluidNetworkSimulator(star, keep_trace=True)
+        sim.trace._keep_samples = True
+        sim.run_pairs([(0, 1, 1 * units.MB)])
+        lid = (0, -1, "up")
+        assert sim.trace.links[lid].samples
+
+
+class TestPackageSurface:
+    def test_lazy_attributes(self):
+        import repro
+        assert callable(repro.plan_wrht)
+        assert callable(repro.compare_algorithms)
+        assert callable(repro.allreduce)
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+    def test_version(self):
+        import repro
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_public_names_importable(self):
+        import repro
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

@@ -1,0 +1,75 @@
+"""Tests for the data-parallel training iteration model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.training import DataParallelTrainingModel
+
+
+def model(**kw):
+    kw.setdefault("flops_per_sample", 10e9)
+    kw.setdefault("accelerator_flops", 100e12)
+    kw.setdefault("per_worker_batch", 32)
+    return DataParallelTrainingModel(**kw)
+
+
+class TestComputeTime:
+    def test_compute_time(self):
+        m = model()
+        assert m.compute_time == pytest.approx(10e9 * 32 / 100e12)
+
+    def test_backward_is_two_thirds(self):
+        m = model()
+        assert m.backward_time == pytest.approx(m.compute_time * 2 / 3)
+
+
+class TestIteration:
+    def test_no_overlap_fully_exposed(self):
+        m = model(overlap_fraction=0.0)
+        it = m.iteration(communication_time=1e-3)
+        assert it.exposed_communication == pytest.approx(1e-3)
+        assert it.iteration_time == pytest.approx(m.compute_time + 1e-3)
+
+    def test_full_overlap_hides_up_to_backward(self):
+        m = model(overlap_fraction=1.0)
+        small_comm = m.backward_time / 2
+        it = m.iteration(small_comm)
+        assert it.exposed_communication == pytest.approx(0.0)
+
+    def test_overlap_capped_by_backward_window(self):
+        m = model(overlap_fraction=1.0)
+        big_comm = 10 * m.backward_time
+        it = m.iteration(big_comm)
+        assert it.exposed_communication == pytest.approx(
+            big_comm - m.backward_time)
+
+    def test_communication_fraction(self):
+        m = model(overlap_fraction=0.0)
+        it = m.iteration(m.compute_time)  # comm == compute
+        assert it.communication_fraction == pytest.approx(0.5)
+
+    def test_negative_comm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            model().iteration(-1.0)
+
+
+class TestScalingEfficiency:
+    def test_zero_comm_is_perfect(self):
+        assert model().scaling_efficiency(0.0) == pytest.approx(1.0)
+
+    def test_efficiency_decreases_with_comm(self):
+        m = model()
+        assert m.scaling_efficiency(1e-3) > m.scaling_efficiency(5e-3)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kw", [
+        dict(flops_per_sample=0),
+        dict(accelerator_flops=0),
+        dict(per_worker_batch=0),
+        dict(overlap_fraction=1.5),
+        dict(overlap_fraction=-0.1),
+    ])
+    def test_bad_params(self, kw):
+        with pytest.raises(ConfigurationError):
+            model(**kw)

@@ -1,0 +1,77 @@
+"""Tests for unit constants and formatting helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_time_constants(self):
+        assert units.SEC == 1.0
+        assert units.MSEC == 1e-3
+        assert units.USEC == 1e-6
+        assert units.NSEC == 1e-9
+
+    def test_data_constants_decimal(self):
+        assert units.KB == 1_000
+        assert units.MB == 1_000_000
+        assert units.GB == 1_000_000_000
+
+    def test_data_constants_binary(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024 ** 2
+        assert units.GIB == 1024 ** 3
+
+    def test_rate_constants_are_bytes_per_second(self):
+        # 25 Gb/s == 3.125 GB/s
+        assert 25 * units.GBPS == pytest.approx(3.125e9)
+        assert units.TBPS == 1000 * units.GBPS
+
+    def test_propagation_delay(self):
+        assert units.PROPAGATION_DELAY_PER_METER == pytest.approx(5e-9)
+
+
+class TestConversions:
+    def test_bits(self):
+        assert units.bits(1) == 8
+        assert units.bits(125 * units.MB) == 1e9
+
+    def test_gbps_roundtrip(self):
+        assert units.gbps(25 * units.GBPS) == pytest.approx(25.0)
+
+    def test_bit_constant(self):
+        assert 8 * units.BIT == 1  # 8 bits = 1 byte
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("value,expected", [
+        (1.5, "1.500 s"),
+        (2.5e-3, "2.500 ms"),
+        (42e-6, "42.000 us"),
+        (3e-9, "3.000 ns"),
+    ])
+    def test_fmt_time(self, value, expected):
+        assert units.fmt_time(value) == expected
+
+    def test_fmt_time_nan(self):
+        assert units.fmt_time(math.nan) == "nan"
+
+    @pytest.mark.parametrize("value,expected", [
+        (2.5e9, "2.500 GB"),
+        (1.5e6, "1.500 MB"),
+        (2_000, "2.000 KB"),
+        (17, "17 B"),
+    ])
+    def test_fmt_bytes(self, value, expected):
+        assert units.fmt_bytes(value) == expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (200 * units.TBPS, "200.000 Tb/s"),
+        (25 * units.GBPS, "25.000 Gb/s"),
+        (3 * units.MBPS, "3.000 Mb/s"),
+        (10, "80 b/s"),
+    ])
+    def test_fmt_rate(self, value, expected):
+        assert units.fmt_rate(value) == expected

@@ -1,0 +1,87 @@
+"""Tests for the semantic schedule verifier (the oracle itself)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.schedule import Schedule, Transfer, TransferOp
+from repro.collectives.verifier import (execute_schedule, initial_state,
+                                        verify_allreduce,
+                                        verify_reduce_to_roots)
+from repro.errors import VerificationError
+
+
+def full(n=1):
+    return range(n)
+
+
+class TestExecuteSemantics:
+    def test_reduce_accumulates_snapshot(self):
+        # Two nodes exchange simultaneously: both must end with the sum.
+        sched = Schedule(num_nodes=2, num_chunks=1)
+        sched.add_step([
+            Transfer(0, 1, full(), TransferOp.REDUCE),
+            Transfer(1, 0, full(), TransferOp.REDUCE)])
+        state = np.array([[[3]], [[5]]], dtype=np.int64)
+        out = execute_schedule(sched, state)
+        assert out[0, 0, 0] == 8 and out[1, 0, 0] == 8
+
+    def test_copy_overwrites(self):
+        sched = Schedule(num_nodes=2, num_chunks=1)
+        sched.add_step([Transfer(0, 1, full(), TransferOp.COPY)])
+        state = np.array([[[3]], [[5]]], dtype=np.int64)
+        out = execute_schedule(sched, state)
+        assert out[1, 0, 0] == 3
+
+    def test_input_not_mutated(self):
+        sched = Schedule(num_nodes=2, num_chunks=1)
+        sched.add_step([Transfer(0, 1, full(), TransferOp.REDUCE)])
+        state = np.array([[[3]], [[5]]], dtype=np.int64)
+        execute_schedule(sched, state)
+        assert state[1, 0, 0] == 5
+
+
+class TestVerifyAllreduce:
+    def test_accepts_correct_schedule(self):
+        sched = Schedule(num_nodes=2, num_chunks=1)
+        sched.add_step([
+            Transfer(0, 1, full(), TransferOp.REDUCE),
+            Transfer(1, 0, full(), TransferOp.REDUCE)])
+        verify_allreduce(sched)
+
+    def test_rejects_incomplete_schedule(self):
+        # One-way reduce: node 0 never receives node 1's data.
+        sched = Schedule(num_nodes=2, num_chunks=1)
+        sched.add_step([Transfer(1, 0, full(), TransferOp.REDUCE)])
+        with pytest.raises(VerificationError):
+            verify_allreduce(sched)
+
+    def test_rejects_double_count(self):
+        # Node 1's value reaches node 0 twice across two steps.
+        sched = Schedule(num_nodes=2, num_chunks=1)
+        sched.add_step([Transfer(1, 0, full(), TransferOp.REDUCE),
+                        Transfer(0, 1, full(), TransferOp.REDUCE)])
+        sched.add_step([Transfer(1, 0, full(), TransferOp.REDUCE)])
+        with pytest.raises(VerificationError):
+            verify_allreduce(sched)
+
+    def test_rejects_bad_elements_param(self):
+        sched = Schedule(num_nodes=2, num_chunks=1)
+        with pytest.raises(VerificationError):
+            verify_allreduce(sched, elements_per_chunk=0)
+
+    def test_seed_determinism(self):
+        sched = Schedule(num_nodes=2, num_chunks=1)
+        rng = np.random.default_rng(7)
+        s1 = initial_state(sched, 4, np.random.default_rng(7))
+        s2 = initial_state(sched, 4, rng)
+        assert np.array_equal(s1, s2)
+
+
+class TestVerifyReduceToRoots:
+    def test_reduce_stage_only(self):
+        sched = Schedule(num_nodes=3, num_chunks=1)
+        sched.add_step([Transfer(0, 1, full(), TransferOp.REDUCE),
+                        Transfer(2, 1, full(), TransferOp.REDUCE)])
+        verify_reduce_to_roots(sched, roots=[1])
+        with pytest.raises(VerificationError):
+            verify_reduce_to_roots(sched, roots=[0])
