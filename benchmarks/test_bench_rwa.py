@@ -70,3 +70,32 @@ def test_rwa_assignment_speed(benchmark, policy):
 
     result = benchmark(run)
     assert result.spectrum_span >= result.max_link_load
+
+
+@pytest.mark.parametrize("cache", [False, True],
+                         ids=["cache-off", "cache-on"])
+def test_rwa_step_execution_speed(benchmark, cache):
+    """Substrate-level counterpart: the memoized RWA hot path.
+
+    Executes a schedule whose single step is the p=16 all-to-all on a
+    96-node ring; with the cache on, every execution after the first
+    reuses the memoized assignment (the planner/sweep access pattern).
+    """
+    from repro.collectives.schedule import (Schedule, Transfer,
+                                            TransferOp)
+    from repro.config import Workload
+    from repro.core.substrates import OpticalRingSubstrate
+
+    n = 96
+    nodes = [i * (n // 16) for i in range(16)]
+    sched = Schedule(num_nodes=n, num_chunks=1, name="bench-alltoall")
+    sched.add_step(Transfer(src=a, dst=b, chunks=(0,),
+                            op=TransferOp.REDUCE)
+                   for a in nodes for b in nodes if a != b)
+    sub = OpticalRingSubstrate(
+        OpticalRingSystem(num_nodes=n, num_wavelengths=256), cache=cache)
+    wl = Workload(data_bytes=1e6)
+    sub.execute(sched, wl)  # warm the network (and cache, when on)
+
+    report = benchmark(sub.execute, sched, wl)
+    assert report.total_time > 0

@@ -1,35 +1,60 @@
 """Wrht: efficient all-reduce for optical interconnects (PPoPP'23 repro).
 
-Public API highlights
----------------------
-* :class:`repro.config.OpticalRingSystem`, :class:`repro.config.ElectricalSystem`,
-  :class:`repro.config.Workload` — system & workload descriptions;
-* :func:`repro.core.planner.plan_wrht` — choose the optimal Wrht group size;
-* :mod:`repro.collectives` — schedule generators (Wrht + baselines);
-* :func:`repro.core.executor.execute_on_optical_ring` /
-  :func:`repro.core.executor.execute_on_electrical` — simulate a schedule;
-* :func:`repro.core.comparison.compare_algorithms` — the Fig. 2 driver;
-* :mod:`repro.models` — DNN parameter catalogs (AlexNet, VGG16, ResNet50,
-  GoogLeNet).
+Architecture
+------------
+The library is layered so that "what to run", "where to run it" and
+"how fast it was" stay independent:
 
-See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
+* **Configs** (:mod:`repro.config`) — frozen, validated system and
+  workload descriptions: :class:`~repro.config.OpticalRingSystem`,
+  :class:`~repro.config.ElectricalSystem`,
+  :class:`~repro.config.OpticalTorusSystem`,
+  :class:`~repro.config.Workload`;
+* **Schedules** (:mod:`repro.collectives`) — generators emitting the
+  synchronous-step :class:`~repro.collectives.schedule.Schedule` IR
+  (Wrht + every baseline), with semantic verification;
+* **Substrates** (:mod:`repro.core.substrates`) — pluggable execution
+  engines behind a string-keyed registry:
+  ``get_substrate("optical-ring")`` resolves a
+  :class:`~repro.core.substrates.Substrate` that executes any schedule
+  and reports per-step timings.  Built-ins: the conflict-exact WDM ring
+  (with an RWA memoization cache), two electrical fluid models, and a
+  2-D optical torus; third-party fabrics plug in via
+  :func:`~repro.core.substrates.register_substrate`.  The historical
+  function API (:func:`repro.core.executor.execute_on_optical_ring` /
+  ``execute_on_electrical``) remains as thin wrappers;
+* **Planning & analysis** (:mod:`repro.core`, :mod:`repro.analysis`) —
+  :func:`~repro.core.planner.plan_wrht` picks the group size
+  (analytically or by simulating candidates on a substrate),
+  :func:`~repro.core.comparison.compare_algorithms` drives the figures,
+  and the sweep/parallel modules fan experiments over substrates and
+  worker processes;
+* **Front ends** — :func:`~repro.core.allreduce_api.allreduce` and
+  :class:`~repro.core.communicator.Communicator` reduce real numpy
+  arrays while reporting modelled time; ``python -m repro`` exposes the
+  figures, sweeps and planner on the command line.
+
+See ``DESIGN.md`` for details and ``EXPERIMENTS.md`` for the
 paper-vs-measured record.
 """
 
-from .config import (ElectricalSystem, OpticalRingSystem, Workload,
-                     default_electrical, default_optical)
+from .config import (ElectricalSystem, OpticalRingSystem,
+                     OpticalTorusSystem, Workload, default_electrical,
+                     default_optical, default_torus)
 from .errors import (ConfigurationError, PlanningError, ReproError,
                      ScheduleError, SimulationError, TopologyError,
                      VerificationError, WavelengthAllocationError)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "OpticalRingSystem",
     "ElectricalSystem",
+    "OpticalTorusSystem",
     "Workload",
     "default_optical",
     "default_electrical",
+    "default_torus",
     "ReproError",
     "ConfigurationError",
     "TopologyError",
@@ -52,4 +77,8 @@ def __getattr__(name):  # lazy imports keep `import repro` light
     if name == "allreduce":
         from .core.allreduce_api import allreduce
         return allreduce
+    if name in ("Substrate", "get_substrate", "register_substrate",
+                "available_substrates"):
+        from .core import substrates
+        return getattr(substrates, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -7,15 +7,20 @@ the classic HPC recipe of parallelising at the outermost independent
 loop rather than inside the numerics.
 
 Everything submitted must be picklable, so the public entry points take
-plain data (model names, scales) and rebuild systems inside the worker.
+plain data (model names, scales, substrate names) and rebuild systems
+inside the worker.  Workers resolve substrates through
+:func:`repro.core.substrates.pooled_substrate`, so each process keeps
+one warm substrate instance per (system, policy) — one network object,
+one RWA cache — instead of rebuilding ``OpticalRingNetwork`` per cell.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.comparison import ALGORITHMS
 from ..models.catalog import paper_workload
 from .figure2 import Figure2Panel, PAPER_MODELS, PAPER_SCALES
 
@@ -26,26 +31,33 @@ def _default_workers(requested: Optional[int]) -> int:
     return max(1, min(os.cpu_count() or 1, 8))
 
 
-def _fig2_cell(args: Tuple[str, int]) -> Tuple[str, int, Dict[str, float]]:
+def _fig2_cell(args: Tuple[str, int, Tuple[str, ...], str]
+               ) -> Tuple[str, int, Dict[str, float]]:
     """One (model, scale) cell — executed inside a worker process."""
-    from ..core.comparison import ALGORITHMS, compare_algorithms
+    from ..core.comparison import compare_algorithms
 
-    model, n = args
-    comp = compare_algorithms(n, paper_workload(model))
-    return model, n, {a: comp.time(a) for a in ALGORITHMS}
+    model, n, algorithms, fidelity = args
+    comp = compare_algorithms(n, paper_workload(model),
+                              algorithms=algorithms, fidelity=fidelity)
+    return model, n, {a: comp.time(a) for a in algorithms}
 
 
 def figure2_parallel(models: Sequence[str] = PAPER_MODELS,
                      scales: Sequence[int] = PAPER_SCALES,
                      max_workers: Optional[int] = None,
+                     algorithms: Sequence[str] = ALGORITHMS,
+                     fidelity: str = "analytic",
                      ) -> Dict[str, Figure2Panel]:
     """The Fig. 2 grid computed with one process per cell.
 
     Produces the same panels as :func:`repro.analysis.figure2.figure2`
     (asserted by the test suite) with wall-clock divided by the worker
-    count.
+    count.  The panel series are keyed by the *requested* ``algorithms``
+    — never inferred from one cell's results, so a filtered or failed
+    algorithm at one scale cannot skew every panel.
     """
-    cells = [(m, n) for m in models for n in scales]
+    algos = tuple(algorithms)
+    cells = [(m, n, algos, fidelity) for m in models for n in scales]
     workers = _default_workers(max_workers)
     results: Dict[Tuple[str, int], Dict[str, float]] = {}
     if workers == 1:
@@ -59,7 +71,6 @@ def figure2_parallel(models: Sequence[str] = PAPER_MODELS,
 
     panels: Dict[str, Figure2Panel] = {}
     for model in models:
-        algos = list(results[(model, scales[0])])
         panel = Figure2Panel(model=model, scales=tuple(scales),
                              times={a: [] for a in algos})
         for n in scales:
@@ -97,3 +108,51 @@ def plan_grid_parallel(node_counts: Sequence[int],
         return [_plan_cell(c) for c in cells]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(_plan_cell, cells))
+
+
+def _substrate_cell(args: Tuple[str, int, Tuple[float, ...]]
+                    ) -> Tuple[str, int, List[float]]:
+    """One (substrate, scale) cell: all payloads in one batch.
+
+    The worker holds one pooled substrate per name and submits the
+    whole payload column through ``execute_many``, so the network is
+    built once and (on the optical ring) the RWA cache is shared across
+    payloads — assignments do not depend on transfer sizes.
+    """
+    from ..collectives.ring_allreduce import generate_ring_allreduce
+    from ..config import Workload
+    from ..core.substrates import pooled_substrate
+
+    name, n, payloads = args
+    sub = pooled_substrate(name)
+    sched = generate_ring_allreduce(n)
+    reports = sub.execute_many(
+        (sched, Workload(data_bytes=p, name="grid")) for p in payloads)
+    return name, n, [r.total_time for r in reports]
+
+
+def substrate_grid_parallel(substrates: Sequence[str],
+                            node_counts: Sequence[int],
+                            payload_bytes: Sequence[float],
+                            max_workers: Optional[int] = None,
+                            ) -> List[Tuple[str, int, float, float]]:
+    """Simulated ring all-reduce across substrates, scales and payloads.
+
+    Fans (substrate, scale) cells over worker processes; each cell
+    batch-executes every payload on one warm substrate instance.
+    Returns rows ``(substrate, num_nodes, payload_bytes, total_time)``
+    in grid order — the capacity-planning counterpart of
+    :func:`plan_grid_parallel` for full-fidelity execution.
+    """
+    payloads = tuple(float(p) for p in payload_bytes)
+    cells = [(s, n, payloads) for s in substrates for n in node_counts]
+    workers = _default_workers(max_workers)
+    if workers == 1:
+        batches = [_substrate_cell(c) for c in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            batches = list(pool.map(_substrate_cell, cells))
+    rows: List[Tuple[str, int, float, float]] = []
+    for name, n, times in batches:
+        rows.extend((name, n, p, t) for p, t in zip(payloads, times))
+    return rows

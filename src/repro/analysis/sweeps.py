@@ -6,7 +6,10 @@
   starts beating each baseline;
 * :func:`striping_sweep` — EXT-A3: isolates the WDM striping advantage
   by costing the same Wrht schedule with striping on and off, plus the
-  striped-ring thought experiment.
+  striped-ring thought experiment;
+* :func:`substrate_sweep` — EXT-S1: one pinned ring all-reduce executed
+  on every registered substrate (dispatched through the registry, so
+  third-party substrates show up automatically).
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ from ..config import OpticalRingSystem, Workload, default_optical
 from ..core import cost_model
 from ..core.comparison import compare_algorithms
 from ..core.planner import plan_wrht
+from ..core.substrates import available_substrates, get_substrate
+from ..errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -56,8 +61,13 @@ class CrossoverRow:
     times: Dict[str, float]
 
     def winner(self) -> str:
-        """Fastest algorithm at this payload."""
-        return min(self.times, key=self.times.get)
+        """Fastest algorithm at this payload.
+
+        Ties break alphabetically (not by dict insertion order), so the
+        answer is stable across callers that assemble ``times`` in
+        different orders.
+        """
+        return min(sorted(self.times), key=self.times.get)
 
 
 def crossover_sweep(num_nodes: int,
@@ -154,4 +164,47 @@ def striping_sweep(num_nodes: int, workload: Workload,
         cost_model.ring_allreduce_time_optical(
             base, workload, striping=num_wavelengths),
         2 * (num_nodes - 1)))
+    return rows
+
+
+@dataclass(frozen=True)
+class SubstrateRow:
+    """EXT-S1: one substrate's execution of the pinned schedule."""
+
+    substrate: str
+    time: float
+    steps: int
+    kind: str
+    note: str = ""
+
+
+def substrate_sweep(num_nodes: int, workload: Workload,
+                    substrates: Optional[Sequence[str]] = None,
+                    ) -> List[SubstrateRow]:
+    """Execute one ring all-reduce on every registered substrate.
+
+    The apples-to-apples fabric comparison the registry enables: the
+    *same* schedule, each substrate's own default system at
+    ``num_nodes``.  Substrates that cannot host the schedule (e.g. the
+    torus with a prime node count) are reported with an empty time and
+    the configuration error as ``note`` rather than aborting the sweep.
+    """
+    from ..collectives.ring_allreduce import generate_ring_allreduce
+
+    names = (tuple(substrates) if substrates is not None
+             else available_substrates())
+    sched = generate_ring_allreduce(num_nodes)
+    rows: List[SubstrateRow] = []
+    for name in names:
+        sub = get_substrate(name)
+        info = sub.describe()
+        try:
+            rep = sub.execute(sched, workload)
+        except ConfigurationError as exc:
+            rows.append(SubstrateRow(substrate=name, time=float("nan"),
+                                     steps=0, kind=info.kind,
+                                     note=str(exc)))
+            continue
+        rows.append(SubstrateRow(substrate=name, time=rep.total_time,
+                                 steps=rep.num_steps, kind=info.kind))
     return rows

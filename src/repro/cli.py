@@ -5,8 +5,11 @@ Commands
 * ``fig2``     — regenerate Figure 2 (all panels or one model);
 * ``headline`` — the 75.76% / 91.86% aggregates, paper vs measured;
 * ``tables``   — §2 step-count and wavelength-requirement tables;
-* ``plan``     — plan Wrht for a given system and show the schedule;
-* ``sweep``    — ablation sweeps (wavelengths / payload / striping).
+* ``plan``     — plan Wrht for a given system and show the schedule
+  (``--substrate`` additionally executes the plan on any registered
+  substrate);
+* ``sweep``    — ablation sweeps (wavelengths / payload / striping /
+  substrates).
 """
 
 from __future__ import annotations
@@ -24,10 +27,12 @@ from .analysis import (figure2, headline_reductions, panels_to_csv,
 from .analysis.ascii_plot import simple_table
 from .analysis.figure2 import PAPER_MODELS, PAPER_SCALES
 from .analysis.sweeps import (crossover_sweep, striping_sweep,
-                              wavelength_sweep)
+                              substrate_sweep, wavelength_sweep)
 from .collectives.analysis import describe_schedule
 from .config import Workload, default_optical
 from .core.planner import plan_wrht
+from .core.substrates import available_substrates, get_substrate
+from .errors import ConfigurationError
 from .models.catalog import paper_workload
 
 
@@ -71,6 +76,21 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     print(f"  steps              : {plan.num_steps}")
     print(f"  all-to-all shortcut: {plan.info.used_alltoall}")
     print(f"  predicted time     : {units.fmt_time(plan.predicted_time)}")
+    if args.substrate:
+        # Dispatch through the registry; only the optical ring takes the
+        # configured system, other fabrics derive their own default.
+        sub = get_substrate(args.substrate,
+                            system=system if args.substrate == "optical-ring"
+                            else None)
+        try:
+            rep = sub.execute(plan.schedule, wl)
+        except ConfigurationError as exc:
+            print(f"  cannot simulate on {args.substrate}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"  simulated on {rep.substrate:<7}: "
+              f"{units.fmt_time(rep.total_time)} "
+              f"({rep.num_steps} steps)")
     if args.show_schedule:
         from .topology.ring import RingTopology
         ring = RingTopology(args.nodes, capacity=1.0)
@@ -117,6 +137,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
              for r in rows],
             title=f"EXT-A3 striping ablation (N={args.nodes}, "
                   f"{wl.name})"))
+    elif args.kind == "substrates":
+        rows = substrate_sweep(args.nodes, wl)
+        print(simple_table(
+            ["substrate", "kind", "time", "steps", "note"],
+            [(r.substrate, r.kind,
+              "-" if r.time != r.time else units.fmt_time(r.time),
+              r.steps, r.note) for r in rows],
+            title=f"EXT-S1 substrate comparison (N={args.nodes}, "
+                  f"{wl.name}, ring all-reduce)"))
     return 0
 
 
@@ -148,10 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--model", choices=PAPER_MODELS)
     pl.add_argument("--bytes", type=float, default=100 * units.MB)
     pl.add_argument("--show-schedule", action="store_true")
+    pl.add_argument("--substrate", choices=available_substrates(),
+                    help="also execute the plan on this substrate")
     pl.set_defaults(func=_cmd_plan)
 
     sw = sub.add_parser("sweep", help="ablation sweeps")
-    sw.add_argument("kind", choices=("wavelengths", "payload", "striping"))
+    sw.add_argument("kind", choices=("wavelengths", "payload", "striping",
+                                     "substrates"))
     sw.add_argument("--nodes", type=int, default=256)
     sw.add_argument("--model", choices=PAPER_MODELS)
     sw.add_argument("--bytes", type=float, default=100 * units.MB)

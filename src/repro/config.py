@@ -160,6 +160,80 @@ class ElectricalSystem:
 
 
 @dataclass(frozen=True)
+class OpticalTorusSystem:
+    """A 2-D optical torus interconnect (extension substrate).
+
+    Each node sits at a ``rows x cols`` grid point with unidirectional
+    +X/-X/+Y/-Y waveguide links to its four neighbours; a link bundles
+    ``num_wavelengths`` WDM channels of ``wavelength_rate`` bytes/s each,
+    modelled in aggregate (fluid max-min sharing) rather than with
+    per-channel RWA.  Per-step overheads mirror the optical ring: MRR
+    tuning plus a fixed synchronisation cost.
+
+    ``rows``/``cols`` may be left ``None`` to derive the most-square
+    factorisation of ``num_nodes`` (row-major rank layout).
+    """
+
+    num_nodes: int
+    rows: int | None = None
+    cols: int | None = None
+    num_wavelengths: int = 64
+    wavelength_rate: float = 25 * units.GBPS
+    tuning_time: float = 25 * units.USEC
+    step_overhead: float = 1 * units.USEC
+    node_spacing: float = 0.5 * units.METER
+    propagation_delay_per_meter: float = units.PROPAGATION_DELAY_PER_METER
+
+    def __post_init__(self) -> None:
+        _require(self.num_nodes >= 4,
+                 f"a torus needs >=4 nodes, got {self.num_nodes}")
+        _require(self.num_wavelengths >= 1,
+                 f"need >=1 wavelength, got {self.num_wavelengths}")
+        _require(self.wavelength_rate > 0, "wavelength_rate must be > 0")
+        _require(self.tuning_time >= 0, "tuning_time must be >= 0")
+        _require(self.step_overhead >= 0, "step_overhead must be >= 0")
+        _require(self.node_spacing >= 0, "node_spacing must be >= 0")
+        _require(self.propagation_delay_per_meter >= 0,
+                 "propagation_delay_per_meter must be >= 0")
+        rows, cols = self.grid_shape
+        _require(rows >= 2 and cols >= 2 and rows * cols == self.num_nodes,
+                 f"cannot arrange {self.num_nodes} nodes as a "
+                 f"{rows}x{cols} torus (need a composite node count with "
+                 f"both factors >= 2)")
+
+    @property
+    def grid_shape(self) -> tuple:
+        """``(rows, cols)``, deriving the most-square split if unset."""
+        if self.rows is not None or self.cols is not None:
+            rows = self.rows if self.rows is not None \
+                else self.num_nodes // (self.cols or 1)
+            cols = self.cols if self.cols is not None \
+                else self.num_nodes // rows
+            return rows, cols
+        best = None
+        r = 2
+        while r * r <= self.num_nodes:
+            if self.num_nodes % r == 0:
+                best = (r, self.num_nodes // r)
+            r += 1
+        return best if best is not None else (1, self.num_nodes)
+
+    @property
+    def link_rate(self) -> float:
+        """Aggregate bytes/s of one torus link (all wavelengths)."""
+        return self.num_wavelengths * self.wavelength_rate
+
+    @property
+    def hop_propagation_delay(self) -> float:
+        """Propagation delay of one torus hop, in seconds."""
+        return self.node_spacing * self.propagation_delay_per_meter
+
+    def with_(self, **changes) -> "OpticalTorusSystem":
+        """Return a copy with ``changes`` applied (sweep helper)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class Workload:
     """An all-reduce workload: a payload of ``data_bytes`` across all nodes.
 
@@ -199,3 +273,8 @@ def default_optical(num_nodes: int, **overrides) -> OpticalRingSystem:
 def default_electrical(num_nodes: int, **overrides) -> ElectricalSystem:
     """The paper's electrical system at ``num_nodes``."""
     return ElectricalSystem(num_nodes=num_nodes, **overrides)
+
+
+def default_torus(num_nodes: int, **overrides) -> OpticalTorusSystem:
+    """An optical torus at ``num_nodes`` with TeraRack-style channels."""
+    return OpticalTorusSystem(num_nodes=num_nodes, **overrides)

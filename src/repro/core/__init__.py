@@ -1,26 +1,36 @@
-"""Core layer: cost models, the Wrht planner, executors, comparison suite.
+"""Core layer: cost models, planner, substrates, comparison suite.
 
 * :mod:`~repro.core.cost_model` — closed-form α–β–WDM communication-time
   models for every algorithm (fast; used by the planner and the Fig. 2
   harness, cross-validated against full simulation in the tests);
-* :mod:`~repro.core.executor` — full-fidelity execution of any schedule
-  on the optical ring (real per-step RWA) or the electrical fluid
-  simulator;
+* :mod:`~repro.core.substrates` — the pluggable execution engines: a
+  string-keyed registry of :class:`~repro.core.substrates.Substrate`
+  implementations (WDM ring with memoized RWA, electrical fluid models,
+  2-D optical torus) that keep network state warm across calls;
+* :mod:`~repro.core.executor` — the original function API, now thin
+  wrappers over the substrates (kept for backward compatibility);
 * :mod:`~repro.core.planner` — chooses Wrht's group size ``m`` and
-  all-to-all variant for a given system + payload;
+  all-to-all variant for a given system + payload (analytically or by
+  simulating candidates on a substrate);
 * :mod:`~repro.core.comparison` — the "all four algorithms on one
-  workload" driver behind every figure;
+  workload" driver behind every figure, plus the torus extension
+  scenario;
 * :mod:`~repro.core.allreduce_api` — a numerical all-reduce front end
   that really reduces user arrays while reporting modelled time.
 """
 
-from .comparison import AlgorithmResult, ComparisonResult, compare_algorithms
+from .comparison import (ALGORITHMS, EXTENDED_ALGORITHMS, AlgorithmResult,
+                         ComparisonResult, compare_algorithms)
 from .cost_model import (ering_time, oring_time, rd_time,
                          ring_allreduce_time_optical, wrht_time,
                          wrht_time_from_schedule)
 from .executor import (ExecutionReport, StepReport, execute_on_electrical,
                        execute_on_optical_ring)
 from .planner import WrhtPlan, plan_wrht
+from .substrates import (ElectricalSubstrate, OpticalRingSubstrate,
+                         OpticalTorusSubstrate, Substrate, SubstrateInfo,
+                         available_substrates, get_substrate,
+                         pooled_substrate, register_substrate)
 
 __all__ = [
     "ering_time",
@@ -35,7 +45,18 @@ __all__ = [
     "execute_on_electrical",
     "WrhtPlan",
     "plan_wrht",
+    "ALGORITHMS",
+    "EXTENDED_ALGORITHMS",
     "AlgorithmResult",
     "ComparisonResult",
     "compare_algorithms",
+    "Substrate",
+    "SubstrateInfo",
+    "OpticalRingSubstrate",
+    "ElectricalSubstrate",
+    "OpticalTorusSubstrate",
+    "get_substrate",
+    "pooled_substrate",
+    "register_substrate",
+    "available_substrates",
 ]

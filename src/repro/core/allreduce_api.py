@@ -20,9 +20,8 @@ from ..collectives.schedule import Schedule, TransferOp
 from ..config import (ElectricalSystem, OpticalRingSystem, Workload,
                       default_electrical, default_optical)
 from ..errors import ConfigurationError
-from .executor import ExecutionReport, execute_on_electrical, \
-    execute_on_optical_ring
 from .planner import plan_wrht
+from .substrates import ExecutionReport, Substrate, get_substrate
 
 
 @dataclass
@@ -58,13 +57,17 @@ def allreduce(arrays: Sequence[np.ndarray],
               algorithm: str = "wrht",
               optical: Optional[OpticalRingSystem] = None,
               electrical: Optional[ElectricalSystem] = None,
+              substrate: Optional[Substrate] = None,
               ) -> AllreduceOutcome:
     """All-reduce ``arrays`` (one per rank) and model the communication.
 
     Every returned array equals ``sum(arrays)`` (float64); ``report``
     carries the per-step timing on the modelled substrate.
 
-    ``algorithm`` ∈ {"wrht", "o-ring", "e-ring", "rd"}.
+    ``algorithm`` ∈ {"wrht", "o-ring", "e-ring", "rd", "o-torus"}.
+    Substrates are resolved through the registry
+    (:func:`repro.core.substrates.get_substrate`); pass ``substrate``
+    to reuse a warm instance (e.g. a :class:`Communicator`'s) instead.
     """
     if not arrays:
         raise ConfigurationError("need at least one rank's array")
@@ -85,22 +88,36 @@ def allreduce(arrays: Sequence[np.ndarray],
         opt = optical if optical is not None else default_optical(n)
         plan = plan_wrht(opt, workload)
         schedule = plan.schedule
-        report = execute_on_optical_ring(schedule, opt, workload)
+        sub = substrate if substrate is not None \
+            else get_substrate("optical-ring", opt)
+        report = sub.execute(schedule, workload)
     elif algorithm == "o-ring":
         opt = optical if optical is not None else default_optical(n)
         schedule = generate_ring_allreduce(n)
-        report = execute_on_optical_ring(schedule, opt, workload,
-                                         striping="off")
+        sub = substrate if substrate is not None \
+            else get_substrate("optical-ring", opt)
+        report = sub.execute(schedule, workload, striping="off")
     elif algorithm == "e-ring":
         ele = (electrical if electrical is not None
                else default_electrical(n)).with_(topology="ring")
         schedule = generate_ring_allreduce(n)
-        report = execute_on_electrical(schedule, ele, workload)
+        sub = substrate if substrate is not None \
+            else get_substrate("electrical-ring", ele)
+        report = sub.execute(schedule, workload)
     elif algorithm == "rd":
         ele = (electrical if electrical is not None
                else default_electrical(n))
         schedule = generate_recursive_doubling(n)
-        report = execute_on_electrical(schedule, ele, workload)
+        # Dispatch on the system's own topology — a user-supplied ring
+        # system keeps meaning "RD on the ring", as before the registry.
+        sub = substrate if substrate is not None \
+            else get_substrate(f"electrical-{ele.topology}", ele)
+        report = sub.execute(schedule, workload)
+    elif algorithm == "o-torus":
+        schedule = generate_ring_allreduce(n)
+        sub = substrate if substrate is not None \
+            else get_substrate("optical-torus")
+        report = sub.execute(schedule, workload)
     else:
         raise ConfigurationError(f"unknown algorithm {algorithm!r}")
 

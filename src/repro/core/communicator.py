@@ -24,7 +24,7 @@ from ..config import (ElectricalSystem, OpticalRingSystem, Workload,
                       default_electrical, default_optical)
 from ..errors import ConfigurationError
 from .allreduce_api import AllreduceOutcome, _execute_numeric, allreduce
-from .executor import ExecutionReport, execute_on_optical_ring
+from .substrates import ExecutionReport, OpticalRingSubstrate
 
 
 @dataclass
@@ -89,6 +89,9 @@ class Communicator:
             else default_electrical(size)
         if self.optical.num_nodes != size:
             raise ConfigurationError("optical system size mismatch")
+        # One substrate for the communicator's lifetime: the optical
+        # network and RWA cache stay warm across repeated collectives.
+        self._optical_substrate = OpticalRingSubstrate(self.optical)
 
     # -- collectives -------------------------------------------------------
 
@@ -96,8 +99,10 @@ class Communicator:
                   algorithm: str = "wrht") -> AllreduceOutcome:
         """Element-wise sum on every rank (see :func:`allreduce`)."""
         self._check(arrays)
+        sub = (self._optical_substrate
+               if algorithm in ("wrht", "o-ring") else None)
         return allreduce(arrays, algorithm=algorithm, optical=self.optical,
-                         electrical=self.electrical)
+                         electrical=self.electrical, substrate=sub)
 
     def reduce(self, arrays: Sequence[np.ndarray],
                root: int = 0) -> CollectiveOutcome:
@@ -149,7 +154,7 @@ class Communicator:
         nbytes = int(np.asarray(arrays[0]).astype(np.float64).nbytes)
         wl = Workload(data_bytes=max(nbytes, 1), name=sched.name,
                       dtype_bytes=8)
-        return execute_on_optical_ring(sched, self.optical, wl)
+        return self._optical_substrate.execute(sched, wl)
 
     def _check(self, arrays: Sequence[np.ndarray]) -> None:
         if len(arrays) != self.size:

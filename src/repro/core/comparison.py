@@ -8,12 +8,21 @@
 * ``"rd"``     — recursive doubling on the electrical network;
 * ``"o-ring"`` — ring all-reduce on the optical ring, one wavelength per
   transfer;
-* ``"wrht"``   — the planned Wrht schedule on the optical ring.
+* ``"wrht"``   — the planned Wrht schedule on the optical ring;
+
+plus one extension scenario enabled by the substrate registry:
+
+* ``"o-torus"`` — ring all-reduce on a 2-D WDM torus (simulation-only:
+  it has no closed-form model yet, so both fidelities execute on the
+  substrate).  Not in the default ``ALGORITHMS`` (the figures stay the
+  paper's four); request it via ``algorithms=EXTENDED_ALGORITHMS``.
 
 ``fidelity="analytic"`` uses the closed-form cost models (default — the
 tests pin them to simulation); ``fidelity="simulate"`` generates and
 executes every schedule on the full substrates (slow at large N: a ring
-schedule has 2(N−1) steps).
+schedule has 2(N−1) steps).  Simulation dispatches through
+:func:`repro.core.substrates.pooled_substrate`, so repeated comparisons
+on one system share a warm network and RWA cache.
 """
 
 from __future__ import annotations
@@ -29,10 +38,12 @@ from ..config import (ElectricalSystem, OpticalRingSystem, Workload,
                       default_electrical, default_optical)
 from ..errors import ConfigurationError
 from . import cost_model
-from .executor import execute_on_electrical, execute_on_optical_ring
 from .planner import WrhtPlan, plan_wrht
+from .substrates import pooled_substrate
 
 ALGORITHMS: Tuple[str, ...] = ("e-ring", "rd", "o-ring", "wrht")
+#: The paper's four plus the torus extension scenario.
+EXTENDED_ALGORITHMS: Tuple[str, ...] = ALGORITHMS + ("o-torus",)
 
 
 @dataclass(frozen=True)
@@ -106,16 +117,19 @@ def _evaluate(algo: str, n: int, workload: Workload,
     if algo == "e-ring":
         ering = ele.with_(topology="ring")
         if fidelity == "simulate":
-            rep = execute_on_electrical(generate_ring_allreduce(n), ering,
-                                        workload)
+            rep = pooled_substrate("electrical-ring", ering).execute(
+                generate_ring_allreduce(n), workload)
             return AlgorithmResult(algo, rep.total_time, rep.num_steps,
                                    rep.substrate)
         return AlgorithmResult(algo, cost_model.ering_time(ering, workload),
                                ring_step_count(n), "electrical-ring")
     if algo == "rd":
         if fidelity == "simulate":
-            rep = execute_on_electrical(generate_recursive_doubling(n), ele,
-                                        workload)
+            # Dispatch on the system's own topology (a caller may study
+            # RD on a ring fabric) — matches the pre-registry executor.
+            rep = pooled_substrate(f"electrical-{ele.topology}",
+                                   ele).execute(
+                generate_recursive_doubling(n), workload)
             return AlgorithmResult(algo, rep.total_time, rep.num_steps,
                                    rep.substrate)
         return AlgorithmResult(algo, cost_model.rd_time(ele, workload),
@@ -123,8 +137,8 @@ def _evaluate(algo: str, n: int, workload: Workload,
                                "electrical-switch")
     if algo == "o-ring":
         if fidelity == "simulate":
-            rep = execute_on_optical_ring(generate_ring_allreduce(n), opt,
-                                          workload, striping="off")
+            rep = pooled_substrate("optical-ring", opt).execute(
+                generate_ring_allreduce(n), workload, striping="off")
             return AlgorithmResult(algo, rep.total_time, rep.num_steps,
                                    rep.substrate)
         return AlgorithmResult(algo, cost_model.oring_time(opt, workload),
@@ -134,9 +148,17 @@ def _evaluate(algo: str, n: int, workload: Workload,
         detail = {"group_size": plan.group_size, "variant": plan.variant,
                   "used_alltoall": plan.info.used_alltoall}
         if fidelity == "simulate":
-            rep = execute_on_optical_ring(plan.schedule, opt, workload)
+            rep = pooled_substrate("optical-ring", opt).execute(
+                plan.schedule, workload)
             return AlgorithmResult(algo, rep.total_time, rep.num_steps,
                                    rep.substrate, detail)
         return AlgorithmResult(algo, plan.predicted_time, plan.num_steps,
                                "optical-ring", detail)
+    if algo == "o-torus":
+        # Simulation-only scenario: the torus has no closed form yet,
+        # so the analytic fidelity also executes on the substrate.
+        rep = pooled_substrate("optical-torus").execute(
+            generate_ring_allreduce(n), workload)
+        return AlgorithmResult(algo, rep.total_time, rep.num_steps,
+                               rep.substrate)
     raise ConfigurationError(f"unknown algorithm {algo!r}")

@@ -1,95 +1,38 @@
-"""Schedule executors: run a collective schedule on a simulated substrate.
+"""Legacy executor entry points (thin wrappers over the substrates).
 
-Two substrates, one contract — take a :class:`Schedule`, return an
-:class:`ExecutionReport` with per-step and total communication time:
+Historically this module *was* the execution engine; the engine now
+lives in :mod:`repro.core.substrates` behind the
+:class:`~repro.core.substrates.base.Substrate` interface, where each
+fabric keeps its network objects and RWA cache alive across calls.
+These wrappers preserve the original function API — one call, one
+fresh substrate — and produce reports identical to the pre-refactor
+implementation (pinned by the parity tests):
 
-* :func:`execute_on_optical_ring` — each step performs *real* routing and
-  wavelength assignment on the ring (conflict-exact, raises if the step
-  is infeasible with the system's wavelength budget), charges MRR tuning
-  whenever a node's channel selection changes, propagation per hop, and
-  serialization at ``k × wavelength_rate`` for a striping factor ``k``
-  derived from the step's true segment congestion;
-
-* :func:`execute_on_electrical` — each step becomes a batch of fluid
-  flows on the electrical topology (switched star or point-to-point
-  ring) with max-min fair sharing; a per-step software latency is added
-  (the α of SimGrid's model).
+* :func:`execute_on_optical_ring` — conflict-exact WDM ring execution
+  (:class:`~repro.core.substrates.optical_ring.OpticalRingSubstrate`);
+* :func:`execute_on_electrical` — fluid-model execution on a switched
+  star or point-to-point ring
+  (:class:`~repro.core.substrates.electrical.ElectricalSubstrate`).
 
 Synchronous-step semantics: a step completes when its slowest transfer
-completes; the next step starts then.  This matches how both the paper's
-simulator and classical α–β analyses treat collectives.
+completes; the next step starts then.  This matches how both the
+paper's simulator and classical alpha-beta analyses treat collectives.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
-
-import math
-
-from ..collectives.primitives import transfer_bytes
 from ..collectives.schedule import Schedule
 from ..config import ElectricalSystem, OpticalRingSystem, Workload
-from ..errors import ConfigurationError, WavelengthAllocationError
-from ..optical.ring_network import OpticalRingNetwork
-from ..optical.rwa import (AssignmentPolicy, TransferRequest,
-                           assign_wavelengths, compute_striping_factor)
-from ..simulation.fluid import FluidNetworkSimulator
-from ..topology.ring import Direction, RingTopology
-from ..topology.switched import SwitchedStar
+from ..optical.rwa import AssignmentPolicy
+from .substrates import (ElectricalSubstrate, ExecutionReport,
+                         OpticalRingSubstrate, StepReport)
 
-
-@dataclass(frozen=True)
-class StepReport:
-    """Timing decomposition of one synchronous step."""
-
-    index: int
-    duration: float
-    serialization_time: float
-    propagation_time: float
-    tuning_time: float
-    overhead_time: float
-    num_transfers: int
-    striping: int = 1
-    wavelength_demand: int = 0
-    spectrum_span: int = 0
-
-
-@dataclass
-class ExecutionReport:
-    """Outcome of executing a schedule on a substrate."""
-
-    schedule_name: str
-    substrate: str
-    total_time: float = 0.0
-    steps: List[StepReport] = field(default_factory=list)
-
-    @property
-    def num_steps(self) -> int:
-        """Number of executed steps."""
-        return len(self.steps)
-
-    @property
-    def total_serialization(self) -> float:
-        """Sum of per-step serialization components."""
-        return sum(s.serialization_time for s in self.steps)
-
-    @property
-    def total_overhead(self) -> float:
-        """Everything that is not serialization."""
-        return self.total_time - self.total_serialization
-
-    def peak_wavelength_demand(self) -> int:
-        """Worst per-step wavelength demand (optical runs only)."""
-        return max((s.wavelength_demand for s in self.steps), default=0)
-
-
-def _hint_direction(hint: Optional[str]) -> Optional[Direction]:
-    if hint == "cw":
-        return Direction.CW
-    if hint == "ccw":
-        return Direction.CCW
-    return None
+__all__ = [
+    "ExecutionReport",
+    "StepReport",
+    "execute_on_optical_ring",
+    "execute_on_electrical",
+]
 
 
 def execute_on_optical_ring(
@@ -109,101 +52,9 @@ def execute_on_optical_ring(
     * ``"off"`` — one wavelength per flow (the O-Ring convention);
     * an ``int``  — fixed striping factor (ablations).
     """
-    if schedule.num_nodes > system.num_nodes:
-        raise ConfigurationError(
-            f"schedule spans {schedule.num_nodes} nodes; system has "
-            f"{system.num_nodes}")
-    net = OpticalRingNetwork(system)
-    ring = net.topology
-    report = ExecutionReport(schedule_name=schedule.name,
-                             substrate="optical-ring")
-    now = 0.0
-
-    for idx, step in enumerate(schedule.steps):
-        # -- route + decide striping -------------------------------------
-        base_requests = [
-            TransferRequest(
-                src=t.src, dst=t.dst,
-                size=transfer_bytes(t, workload.data_bytes,
-                                    schedule.num_chunks),
-                direction=_hint_direction(t.direction_hint))
-            for t in step]
-        if striping == "off" or not system.allow_striping:
-            k = 1
-        elif striping == "auto":
-            k = compute_striping_factor(base_requests, ring,
-                                        system.num_wavelengths)
-        else:
-            k = int(striping)
-            if k < 1:
-                raise ConfigurationError(f"striping factor {k} < 1")
-        # -- wavelength assignment (conflict-exact).  Longest arcs are
-        # placed first (the classic circular-arc colouring heuristic);
-        # even so First-Fit can occasionally need more than demand*k
-        # channels, so on failure fall back to thinner striping before
-        # giving up at k=1.
-        def arc_len(r: TransferRequest) -> int:
-            d = r.direction if r.direction is not None \
-                else ring.shortest_direction(r.src, r.dst)
-            return ring.distance(r.src, r.dst, d)
-
-        base_requests.sort(key=lambda r: (-arc_len(r), r.src, r.dst))
-        rwa = None
-        while True:
-            requests = [
-                TransferRequest(src=r.src, dst=r.dst, size=r.size,
-                                direction=r.direction, num_wavelengths=k)
-                for r in base_requests]
-            net.clear()
-            try:
-                rwa = assign_wavelengths(net, requests, policy)
-                break
-            except WavelengthAllocationError:
-                if k <= 1:
-                    raise
-                k -= 1
-
-        # -- retuning: each node's new channel selection ------------------
-        tx: Dict[int, Dict[str, Set[int]]] = {}
-        rx: Dict[int, Dict[str, Set[int]]] = {}
-        for req_idx, (direction, chans) in rwa.assignments.items():
-            req = requests[req_idx]
-            dkey = direction.value
-            tx.setdefault(req.src, {}).setdefault(dkey, set()).update(chans)
-            rx.setdefault(req.dst, {}).setdefault(dkey, set()).update(chans)
-        tuning = 0.0
-        for node in net.nodes:
-            tuning = max(tuning, node.retune_for_step(
-                tx.get(node.node_id, {}), rx.get(node.node_id, {})))
-
-        # -- timing: slowest transfer bounds the step ---------------------
-        serialization = 0.0
-        propagation = 0.0
-        slowest = 0.0
-        for req_idx, (direction, chans) in rwa.assignments.items():
-            req = requests[req_idx]
-            hops = ring.distance(req.src, req.dst, direction)
-            ser = req.size / (len(chans) * system.wavelength_rate)
-            prop = system.propagation_delay(hops)
-            if ser + prop > slowest:
-                slowest = ser + prop
-                serialization = ser
-                propagation = prop
-        duration = tuning + system.step_overhead + slowest
-        now += duration
-        report.steps.append(StepReport(
-            index=idx, duration=duration,
-            serialization_time=serialization,
-            propagation_time=propagation,
-            tuning_time=tuning,
-            overhead_time=system.step_overhead,
-            num_transfers=len(step),
-            striping=k,
-            wavelength_demand=rwa.max_link_load,
-            spectrum_span=rwa.spectrum_span))
-
-    report.total_time = now
-    return report
+    return OpticalRingSubstrate(system, policy=policy,
+                                striping=striping).execute(schedule,
+                                                           workload)
 
 
 def execute_on_electrical(
@@ -212,32 +63,4 @@ def execute_on_electrical(
     workload: Workload,
 ) -> ExecutionReport:
     """Execute ``schedule`` on the electrical substrate (fluid model)."""
-    if schedule.num_nodes > system.num_nodes:
-        raise ConfigurationError(
-            f"schedule spans {schedule.num_nodes} nodes; system has "
-            f"{system.num_nodes}")
-    if system.topology == "switch":
-        topo = SwitchedStar(system.num_nodes, system.effective_port_rate)
-    else:
-        topo = RingTopology(system.num_nodes, system.link_rate,
-                            bidirectional=True)
-    sim = FluidNetworkSimulator(topo)
-    report = ExecutionReport(schedule_name=schedule.name,
-                             substrate=f"electrical-{system.topology}")
-    now = 0.0
-    for idx, step in enumerate(schedule.steps):
-        pairs = [(t.src, t.dst,
-                  transfer_bytes(t, workload.data_bytes, schedule.num_chunks))
-                 for t in step]
-        makespan = sim.step_time(pairs)
-        duration = system.step_latency + makespan
-        now += duration
-        report.steps.append(StepReport(
-            index=idx, duration=duration,
-            serialization_time=makespan,
-            propagation_time=0.0,
-            tuning_time=0.0,
-            overhead_time=system.step_latency,
-            num_transfers=len(step)))
-    report.total_time = now
-    return report
+    return ElectricalSubstrate(system).execute(schedule, workload)

@@ -27,6 +27,7 @@ from ..collectives.wrht import WrhtParameters, WrhtScheduleInfo
 from ..config import OpticalRingSystem, Workload
 from ..errors import PlanningError
 from .cost_model import wrht_time
+from .substrates.optical_ring import OpticalRingSubstrate
 
 VARIANTS = ("paper", "last-level", "tree")
 
@@ -96,13 +97,26 @@ def default_group_sizes(num_nodes: int, num_wavelengths: int) -> List[int]:
 
 def plan_wrht(system: OpticalRingSystem, workload: Workload,
               group_sizes: Optional[Iterable[int]] = None,
-              variants: Tuple[str, ...] = VARIANTS) -> WrhtPlan:
+              variants: Tuple[str, ...] = VARIANTS,
+              fidelity: str = "analytic",
+              substrate: Optional[OpticalRingSubstrate] = None) -> WrhtPlan:
     """Pick the best Wrht configuration for ``system`` + ``workload``.
+
+    ``fidelity="analytic"`` (default) costs each candidate with the
+    closed-form model; ``fidelity="simulate"`` executes every candidate
+    schedule on an
+    :class:`~repro.core.substrates.optical_ring.OpticalRingSubstrate`
+    (pass ``substrate`` to reuse a warm one — the ``m x variant`` sweep
+    re-poses many identical per-step RWA subproblems, so its memoization
+    cache does most of the work).
 
     Ties break toward fewer steps, then smaller ``m`` (deterministic).
     Raises :class:`PlanningError` if nothing is feasible (cannot happen
     for ``w ≥ 1, N ≥ 2`` but guards misuse).
     """
+    if fidelity not in ("analytic", "simulate"):
+        raise PlanningError(
+            f"fidelity must be 'analytic' or 'simulate', got {fidelity!r}")
     if not system.bidirectional:
         raise PlanningError(
             "Wrht grouping requires a bidirectional ring (members on both "
@@ -111,13 +125,20 @@ def plan_wrht(system: OpticalRingSystem, workload: Workload,
     w = system.num_wavelengths
     candidates = (list(group_sizes) if group_sizes is not None
                   else default_group_sizes(n, w))
+    if fidelity == "simulate" and substrate is None:
+        substrate = OpticalRingSubstrate(system)
     best: Optional[WrhtPlan] = None
     for m in candidates:
         if m < 2 or m // 2 > w:
             continue
         for variant in variants:
             params = _variant_params(n, m, w, variant)
-            total, schedule, info = wrht_time(system, workload, params)
+            if fidelity == "simulate":
+                from ..collectives.wrht import generate_wrht
+                schedule, info = generate_wrht(params)
+                total = substrate.execute(schedule, workload).total_time
+            else:
+                total, schedule, info = wrht_time(system, workload, params)
             plan = WrhtPlan(params=params, variant=variant,
                             schedule=schedule, info=info,
                             predicted_time=total)

@@ -1,0 +1,142 @@
+"""Substrate interface: execute collective schedules, report timings.
+
+A *substrate* is a stateful interconnect model that can execute any
+:class:`~repro.collectives.schedule.Schedule` under synchronous-step
+semantics (a step completes when its slowest transfer completes; the
+next step starts then) and return an :class:`ExecutionReport`.
+
+Substrates keep their expensive simulation state (optical networks,
+fluid simulators, RWA caches) alive across calls, so drivers that
+execute many schedules on one system — the planner's candidate sweep,
+the ablation grids, the parallel workers — pay construction cost once.
+:meth:`Substrate.execute_many` is the batch entry point those drivers
+use.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ...collectives.schedule import Schedule
+from ...config import Workload
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """Timing decomposition of one synchronous step."""
+
+    index: int
+    duration: float
+    serialization_time: float
+    propagation_time: float
+    tuning_time: float
+    overhead_time: float
+    num_transfers: int
+    striping: int = 1
+    wavelength_demand: int = 0
+    spectrum_span: int = 0
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of executing a schedule on a substrate."""
+
+    schedule_name: str
+    substrate: str
+    total_time: float = 0.0
+    steps: List[StepReport] = field(default_factory=list)
+
+    @property
+    def num_steps(self) -> int:
+        """Number of executed steps."""
+        return len(self.steps)
+
+    @property
+    def total_serialization(self) -> float:
+        """Sum of per-step serialization components."""
+        return sum(s.serialization_time for s in self.steps)
+
+    @property
+    def total_overhead(self) -> float:
+        """Everything that is not serialization."""
+        return self.total_time - self.total_serialization
+
+    def peak_wavelength_demand(self) -> int:
+        """Worst per-step wavelength demand (optical runs only)."""
+        return max((s.wavelength_demand for s in self.steps), default=0)
+
+
+@dataclass(frozen=True)
+class SubstrateInfo:
+    """Metadata returned by :meth:`Substrate.describe`."""
+
+    name: str
+    kind: str
+    description: str
+    parameters: Tuple[Tuple[str, Any], ...] = ()
+
+    def parameter(self, key: str, default: Any = None) -> Any:
+        """Value of parameter ``key`` (or ``default``)."""
+        return dict(self.parameters).get(key, default)
+
+
+@dataclass(frozen=True)
+class ExecutionJob:
+    """One (schedule, workload) unit for :meth:`Substrate.execute_many`.
+
+    ``options`` carries per-job keyword arguments for ``execute``
+    (e.g. ``{"striping": "off"}`` on the optical ring).
+    """
+
+    schedule: Schedule
+    workload: Workload
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, job: "JobLike") -> "ExecutionJob":
+        """Coerce a job-like value (job, 2-tuple, or 3-tuple)."""
+        if isinstance(job, ExecutionJob):
+            return job
+        schedule, workload, *rest = job
+        opts: Mapping[str, Any] = rest[0] if rest else {}
+        return cls(schedule=schedule, workload=workload,
+                   options=tuple(sorted(opts.items())))
+
+
+JobLike = Union[ExecutionJob, Tuple[Schedule, Workload],
+                Tuple[Schedule, Workload, Mapping[str, Any]]]
+
+
+class Substrate(abc.ABC):
+    """Abstract interconnect model executing schedules into reports."""
+
+    #: Registry-facing name; subclasses override (instances may refine).
+    name: str = "substrate"
+
+    @abc.abstractmethod
+    def execute(self, schedule: Schedule, workload: Workload,
+                **options: Any) -> ExecutionReport:
+        """Execute ``schedule`` moving ``workload`` and report timings."""
+
+    @abc.abstractmethod
+    def describe(self) -> SubstrateInfo:
+        """Static metadata: name, kind, and model parameters."""
+
+    def execute_many(self, jobs: Iterable[JobLike]) -> List[ExecutionReport]:
+        """Execute a batch of jobs on this one substrate instance.
+
+        The batch form exists so callers (parallel workers, sweeps) hold
+        a single substrate — and therefore a single network object and a
+        warm RWA cache — across a whole grid of executions.
+        """
+        out: List[ExecutionReport] = []
+        for job in jobs:
+            j = ExecutionJob.of(job)
+            out.append(self.execute(j.schedule, j.workload,
+                                    **dict(j.options)))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,123 @@
+"""The electrical substrate (SimGrid-style fluid model).
+
+Port of the original ``execute_on_electrical`` function: each step
+becomes a batch of fluid flows on the electrical topology (switched
+star or point-to-point ring) with max-min fair sharing; a per-step
+software latency is added (the alpha of SimGrid's model).  The topology
+and :class:`~repro.simulation.fluid.FluidNetworkSimulator` are built
+once per system and reused across ``execute`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...collectives.primitives import transfer_bytes
+from ...collectives.schedule import Schedule
+from ...config import ElectricalSystem, Workload, default_electrical
+from ...errors import ConfigurationError
+from ...simulation.fluid import FluidNetworkSimulator
+from ...topology.ring import RingTopology
+from ...topology.switched import SwitchedStar
+from .base import ExecutionReport, StepReport, Substrate, SubstrateInfo
+
+
+class ElectricalSubstrate(Substrate):
+    """Fluid-model schedule execution on an electrical network.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.config.ElectricalSystem`; ``None`` derives a
+        default per schedule.  When ``topology`` is also given, the
+        system is coerced onto that topology (mirrors how the
+        comparison harness builds its E-Ring system from the switch
+        default).
+    topology:
+        Force ``"switch"`` or ``"ring"``; ``None`` keeps the system's.
+    """
+
+    def __init__(self, system: Optional[ElectricalSystem] = None,
+                 topology: Optional[str] = None) -> None:
+        if system is not None and not isinstance(system, ElectricalSystem):
+            raise ConfigurationError(
+                f"electrical substrate needs an ElectricalSystem, "
+                f"got {type(system).__name__}")
+        if topology is not None and topology not in ("switch", "ring"):
+            raise ConfigurationError(
+                f"topology must be 'switch' or 'ring', got {topology!r}")
+        if system is not None and topology is not None \
+                and system.topology != topology:
+            system = system.with_(topology=topology)
+        self._system = system
+        self._topology = topology if topology is not None else (
+            system.topology if system is not None else "switch")
+        self._sims: Dict[ElectricalSystem, FluidNetworkSimulator] = {}
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        """Registry-facing name, e.g. ``"electrical-switch"``."""
+        return f"electrical-{self._topology}"
+
+    def describe(self) -> SubstrateInfo:
+        """Metadata: fluid model and topology settings."""
+        params = [("topology", self._topology)]
+        if self._system is not None:
+            params += [("num_nodes", self._system.num_nodes),
+                       ("link_rate", self._system.link_rate)]
+        return SubstrateInfo(
+            name=self.name, kind="electrical",
+            description="max-min fair fluid flows on a switched star or "
+                        "point-to-point ring with per-step latency",
+            parameters=tuple(params))
+
+    def execute(self, schedule: Schedule, workload: Workload,
+                ) -> ExecutionReport:
+        """Execute ``schedule`` on the electrical substrate."""
+        system = self._resolve_system(schedule)
+        sim = self._simulator(system)
+        report = ExecutionReport(schedule_name=schedule.name,
+                                 substrate=f"electrical-{system.topology}")
+        now = 0.0
+        for idx, step in enumerate(schedule.steps):
+            pairs = [(t.src, t.dst,
+                      transfer_bytes(t, workload.data_bytes,
+                                     schedule.num_chunks))
+                     for t in step]
+            makespan = sim.step_time(pairs)
+            duration = system.step_latency + makespan
+            now += duration
+            report.steps.append(StepReport(
+                index=idx, duration=duration,
+                serialization_time=makespan,
+                propagation_time=0.0,
+                tuning_time=0.0,
+                overhead_time=system.step_latency,
+                num_transfers=len(step)))
+        report.total_time = now
+        return report
+
+    # -- internals ----------------------------------------------------------
+
+    def _resolve_system(self, schedule: Schedule) -> ElectricalSystem:
+        if self._system is not None:
+            if schedule.num_nodes > self._system.num_nodes:
+                raise ConfigurationError(
+                    f"schedule spans {schedule.num_nodes} nodes; system "
+                    f"has {self._system.num_nodes}")
+            return self._system
+        return default_electrical(schedule.num_nodes).with_(
+            topology=self._topology)
+
+    def _simulator(self, system: ElectricalSystem) -> FluidNetworkSimulator:
+        sim = self._sims.get(system)
+        if sim is None:
+            if system.topology == "switch":
+                topo = SwitchedStar(system.num_nodes,
+                                    system.effective_port_rate)
+            else:
+                topo = RingTopology(system.num_nodes, system.link_rate,
+                                    bidirectional=True)
+            sim = FluidNetworkSimulator(topo)
+            self._sims[system] = sim
+        return sim

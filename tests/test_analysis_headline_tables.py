@@ -69,6 +69,29 @@ class TestSweeps:
         assert rows[0].winner() in ("rd", "wrht")
         assert rows[-1].winner() == "wrht"
 
+    def test_crossover_winner_tie_breaks_alphabetically(self):
+        from repro.analysis.sweeps import CrossoverRow
+        tie = {"wrht": 1.0, "e-ring": 1.0, "rd": 2.0}
+        # Insertion order must not matter — only the name ordering.
+        assert CrossoverRow(1.0, tie).winner() == "e-ring"
+        reordered = {"rd": 2.0, "e-ring": 1.0, "wrht": 1.0}
+        assert CrossoverRow(1.0, reordered).winner() == "e-ring"
+
+    def test_substrate_sweep_covers_registry(self):
+        from repro.analysis.sweeps import substrate_sweep
+        from repro.core.substrates import available_substrates
+        rows = substrate_sweep(8, Workload(data_bytes=1 * units.MB))
+        assert [r.substrate for r in rows] == list(available_substrates())
+        assert all(r.time > 0 for r in rows)
+
+    def test_substrate_sweep_reports_infeasible_rows(self):
+        from repro.analysis.sweeps import substrate_sweep
+        rows = substrate_sweep(13, Workload(data_bytes=1 * units.MB),
+                               substrates=("optical-torus",))
+        assert len(rows) == 1
+        assert rows[0].time != rows[0].time  # NaN marks "not runnable"
+        assert "composite" in rows[0].note
+
     def test_striping_rows_labelled(self):
         rows = striping_sweep(16, Workload(data_bytes=10 * units.MB),
                               num_wavelengths=8)

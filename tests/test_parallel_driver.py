@@ -23,6 +23,54 @@ class TestFigure2Parallel:
                                   max_workers=1)
         assert panels["googlenet"].times["wrht"][0] > 0
 
+    def test_panels_keyed_by_requested_algorithms(self):
+        """Regression: the series come from the *requested* algorithm
+        list, not from whatever the first scale's cell happened to
+        return."""
+        panels = figure2_parallel(models=("googlenet",), scales=(8, 16),
+                                  algorithms=("wrht", "o-ring"),
+                                  max_workers=1)
+        panel = panels["googlenet"]
+        assert set(panel.times) == {"wrht", "o-ring"}
+        assert all(len(v) == 2 for v in panel.times.values())
+
+    def test_simulate_fidelity(self):
+        panels = figure2_parallel(models=("googlenet",), scales=(8,),
+                                  algorithms=("o-ring",),
+                                  fidelity="simulate", max_workers=1)
+        assert panels["googlenet"].times["o-ring"][0] > 0
+
+
+class TestSubstrateGridParallel:
+    def test_grid_rows_and_monotonicity(self):
+        from repro.analysis.parallel import substrate_grid_parallel
+
+        rows = substrate_grid_parallel(
+            ("optical-ring", "electrical-ring"), (8,),
+            (1 * units.MB, 4 * units.MB), max_workers=2)
+        assert [(r[0], r[1], r[2]) for r in rows] == [
+            ("optical-ring", 8, 1 * units.MB),
+            ("optical-ring", 8, 4 * units.MB),
+            ("electrical-ring", 8, 1 * units.MB),
+            ("electrical-ring", 8, 4 * units.MB)]
+        by_sub = {}
+        for name, _, p, t in rows:
+            by_sub.setdefault(name, []).append(t)
+        for times in by_sub.values():
+            assert times[0] < times[1]  # bigger payload, longer time
+
+    def test_matches_direct_execution(self):
+        from repro.analysis.parallel import substrate_grid_parallel
+        from repro.collectives.ring_allreduce import generate_ring_allreduce
+        from repro.config import Workload
+        from repro.core.substrates import get_substrate
+
+        rows = substrate_grid_parallel(("optical-ring",), (8,),
+                                       (1 * units.MB,), max_workers=1)
+        direct = get_substrate("optical-ring").execute(
+            generate_ring_allreduce(8), Workload(data_bytes=1 * units.MB))
+        assert rows[0][3] == pytest.approx(direct.total_time, rel=1e-12)
+
 
 class TestPlanGridParallel:
     def test_grid_rows(self):

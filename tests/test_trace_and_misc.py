@@ -83,7 +83,7 @@ class TestPackageSurface:
 
     def test_version(self):
         import repro
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_public_names_importable(self):
         import repro
