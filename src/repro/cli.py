@@ -91,6 +91,13 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print(f"  simulated on {rep.substrate:<7}: "
               f"{units.fmt_time(rep.total_time)} "
               f"({rep.num_steps} steps)")
+        # Cache behaviour (RWA / step caches) is part of describe(), so
+        # any substrate that memoizes work reports it here.
+        stats = [(k, v) for k, v in sub.describe().parameters
+                 if "_cache_" in k]
+        if stats:
+            print("  cache statistics   : "
+                  + ", ".join(f"{k}={v}" for k, v in stats))
     if args.show_schedule:
         from .topology.ring import RingTopology
         ring = RingTopology(args.nodes, capacity=1.0)

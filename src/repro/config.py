@@ -20,7 +20,7 @@ experiment fails at construction, not deep inside a sweep.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from . import units
 from .errors import ConfigurationError
@@ -234,6 +234,66 @@ class OpticalTorusSystem:
 
 
 @dataclass(frozen=True)
+class ReconfigurableOCSSystem:
+    """A reconfigurable optical-circuit-switch fabric (TopoOpt-style).
+
+    Every node owns ``ports_per_node`` transceiver ports per direction;
+    the central OCS realises any circuit configuration in which at most
+    ``ports_per_node`` circuits originate and terminate at each node,
+    and may switch to a different configuration by paying
+    ``reconfiguration_delay`` (microseconds for fast OCS prototypes,
+    ~10 ms for MEMS-class switches; ``inf`` disables reconfiguration
+    entirely, degrading the fabric to its boot-time static topology).
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of computing nodes attached to the switch.
+    ports_per_node:
+        Transceivers per node per direction (circuit degree budget).
+    circuit_rate:
+        Line rate of one circuit in bytes/second.
+    reconfiguration_delay:
+        Time to install a new circuit configuration (``inf`` allowed).
+    step_overhead:
+        Fixed synchronisation overhead charged on every schedule step.
+    circuit_latency:
+        Propagation delay of one circuit hop through the switch.
+    """
+
+    num_nodes: int
+    ports_per_node: int = 2
+    circuit_rate: float = 100 * units.GBPS
+    reconfiguration_delay: float = 10 * units.USEC
+    step_overhead: float = 1 * units.USEC
+    circuit_latency: float = 100 * units.NSEC
+
+    def __post_init__(self) -> None:
+        _require(self.num_nodes >= 2, f"need >=2 nodes, got {self.num_nodes}")
+        _require(self.ports_per_node >= 1,
+                 f"need >=1 port per node, got {self.ports_per_node}")
+        _require(self.circuit_rate > 0, "circuit_rate must be > 0")
+        _require(self.reconfiguration_delay >= 0,
+                 "reconfiguration_delay must be >= 0 (inf allowed)")
+        _require(self.step_overhead >= 0, "step_overhead must be >= 0")
+        _require(self.circuit_latency >= 0, "circuit_latency must be >= 0")
+
+    @property
+    def node_injection_rate(self) -> float:
+        """Peak bytes/s a node can inject (all transmit ports busy)."""
+        return self.ports_per_node * self.circuit_rate
+
+    @property
+    def can_reconfigure(self) -> bool:
+        """Whether the switch may ever leave its boot configuration."""
+        return self.reconfiguration_delay != float("inf")
+
+    def with_(self, **changes) -> "ReconfigurableOCSSystem":
+        """Return a copy with ``changes`` applied (sweep helper)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class Workload:
     """An all-reduce workload: a payload of ``data_bytes`` across all nodes.
 
@@ -278,3 +338,8 @@ def default_electrical(num_nodes: int, **overrides) -> ElectricalSystem:
 def default_torus(num_nodes: int, **overrides) -> OpticalTorusSystem:
     """An optical torus at ``num_nodes`` with TeraRack-style channels."""
     return OpticalTorusSystem(num_nodes=num_nodes, **overrides)
+
+
+def default_ocs(num_nodes: int, **overrides) -> ReconfigurableOCSSystem:
+    """A reconfigurable OCS fabric at ``num_nodes`` (fast-switch defaults)."""
+    return ReconfigurableOCSSystem(num_nodes=num_nodes, **overrides)

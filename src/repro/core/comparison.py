@@ -10,12 +10,18 @@
   transfer;
 * ``"wrht"``   — the planned Wrht schedule on the optical ring;
 
-plus one extension scenario enabled by the substrate registry:
+plus two extension scenarios enabled by the substrate registry:
 
-* ``"o-torus"`` — ring all-reduce on a 2-D WDM torus (simulation-only:
-  it has no closed-form model yet, so both fidelities execute on the
-  substrate).  Not in the default ``ALGORITHMS`` (the figures stay the
-  paper's four); request it via ``algorithms=EXTENDED_ALGORITHMS``.
+* ``"o-torus"`` — ring all-reduce on a 2-D WDM torus (analytic
+  fidelity uses the closed-form :func:`repro.core.cost_model.
+  otorus_ring_time`, pinned to the substrate simulation);
+* ``"ocs"``     — the topology/schedule co-planner's best
+  (algorithm, reconfiguration policy) pair on a reconfigurable OCS
+  fabric (simulation-only: the per-step stay-vs-switch choices have no
+  closed form, so both fidelities execute on the substrate).
+
+Neither is in the default ``ALGORITHMS`` (the figures stay the paper's
+four); request them via ``algorithms=EXTENDED_ALGORITHMS``.
 
 ``fidelity="analytic"`` uses the closed-form cost models (default — the
 tests pin them to simulation); ``fidelity="simulate"`` generates and
@@ -35,15 +41,17 @@ from ..collectives.recursive_doubling import (
 from ..collectives.ring_allreduce import (generate_ring_allreduce,
                                           ring_step_count)
 from ..config import (ElectricalSystem, OpticalRingSystem, Workload,
-                      default_electrical, default_optical)
+                      default_electrical, default_ocs, default_optical,
+                      default_torus)
 from ..errors import ConfigurationError
 from . import cost_model
-from .planner import WrhtPlan, plan_wrht
+from .planner import plan_wrht
 from .substrates import pooled_substrate
+from .topoplan import plan_topology
 
 ALGORITHMS: Tuple[str, ...] = ("e-ring", "rd", "o-ring", "wrht")
-#: The paper's four plus the torus extension scenario.
-EXTENDED_ALGORITHMS: Tuple[str, ...] = ALGORITHMS + ("o-torus",)
+#: The paper's four plus the torus and reconfigurable-OCS scenarios.
+EXTENDED_ALGORITHMS: Tuple[str, ...] = ALGORITHMS + ("o-torus", "ocs")
 
 
 @dataclass(frozen=True)
@@ -155,10 +163,21 @@ def _evaluate(algo: str, n: int, workload: Workload,
         return AlgorithmResult(algo, plan.predicted_time, plan.num_steps,
                                "optical-ring", detail)
     if algo == "o-torus":
-        # Simulation-only scenario: the torus has no closed form yet,
-        # so the analytic fidelity also executes on the substrate.
-        rep = pooled_substrate("optical-torus").execute(
-            generate_ring_allreduce(n), workload)
-        return AlgorithmResult(algo, rep.total_time, rep.num_steps,
-                               rep.substrate)
+        if fidelity == "simulate":
+            rep = pooled_substrate("optical-torus").execute(
+                generate_ring_allreduce(n), workload)
+            return AlgorithmResult(algo, rep.total_time, rep.num_steps,
+                                   rep.substrate)
+        return AlgorithmResult(
+            algo, cost_model.otorus_ring_time(default_torus(n), workload),
+            ring_step_count(n), "optical-torus")
+    if algo == "ocs":
+        # Simulation-only scenario: the co-planner's per-step
+        # stay-vs-reconfigure choices have no closed form, so the
+        # analytic fidelity also executes on the substrate.
+        plan = plan_topology(default_ocs(n), workload)
+        detail = {"algorithm": plan.algorithm, "policy": plan.policy,
+                  "reconfigurations": plan.num_reconfigurations}
+        return AlgorithmResult(algo, plan.predicted_time, plan.num_steps,
+                               "ocs-reconfig", detail)
     raise ConfigurationError(f"unknown algorithm {algo!r}")

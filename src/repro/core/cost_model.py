@@ -23,13 +23,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..collectives import analysis as can
 from ..collectives.schedule import Schedule
 from ..collectives.wrht import (WrhtParameters, WrhtScheduleInfo,
                                 generate_wrht)
-from ..config import ElectricalSystem, OpticalRingSystem, Workload
+from ..config import (ElectricalSystem, OpticalRingSystem,
+                      OpticalTorusSystem, Workload)
 from ..errors import ConfigurationError
 from ..topology.ring import RingTopology
 
@@ -121,6 +122,35 @@ def ring_allreduce_time_optical(system: OpticalRingSystem,
 def oring_time(system: OpticalRingSystem, workload: Workload) -> float:
     """The paper's O-Ring: ring all-reduce, one wavelength per transfer."""
     return ring_allreduce_time_optical(system, workload, striping=1)
+
+
+def otorus_ring_time(system: OpticalTorusSystem,
+                     workload: Workload) -> float:
+    """Ring all-reduce on the 2-D WDM torus, in closed form.
+
+    With the row-major rank layout, neighbour transfers
+    ``i -> (i+1) mod N`` under dimension-ordered routing are pairwise
+    link-disjoint: in-row flows take their own ``x+`` link (1 hop), and
+    each row-boundary flow takes the row's ``x+`` wraparound plus one
+    ``y+`` hop (2 hops).  Every flow therefore runs at the full
+    aggregate link rate and the step makespan is the serialization of
+    ``S/N`` plus the 2-hop worst-case propagation:
+
+    ``T = 2(N-1) · (S/(N·B_link) + 2·t_hop + t_tune + t_overhead)``
+
+    which matches :class:`~repro.core.substrates.optical_torus.
+    OpticalTorusSubstrate` exactly (the fluid model never congests this
+    pattern) — pinned by the test suite, enabling ``"o-torus"`` to join
+    the analytic figures.
+    """
+    n = system.num_nodes
+    if n <= 1:
+        return 0.0
+    s = workload.data_bytes
+    per_step = (s / n / system.link_rate
+                + 2 * system.hop_propagation_delay
+                + system.tuning_time + system.step_overhead)
+    return 2 * (n - 1) * per_step
 
 
 # ---------------------------------------------------------------------------

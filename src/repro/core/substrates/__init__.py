@@ -17,7 +17,10 @@ Built-ins
   flows on a non-blocking star / point-to-point ring
   (:class:`ElectricalSubstrate`);
 * ``"optical-torus"``     — 2-D WDM torus, dimension-ordered routing
-  over aggregate-capacity links (:class:`OpticalTorusSubstrate`).
+  over aggregate-capacity links (:class:`OpticalTorusSubstrate`);
+* ``"ocs-reconfig"``      — reconfigurable OCS fabric executing
+  topology programs: per-step stay-vs-reconfigure choice with matched
+  circuit rounds (:class:`OCSReconfigurableSubstrate`).
 
 Third-party fabrics plug in with :func:`register_substrate`;
 :func:`pooled_substrate` shares warm instances within a process.
@@ -25,11 +28,12 @@ Third-party fabrics plug in with :func:`register_substrate`;
 
 from __future__ import annotations
 
-from .base import (ExecutionJob, ExecutionReport, StepReport, Substrate,
-                   SubstrateInfo)
+from .base import (CacheStats, ExecutionJob, ExecutionReport, LruCache,
+                   StepReport, Substrate, SubstrateInfo)
 from .electrical import ElectricalSubstrate
 from .optical_ring import OpticalRingSubstrate, RwaCacheStats
 from .optical_torus import OpticalTorusSubstrate
+from .reconfigurable import OCSReconfigurableSubstrate
 from .registry import (available_substrates, clear_substrate_pool,
                        get_substrate, pooled_substrate, register_substrate)
 
@@ -47,6 +51,9 @@ register_substrate(
 register_substrate(
     "optical-torus",
     lambda system=None, **kw: OpticalTorusSubstrate(system, **kw))
+register_substrate(
+    "ocs-reconfig",
+    lambda system=None, **kw: OCSReconfigurableSubstrate(system, **kw))
 
 __all__ = [
     "Substrate",
@@ -57,6 +64,9 @@ __all__ = [
     "OpticalRingSubstrate",
     "ElectricalSubstrate",
     "OpticalTorusSubstrate",
+    "OCSReconfigurableSubstrate",
+    "CacheStats",
+    "LruCache",
     "RwaCacheStats",
     "register_substrate",
     "get_substrate",

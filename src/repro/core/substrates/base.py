@@ -16,8 +16,9 @@ use.
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Any, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ...collectives.schedule import Schedule
 from ...config import Workload
@@ -66,6 +67,70 @@ class ExecutionReport:
     def peak_wavelength_demand(self) -> int:
         """Worst per-step wavelength demand (optical runs only)."""
         return max((s.wavelength_demand for s in self.steps), default=0)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a substrate-internal memoization cache."""
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+    max_size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes served from the cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LruCache:
+    """A bounded LRU mapping with hit/miss counters.
+
+    The one cache mechanism every substrate memoization uses (the
+    ring's RWA cache, the OCS fabric's decomposition step cache, the
+    per-configuration simulator pools): ``get`` promotes and counts,
+    ``put`` evicts the least recently used entry beyond ``max_size``.
+    ``None`` is not storable (it encodes a miss).
+    """
+
+    def __init__(self, max_size: int) -> None:
+        self.max_size = max(1, int(max_size))
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Any) -> Optional[Any]:
+        """The cached value (promoted to most recent), or ``None``."""
+        value = self._data.get(key)
+        if value is not None:
+            self.hits += 1
+            self._data.move_to_end(key)
+        else:
+            self.misses += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert/refresh ``value`` (becomes most recent), evicting the
+        LRU entry when over bound."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.max_size:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,6 @@ What the class adds over the function:
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple, Union
 
@@ -35,7 +34,8 @@ from ...optical.ring_network import OpticalRingNetwork
 from ...optical.rwa import (AssignmentPolicy, TransferRequest,
                             assign_wavelengths, compute_striping_factor)
 from ...topology.ring import Direction
-from .base import ExecutionReport, StepReport, Substrate, SubstrateInfo
+from .base import (CacheStats, ExecutionReport, LruCache, StepReport,
+                   Substrate, SubstrateInfo)
 
 Striping = Union[str, int]
 
@@ -44,23 +44,15 @@ DEFAULT_RWA_CACHE_SIZE = 4096
 
 
 @dataclass(frozen=True)
-class RwaCacheStats:
-    """Hit/miss counters of one substrate's RWA cache."""
+class RwaCacheStats(CacheStats):
+    """Hit/miss counters of one substrate's RWA cache.
 
-    hits: int = 0
-    misses: int = 0
-    size: int = 0
+    The generic :class:`~repro.core.substrates.base.CacheStats` with the
+    RWA cache's default capacity (kept as a distinct name for callers
+    that dispatch on the cache kind).
+    """
+
     max_size: int = DEFAULT_RWA_CACHE_SIZE
-
-    @property
-    def lookups(self) -> int:
-        """Total cache probes."""
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of probes served from the cache (0 when unused)."""
-        return self.hits / self.lookups if self.lookups else 0.0
 
 
 def _hint_direction(hint: Optional[str]) -> Optional[Direction]:
@@ -111,10 +103,7 @@ class OpticalRingSubstrate(Substrate):
         self._striping = striping
         self._networks: Dict[OpticalRingSystem, OpticalRingNetwork] = {}
         self._cache_enabled = cache
-        self._cache_max = max(1, int(cache_size))
-        self._cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
-        self._hits = 0
-        self._misses = 0
+        self._cache = LruCache(cache_size)
 
     # -- cache management ---------------------------------------------------
 
@@ -125,23 +114,32 @@ class OpticalRingSubstrate(Substrate):
 
     def rwa_cache_info(self) -> RwaCacheStats:
         """Current cache counters."""
-        return RwaCacheStats(hits=self._hits, misses=self._misses,
+        return RwaCacheStats(hits=self._cache.hits,
+                             misses=self._cache.misses,
                              size=len(self._cache),
-                             max_size=self._cache_max)
+                             max_size=self._cache.max_size)
 
     def clear_rwa_cache(self) -> None:
         """Drop every memoized RWA solution (counters reset too)."""
         self._cache.clear()
-        self._hits = 0
-        self._misses = 0
 
     # -- substrate interface ------------------------------------------------
 
     def describe(self) -> SubstrateInfo:
-        """Metadata: ring model, policy, striping and cache settings."""
+        """Metadata: ring model, policy, striping and cache settings.
+
+        Cache *statistics* are included alongside the static settings
+        (``rwa_cache_hits`` / ``_misses`` / ``_hit_rate``) so cache
+        behaviour is observable wherever substrates are introspected —
+        notably ``plan --substrate`` on the CLI.
+        """
+        stats = self.rwa_cache_info()
         params = [("policy", self._policy.value),
                   ("striping", self._striping),
-                  ("rwa_cache", self._cache_enabled)]
+                  ("rwa_cache", self._cache_enabled),
+                  ("rwa_cache_hits", stats.hits),
+                  ("rwa_cache_misses", stats.misses),
+                  ("rwa_cache_hit_rate", round(stats.hit_rate, 4))]
         if self._system is not None:
             params += [("num_nodes", self._system.num_nodes),
                        ("num_wavelengths", self._system.num_wavelengths)]
@@ -290,8 +288,6 @@ class OpticalRingSubstrate(Substrate):
             key = self._signature(system, policy, base_requests, k)
             hit = self._cache.get(key)
             if hit is not None:
-                self._hits += 1
-                self._cache.move_to_end(key)
                 k_final, rwa = hit
                 requests = [
                     TransferRequest(src=r.src, dst=r.dst, size=r.size,
@@ -299,7 +295,6 @@ class OpticalRingSubstrate(Substrate):
                                     num_wavelengths=k_final)
                     for r in base_requests]
                 return k_final, requests, rwa
-            self._misses += 1
 
         while True:
             requests = [
@@ -316,7 +311,5 @@ class OpticalRingSubstrate(Substrate):
                 k -= 1
 
         if key is not None:
-            self._cache[key] = (k, rwa)
-            if len(self._cache) > self._cache_max:
-                self._cache.popitem(last=False)
+            self._cache.put(key, (k, rwa))
         return k, requests, rwa

@@ -1,0 +1,356 @@
+"""The reconfigurable optical-circuit-switch substrate (``"ocs-reconfig"``).
+
+The first substrate whose *topology is part of the execution*: a central
+OCS (TopoOpt/RAMP-style) realises one
+:class:`~repro.topology.program.CircuitConfig` at a time, and executing
+a schedule means deciding, per synchronous step, whether to
+
+* **stay** — route the step's transfers (possibly multi-hop,
+  store-and-forward) over the circuits that already exist, sharing
+  circuit bandwidth max-min fairly under the fluid model; or
+* **reconfigure** — decompose the step's demand into port-feasible
+  circuit *rounds* (greedy first-fit, or optimal bipartite edge
+  colouring meeting the ``ceil(Δ/ports)`` bound) and serve each round
+  on dedicated direct circuits, paying the reconfiguration delay for
+  every round that is not already a subset of the live configuration.
+
+The cheaper option wins (ties stay, avoiding pointless switching), so
+``reconfiguration_delay = inf`` degrades the fabric exactly to its
+boot-time static topology, and ``delay = 0`` is the ideal
+infinitely-agile OCS.  The sequence of configurations actually used is
+recorded as a :class:`~repro.topology.program.TopologyProgram`
+(:attr:`last_program`) for the co-planner and reports.
+
+Demand decomposition depends only on the step's *ordered* transfer
+pattern and the port budget — not on transfer sizes — so it is memoized
+(the "step cache"), mirroring the optical ring's RWA cache; statistics
+surface through :meth:`describe` and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ...collectives.primitives import transfer_bytes
+from ...collectives.schedule import Schedule
+from ...config import ReconfigurableOCSSystem, Workload, default_ocs
+from ...errors import ConfigurationError, TopologyError
+from ...simulation.fluid import FluidNetworkSimulator
+from ...topology.program import (CircuitConfig, CircuitPair,
+                                 CircuitTopology, TopologyProgram,
+                                 decompose_demand, max_pair_degree,
+                                 ring_circuit_config)
+from .base import (CacheStats, ExecutionReport, LruCache, StepReport,
+                   Substrate, SubstrateInfo)
+
+Initial = Union[str, CircuitConfig]
+
+#: Default bound on memoized demand decompositions per instance.
+DEFAULT_STEP_CACHE_SIZE = 4096
+
+#: Bound on cached per-configuration fluid simulators.
+_SIM_CACHE_MAX = 64
+
+
+class OCSReconfigurableSubstrate(Substrate):
+    """Reconfiguration-aware schedule execution on an OCS fabric.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.config.ReconfigurableOCSSystem`; ``None``
+        derives a default fabric per schedule
+        (:func:`~repro.config.default_ocs` at ``schedule.num_nodes``).
+    initial:
+        Boot circuit configuration: ``"ring"`` (default — a
+        bidirectional neighbour ring when the port budget allows, else
+        unidirectional) or an explicit
+        :class:`~repro.topology.program.CircuitConfig`.
+    decomposition:
+        Demand-decomposition mode — ``"auto"`` (optimal for small
+        steps, greedy beyond), ``"greedy"``, or ``"optimal"``.
+        Per-call override via ``execute(..., decomposition=...)``.
+    cache:
+        Enable the decomposition step cache (identical results either
+        way).
+    cache_size:
+        Bound on memoized decompositions (LRU eviction).
+    """
+
+    name = "ocs-reconfig"
+
+    def __init__(self, system: Optional[ReconfigurableOCSSystem] = None,
+                 initial: Initial = "ring",
+                 decomposition: str = "auto",
+                 cache: bool = True,
+                 cache_size: int = DEFAULT_STEP_CACHE_SIZE) -> None:
+        if system is not None \
+                and not isinstance(system, ReconfigurableOCSSystem):
+            raise ConfigurationError(
+                f"ocs-reconfig substrate needs a ReconfigurableOCSSystem, "
+                f"got {type(system).__name__}")
+        if isinstance(initial, str) and initial != "ring":
+            raise ConfigurationError(
+                f"initial must be 'ring' or a CircuitConfig, "
+                f"got {initial!r}")
+        if decomposition not in ("auto", "greedy", "optimal"):
+            raise ConfigurationError(
+                f"decomposition must be 'auto', 'greedy' or 'optimal', "
+                f"got {decomposition!r}")
+        self._system = system
+        self._initial = initial
+        self._decomposition = decomposition
+        self._cache_enabled = cache
+        self._cache = LruCache(cache_size)
+        self._sims = LruCache(_SIM_CACHE_MAX)
+        self._last_program: Optional[TopologyProgram] = None
+
+    # -- cache management ---------------------------------------------------
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether demand decompositions are being memoized."""
+        return self._cache_enabled
+
+    def step_cache_info(self) -> CacheStats:
+        """Current decomposition-cache counters."""
+        return CacheStats(hits=self._cache.hits,
+                          misses=self._cache.misses,
+                          size=len(self._cache),
+                          max_size=self._cache.max_size)
+
+    def clear_step_cache(self) -> None:
+        """Drop every memoized decomposition (counters reset too)."""
+        self._cache.clear()
+
+    # -- substrate interface ------------------------------------------------
+
+    @property
+    def last_program(self) -> Optional[TopologyProgram]:
+        """The circuit program realised by the most recent ``execute``."""
+        return self._last_program
+
+    def describe(self) -> SubstrateInfo:
+        """Metadata: fabric model, policies, and step-cache statistics."""
+        stats = self.step_cache_info()
+        params: List[Tuple[str, object]] = [
+            ("decomposition", self._decomposition),
+            ("initial", self._initial if isinstance(self._initial, str)
+             else "custom"),
+            ("step_cache", self._cache_enabled),
+            ("step_cache_hits", stats.hits),
+            ("step_cache_misses", stats.misses),
+            ("step_cache_hit_rate", round(stats.hit_rate, 4)),
+        ]
+        if self._system is not None:
+            params += [
+                ("num_nodes", self._system.num_nodes),
+                ("ports_per_node", self._system.ports_per_node),
+                ("circuit_rate", self._system.circuit_rate),
+                ("reconfiguration_delay",
+                 self._system.reconfiguration_delay),
+            ]
+        return SubstrateInfo(
+            name=self.name, kind="optical",
+            description="reconfigurable OCS fabric: per-step choice of "
+                        "serving on the live circuits or paying the "
+                        "reconfiguration delay for matched rounds",
+            parameters=tuple(params))
+
+    def execute(self, schedule: Schedule, workload: Workload,
+                decomposition: Optional[str] = None) -> ExecutionReport:
+        """Execute ``schedule`` on the OCS fabric (see class docstring)."""
+        mode = self._decomposition if decomposition is None else decomposition
+        if mode not in ("auto", "greedy", "optimal"):
+            raise ConfigurationError(
+                f"decomposition must be 'auto', 'greedy' or 'optimal', "
+                f"got {mode!r}")
+        system = self._resolve_system(schedule)
+        current = self._resolve_initial(system)
+        history: List[CircuitConfig] = [current]
+        report = ExecutionReport(schedule_name=schedule.name,
+                                 substrate=self.name)
+        now = 0.0
+        for idx, step in enumerate(schedule.steps):
+            sizes: Dict[CircuitPair, float] = {}
+            for t in step:
+                b = transfer_bytes(t, workload.data_bytes,
+                                   schedule.num_chunks)
+                sizes[(t.src, t.dst)] = sizes.get((t.src, t.dst), 0.0) + b
+            ordered = tuple(sorted(sizes, key=lambda p: (-sizes[p], p)))
+            demand_degree = max_pair_degree(ordered)
+
+            stay_time, stay_prop = self._stay_time(system, current, sizes)
+            if system.can_reconfigure:
+                plan = self._reconfigure_plan(system, current, ordered,
+                                              sizes, mode)
+            else:
+                plan = None
+
+            if plan is not None and plan.total < stay_time:
+                serialization = plan.serialization
+                propagation = plan.propagation
+                reconfig = plan.reconfig_time
+                chosen = plan.total
+                for cfg in plan.new_configs:
+                    history.append(cfg)
+                    current = cfg
+            else:
+                if stay_time == float("inf"):
+                    raise ConfigurationError(
+                        f"step {idx} of {schedule.name!r} has transfers "
+                        f"unroutable on the current circuit configuration "
+                        f"and reconfiguration is disabled "
+                        f"(reconfiguration_delay=inf)")
+                serialization = stay_time - stay_prop
+                propagation = stay_prop
+                reconfig = 0.0
+                chosen = stay_time
+
+            duration = system.step_overhead + chosen
+            now += duration
+            report.steps.append(StepReport(
+                index=idx, duration=duration,
+                serialization_time=serialization,
+                propagation_time=propagation,
+                tuning_time=reconfig,
+                overhead_time=system.step_overhead,
+                num_transfers=len(step),
+                striping=1,
+                wavelength_demand=demand_degree))
+        report.total_time = now
+        self._last_program = TopologyProgram(
+            num_nodes=system.num_nodes,
+            ports_per_node=system.ports_per_node,
+            configs=tuple(history),
+            name=f"{schedule.name}@{self.name}")
+        return report
+
+    # -- internals ----------------------------------------------------------
+
+    def _resolve_system(self, schedule: Schedule) -> ReconfigurableOCSSystem:
+        if self._system is not None:
+            if schedule.num_nodes > self._system.num_nodes:
+                raise ConfigurationError(
+                    f"schedule spans {schedule.num_nodes} nodes; system "
+                    f"has {self._system.num_nodes}")
+            return self._system
+        return default_ocs(schedule.num_nodes)
+
+    def _resolve_initial(self,
+                         system: ReconfigurableOCSSystem) -> CircuitConfig:
+        if isinstance(self._initial, CircuitConfig):
+            cfg = self._initial
+        else:
+            cfg = ring_circuit_config(
+                system.num_nodes,
+                bidirectional=system.ports_per_node >= 2)
+        try:
+            cfg.validate(system.num_nodes, system.ports_per_node)
+        except TopologyError as exc:
+            raise ConfigurationError(
+                f"initial circuit configuration invalid for this "
+                f"fabric: {exc}") from exc
+        return cfg
+
+    def _stay_time(self, system: ReconfigurableOCSSystem,
+                   config: CircuitConfig,
+                   sizes: Dict[CircuitPair, float],
+                   ) -> Tuple[float, float]:
+        """Fluid makespan of serving the demand on ``config``.
+
+        Returns ``(makespan, propagation)`` where ``propagation`` is
+        the path latency of the flow that finishes last (so step
+        reports decompose consistently with the reconfigure branch);
+        unreachable pairs yield ``(inf, 0)``.
+        """
+        sim = self._simulator(system, config)
+        try:
+            results = sim.run_pairs(
+                [(s, d, b) for (s, d), b in sorted(sizes.items())])
+        except TopologyError:
+            return float("inf"), 0.0
+        makespan = 0.0
+        slowest = None
+        for r in results:
+            if r.finish_time > makespan:
+                makespan = r.finish_time
+                slowest = r
+        if slowest is None:
+            return 0.0, 0.0
+        topo = sim.topology
+        propagation = topo.path_latency(topo.path(slowest.src,
+                                                  slowest.dst))
+        return makespan, propagation
+
+    class _ReconfigPlan:
+        """Costed reconfigure option for one step."""
+
+        __slots__ = ("serialization", "propagation", "reconfig_time",
+                     "new_configs")
+
+        def __init__(self, serialization: float, propagation: float,
+                     reconfig_time: float,
+                     new_configs: List[CircuitConfig]) -> None:
+            self.serialization = serialization
+            self.propagation = propagation
+            self.reconfig_time = reconfig_time
+            self.new_configs = new_configs
+
+        @property
+        def total(self) -> float:
+            return self.serialization + self.propagation \
+                + self.reconfig_time
+
+    def _reconfigure_plan(self, system: ReconfigurableOCSSystem,
+                          current: CircuitConfig,
+                          ordered: Tuple[CircuitPair, ...],
+                          sizes: Dict[CircuitPair, float],
+                          mode: str) -> "_ReconfigPlan":
+        rounds = self._rounds(ordered, system.ports_per_node, mode)
+        # Rounds already covered by the live circuits are served for
+        # free (without touching the switch); the rest each install a
+        # fresh configuration and pay the delay.
+        live = set(current.circuits)
+        serialization = 0.0
+        new_configs: List[CircuitConfig] = []
+        for rnd in rounds:
+            serialization += max(sizes[p] for p in rnd) \
+                / system.circuit_rate
+            if not live.issuperset(rnd):
+                new_configs.append(CircuitConfig.of(rnd))
+        return self._ReconfigPlan(
+            serialization=serialization,
+            propagation=len(rounds) * system.circuit_latency,
+            reconfig_time=(len(new_configs)
+                           * system.reconfiguration_delay),
+            new_configs=new_configs)
+
+    def _rounds(self, ordered: Tuple[CircuitPair, ...], ports: int,
+                mode: str) -> List[Tuple[CircuitPair, ...]]:
+        """Memoized demand decomposition for one step.
+
+        The decomposition depends only on the ordered pair pattern, the
+        port budget, and the mode — transfer sizes enter the cost only
+        through the ordering, which the key captures.
+        """
+        if not self._cache_enabled:
+            return decompose_demand(ordered, ports, mode)
+        key = (ports, mode, ordered)
+        rounds = self._cache.get(key)
+        if rounds is None:
+            rounds = decompose_demand(ordered, ports, mode)
+            self._cache.put(key, rounds)
+        return rounds
+
+    def _simulator(self, system: ReconfigurableOCSSystem,
+                   config: CircuitConfig) -> FluidNetworkSimulator:
+        key = (system, config)
+        sim = self._sims.get(key)
+        if sim is None:
+            topo = CircuitTopology(system.num_nodes, config,
+                                   capacity=system.circuit_rate,
+                                   latency=system.circuit_latency)
+            sim = FluidNetworkSimulator(topo)
+            self._sims.put(key, sim)
+        return sim

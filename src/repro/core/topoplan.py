@@ -1,0 +1,166 @@
+"""The topology/schedule co-planner for reconfigurable OCS fabrics.
+
+On a fixed fabric the planner only chooses the collective algorithm; on
+a reconfigurable OCS the *physical topology is a decision variable too*
+(TopoOpt's observation).  :func:`plan_topology` searches the joint space
+
+    (collective algorithm) x (reconfiguration policy)
+
+by executing every candidate schedule on an
+:class:`~repro.core.substrates.reconfigurable.OCSReconfigurableSubstrate`
+— ``"static"`` pins the fabric to its boot topology
+(``reconfiguration_delay = inf``), ``"reconfigure"`` lets the substrate
+make its per-step stay-vs-switch choice under the system's real delay —
+and returns the fastest end-to-end plan together with the
+:class:`~repro.topology.program.TopologyProgram` it realised.
+
+The candidate pool holds the schedule shapes with meaningfully different
+demand structure on a circuit fabric: ring all-reduce (neighbour-only —
+lives happily on a static ring), recursive doubling (log-distance
+matchings — the schedule reconfiguration pays off for), and
+halving-doubling (matchings with shrinking payloads).  Candidates that
+cannot be generated for a node count are skipped, not fatal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from ..collectives.halving_doubling import generate_halving_doubling
+from ..collectives.recursive_doubling import generate_recursive_doubling
+from ..collectives.ring_allreduce import generate_ring_allreduce
+from ..collectives.schedule import Schedule
+from ..config import ReconfigurableOCSSystem, Workload
+from ..errors import PlanningError, ScheduleError
+from ..topology.program import TopologyProgram
+from .substrates.base import ExecutionReport
+from .substrates.reconfigurable import OCSReconfigurableSubstrate
+from .substrates.registry import pooled_substrate
+
+#: Algorithm name -> schedule generator.
+CANDIDATE_GENERATORS: Dict[str, Callable[[int], Schedule]] = {
+    "ring": generate_ring_allreduce,
+    "recursive-doubling": generate_recursive_doubling,
+    "halving-doubling": generate_halving_doubling,
+}
+
+CANDIDATE_ALGORITHMS: Tuple[str, ...] = tuple(CANDIDATE_GENERATORS)
+
+#: ``"static"`` — never reconfigure (boot topology only);
+#: ``"reconfigure"`` — per-step stay-vs-switch under the real delay.
+POLICIES: Tuple[str, ...] = ("static", "reconfigure")
+
+
+@dataclass(frozen=True)
+class TopologyPlan:
+    """One co-planned (algorithm, policy) outcome on an OCS fabric."""
+
+    algorithm: str
+    policy: str
+    schedule: Schedule
+    program: TopologyProgram
+    predicted_time: float
+    report: ExecutionReport
+
+    @property
+    def num_steps(self) -> int:
+        """Steps of the planned schedule."""
+        return self.schedule.num_steps
+
+    @property
+    def num_reconfigurations(self) -> int:
+        """Circuit switches the realised program performs."""
+        return self.program.num_reconfigurations
+
+
+def candidate_schedule(algorithm: str, num_nodes: int) -> Schedule:
+    """The candidate schedule for ``algorithm`` at ``num_nodes``."""
+    try:
+        generator = CANDIDATE_GENERATORS[algorithm]
+    except KeyError:
+        known = ", ".join(CANDIDATE_ALGORITHMS)
+        raise PlanningError(
+            f"unknown co-planner algorithm {algorithm!r}; "
+            f"candidates: {known}") from None
+    return generator(num_nodes)
+
+
+def plan_topology(system: ReconfigurableOCSSystem, workload: Workload,
+                  algorithms: Iterable[str] = CANDIDATE_ALGORITHMS,
+                  policies: Iterable[str] = POLICIES,
+                  decomposition: str = "auto",
+                  ) -> TopologyPlan:
+    """Pick the fastest (algorithm, policy) pair for ``system``.
+
+    Every candidate is *executed* (the OCS has no closed form — its
+    cost depends on the per-step routing/switching choices), one warm
+    substrate per policy so decomposition caches are shared across the
+    algorithm sweep.  Ties break toward fewer steps, then ``static``
+    (no pointless switching), then algorithm name — deterministic.
+
+    Raises :class:`~repro.errors.PlanningError` when no candidate can
+    be generated or executed.
+    """
+    plans = topology_plan_table(system, workload, algorithms=algorithms,
+                                policies=policies,
+                                decomposition=decomposition)
+    if not plans:
+        raise PlanningError(
+            f"no feasible (algorithm, policy) candidate for "
+            f"N={system.num_nodes} on the OCS fabric")
+    return min(plans, key=_plan_key)
+
+
+def topology_plan_table(system: ReconfigurableOCSSystem,
+                        workload: Workload,
+                        algorithms: Iterable[str] = CANDIDATE_ALGORITHMS,
+                        policies: Iterable[str] = POLICIES,
+                        decomposition: str = "auto",
+                        ) -> List[TopologyPlan]:
+    """Every candidate's outcome (the co-planner's full search grid).
+
+    The grid behind :func:`plan_topology`, exposed for the ablation
+    benchmark and the example — e.g. comparing the best reconfiguring
+    plan against the best static plan at each reconfiguration delay.
+    """
+    policies = tuple(policies)
+    for policy in policies:
+        if policy not in POLICIES:
+            raise PlanningError(
+                f"unknown policy {policy!r}; policies: "
+                f"{', '.join(POLICIES)}")
+    substrates: Dict[str, OCSReconfigurableSubstrate] = {}
+    for policy in policies:
+        sys_p = (system if policy == "reconfigure"
+                 else system.with_(reconfiguration_delay=float("inf")))
+        # Pooled per (system, decomposition): repeated co-planning on
+        # one fabric — the comparison harness, the delay ablation —
+        # reuses warm instances and their decomposition step caches.
+        sub = pooled_substrate("ocs-reconfig", sys_p,
+                               decomposition=decomposition)
+        assert isinstance(sub, OCSReconfigurableSubstrate)
+        substrates[policy] = sub
+    plans: List[TopologyPlan] = []
+    for algorithm in algorithms:
+        try:
+            schedule = candidate_schedule(algorithm, system.num_nodes)
+        except ScheduleError:
+            continue
+        if not schedule.steps:
+            continue
+        for policy in policies:
+            sub = substrates[policy]
+            report = sub.execute(schedule, workload)
+            program = sub.last_program
+            assert program is not None
+            plans.append(TopologyPlan(
+                algorithm=algorithm, policy=policy, schedule=schedule,
+                program=program, predicted_time=report.total_time,
+                report=report))
+    return plans
+
+
+def _plan_key(plan: TopologyPlan) -> Tuple[float, int, int, str]:
+    return (plan.predicted_time, plan.num_steps,
+            POLICIES.index(plan.policy), plan.algorithm)

@@ -10,9 +10,16 @@ The paper's systems live on two topologies:
 :class:`~repro.topology.torus.Torus2D` and
 :class:`~repro.topology.switched.FatTree` are extensions used by ablation
 experiments.
+
+:mod:`repro.topology.program` adds the reconfigurable-fabric layer: the
+:class:`~repro.topology.program.TopologyProgram` IR (circuit
+configurations + reconfiguration cost model) and demand decomposition
+used by the ``"ocs-reconfig"`` substrate.
 """
 
 from .base import Link, Topology
+from .program import (CircuitConfig, CircuitTopology, TopologyProgram,
+                      decompose_demand, ring_circuit_config)
 from .ring import Direction, RingTopology
 from .switched import FatTree, SwitchedStar
 from .torus import Torus2D
@@ -25,4 +32,9 @@ __all__ = [
     "SwitchedStar",
     "FatTree",
     "Torus2D",
+    "CircuitConfig",
+    "CircuitTopology",
+    "TopologyProgram",
+    "decompose_demand",
+    "ring_circuit_config",
 ]

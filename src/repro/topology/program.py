@@ -1,0 +1,418 @@
+"""Topology programs for reconfigurable optical-circuit-switch fabrics.
+
+A reconfigurable OCS fabric (TopoOpt/RAMP-style) does not have a fixed
+wiring: at any instant the switch realises a *circuit configuration* — a
+set of directed node-to-node circuits limited by each node's transceiver
+port count — and may be re-programmed to a different configuration by
+paying a reconfiguration delay.  This module provides the IR those
+fabrics plan over:
+
+* :class:`CircuitConfig` — one immutable circuit set with per-switch
+  port-matching validation (``<= ports_per_node`` circuits originate and
+  terminate at every node);
+* :class:`TopologyProgram` — a validated sequence of configurations plus
+  the reconfiguration-delay cost model (what a co-planner searches over
+  and what an execution reports back);
+* :class:`CircuitTopology` — a :class:`~repro.topology.base.Topology`
+  view of one configuration, so the fluid simulator can route traffic
+  (possibly multi-hop) over the circuits that currently exist;
+* demand decomposition — :func:`decompose_demand` splits one synchronous
+  step's transfer demand into port-feasible circuit rounds, either
+  greedily or optimally (bipartite edge colouring achieves the
+  ``ceil(max_degree / ports)`` lower bound, König's theorem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import TopologyError
+from .base import Link, Topology
+
+#: A directed circuit request: (src node, dst node).
+CircuitPair = Tuple[int, int]
+
+#: Above this many demand edges the "auto" decomposition mode falls back
+#: from optimal edge colouring to the greedy heuristic.
+OPTIMAL_DECOMPOSITION_LIMIT = 2048
+
+
+def degree_counts(pairs: Iterable[CircuitPair],
+                  ) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Per-node (out, in) circuit counts of a pair multiset.
+
+    The one degree computation the whole subsystem shares: port
+    validation, the edge-colouring ``Δ`` bound, and the substrates'
+    demand-degree reporting all count this way.
+    """
+    out: Dict[int, int] = {}
+    inn: Dict[int, int] = {}
+    for s, d in pairs:
+        out[s] = out.get(s, 0) + 1
+        inn[d] = inn.get(d, 0) + 1
+    return out, inn
+
+
+def max_pair_degree(pairs: Iterable[CircuitPair]) -> int:
+    """Worst per-node circuit count over both directions (0 if empty)."""
+    out, inn = degree_counts(pairs)
+    return max(list(out.values()) + list(inn.values()) + [0])
+
+
+# ---------------------------------------------------------------------------
+# circuit configurations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CircuitConfig:
+    """One immutable set of directed circuits (an OCS port matching).
+
+    ``circuits`` is kept sorted and deduplicated, so two configurations
+    realising the same circuit set compare (and hash) equal regardless
+    of construction order.  Parallel circuits between one pair are not
+    modelled — an OCS port matching connects each (src, dst) pair at
+    most once per configuration.
+    """
+
+    circuits: Tuple[CircuitPair, ...]
+
+    def __post_init__(self) -> None:
+        canon = tuple(sorted(set(self.circuits)))
+        object.__setattr__(self, "circuits", canon)
+        for src, dst in canon:
+            if src == dst:
+                raise TopologyError(f"circuit {src}->{dst} is a loop")
+
+    @classmethod
+    def of(cls, circuits: Iterable[CircuitPair]) -> "CircuitConfig":
+        """Build a configuration from any iterable of (src, dst) pairs."""
+        return cls(circuits=tuple(circuits))
+
+    # -- port accounting ----------------------------------------------------
+
+    def out_degree(self, node: int) -> int:
+        """Circuits originating at ``node`` (transmit ports in use)."""
+        return sum(1 for s, _ in self.circuits if s == node)
+
+    def in_degree(self, node: int) -> int:
+        """Circuits terminating at ``node`` (receive ports in use)."""
+        return sum(1 for _, d in self.circuits if d == node)
+
+    def max_degree(self) -> int:
+        """Worst per-node port usage over both directions."""
+        return max_pair_degree(self.circuits)
+
+    def validate(self, num_nodes: int, ports_per_node: int) -> None:
+        """Check node ranges and the per-switch port-matching constraint."""
+        for s, d in self.circuits:
+            for node in (s, d):
+                if not (0 <= node < num_nodes):
+                    raise TopologyError(
+                        f"circuit {s}->{d}: node {node} out of range "
+                        f"[0, {num_nodes})")
+        out, inn = degree_counts(self.circuits)
+        for counts, kind in ((out, "transmit"), (inn, "receive")):
+            for node, used in counts.items():
+                if used > ports_per_node:
+                    raise TopologyError(
+                        f"node {node} needs {used} {kind} ports; switch "
+                        f"provides {ports_per_node}")
+
+    # -- queries ------------------------------------------------------------
+
+    def has_circuit(self, src: int, dst: int) -> bool:
+        """Whether a direct circuit ``src -> dst`` exists."""
+        return (src, dst) in self.circuits
+
+    def covers(self, pairs: Iterable[CircuitPair]) -> bool:
+        """Whether every demand pair has a direct circuit."""
+        have = set(self.circuits)
+        return all(p in have for p in pairs)
+
+    def issubset(self, other: "CircuitConfig") -> bool:
+        """Whether every circuit here also exists in ``other``."""
+        return set(self.circuits) <= set(other.circuits)
+
+    def ports_changed(self, other: "CircuitConfig") -> int:
+        """Circuits that differ between the two configurations.
+
+        The symmetric-difference size — the number of circuit endpoints
+        an OCS controller would have to re-patch to move between them.
+        """
+        return len(set(self.circuits) ^ set(other.circuits))
+
+    def __len__(self) -> int:
+        return len(self.circuits)
+
+    def __iter__(self):
+        return iter(self.circuits)
+
+
+def ring_circuit_config(num_nodes: int,
+                        bidirectional: bool = True) -> CircuitConfig:
+    """The static ring wiring: circuits to the (two) ring neighbours.
+
+    The natural boot configuration of an OCS fabric — it keeps every
+    node reachable (so a never-reconfiguring fabric degrades to a static
+    ring) and needs only 1 port per direction (2 when bidirectional).
+    """
+    if num_nodes < 2:
+        raise TopologyError(f"a ring needs >=2 nodes, got {num_nodes}")
+    pairs: List[CircuitPair] = [(i, (i + 1) % num_nodes)
+                                for i in range(num_nodes)]
+    if bidirectional and num_nodes > 2:
+        pairs += [(i, (i - 1) % num_nodes) for i in range(num_nodes)]
+    return CircuitConfig.of(pairs)
+
+
+# ---------------------------------------------------------------------------
+# topology programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologyProgram:
+    """A sequence of circuit configurations a fabric steps through.
+
+    The IR of reconfigurable-fabric planning: the co-planner proposes
+    programs, the substrate executes (and records) them, and the
+    reconfiguration-delay cost model below prices the switches between
+    consecutive configurations.
+    """
+
+    num_nodes: int
+    ports_per_node: int
+    configs: Tuple[CircuitConfig, ...]
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise TopologyError(
+                f"a program needs >=2 nodes, got {self.num_nodes}")
+        if self.ports_per_node < 1:
+            raise TopologyError(
+                f"ports_per_node must be >= 1, got {self.ports_per_node}")
+        for cfg in self.configs:
+            cfg.validate(self.num_nodes, self.ports_per_node)
+
+    @property
+    def num_configs(self) -> int:
+        """Number of configurations in the program."""
+        return len(self.configs)
+
+    @property
+    def num_reconfigurations(self) -> int:
+        """Transitions between *distinct* consecutive configurations."""
+        return sum(1 for a, b in zip(self.configs, self.configs[1:])
+                   if a != b)
+
+    def reconfiguration_time(self, delay: float) -> float:
+        """Total reconfiguration cost under a per-switch ``delay``."""
+        return self.num_reconfigurations * delay
+
+    def total_ports_changed(self) -> int:
+        """Sum of circuit changes over all transitions (churn metric)."""
+        return sum(a.ports_changed(b)
+                   for a, b in zip(self.configs, self.configs[1:]))
+
+
+# ---------------------------------------------------------------------------
+# a Topology view of one configuration (for the fluid simulator)
+# ---------------------------------------------------------------------------
+
+
+class CircuitTopology(Topology):
+    """The directed graph realised by one :class:`CircuitConfig`.
+
+    Routing is breadth-first shortest path over the circuits (neighbour
+    expansion in sorted circuit order, so routes are deterministic);
+    unreachable pairs raise :class:`~repro.errors.TopologyError`.  Every
+    circuit is one link of ``capacity`` bytes/s and ``latency`` seconds,
+    so multi-hop traffic store-and-forwards across intermediate nodes
+    and shares circuit bandwidth max-min fairly under the fluid model.
+    """
+
+    def __init__(self, num_nodes: int, config: CircuitConfig,
+                 capacity: float, latency: float = 0.0) -> None:
+        super().__init__(num_nodes)
+        self.config = config
+        self._adjacency: Dict[int, List[int]] = {}
+        for src, dst in config.circuits:
+            self._add_link(Link(src, dst, capacity, latency))
+            self._adjacency.setdefault(src, []).append(dst)
+        for nbrs in self._adjacency.values():
+            nbrs.sort()
+        self._next_hop: Dict[int, Dict[int, int]] = {}
+
+    def path(self, src: int, dst: int) -> Sequence[Link]:
+        """BFS shortest route over the circuits (may be multi-hop)."""
+        self.validate_host(src)
+        self.validate_host(dst)
+        if src == dst:
+            return []
+        table = self._routes_from(src)
+        if dst not in table:
+            raise TopologyError(
+                f"no circuit path {src}->{dst} in this configuration")
+        hops: List[int] = [dst]
+        while hops[-1] != src:
+            hops.append(table[hops[-1]])
+        hops.reverse()
+        return [self.link(a, b) for a, b in zip(hops, hops[1:])]
+
+    def _routes_from(self, src: int) -> Dict[int, int]:
+        """Predecessor table of the BFS tree rooted at ``src`` (cached)."""
+        table = self._next_hop.get(src)
+        if table is None:
+            table = {}
+            frontier = [src]
+            seen = {src}
+            while frontier:
+                nxt: List[int] = []
+                for node in frontier:
+                    for nbr in self._adjacency.get(node, ()):
+                        if nbr not in seen:
+                            seen.add(nbr)
+                            table[nbr] = node
+                            nxt.append(nbr)
+                frontier = nxt
+            self._next_hop[src] = table
+        return table
+
+
+# ---------------------------------------------------------------------------
+# demand decomposition (one synchronous step -> circuit rounds)
+# ---------------------------------------------------------------------------
+
+
+def greedy_demand_rounds(pairs: Sequence[CircuitPair],
+                         ports_per_node: int) -> List[Tuple[CircuitPair, ...]]:
+    """Greedy decomposition: first-fit pairs into port-feasible rounds.
+
+    Pairs are taken in the given order (callers pre-sort by descending
+    bytes so heavy transfers land in early rounds); each round admits a
+    pair while both endpoints have free ports.  May exceed the
+    ``ceil(max_degree / ports)`` optimum on adversarial demands.
+    """
+    if ports_per_node < 1:
+        raise TopologyError(
+            f"ports_per_node must be >= 1, got {ports_per_node}")
+    remaining = list(pairs)
+    rounds: List[Tuple[CircuitPair, ...]] = []
+    while remaining:
+        out: Dict[int, int] = {}
+        inn: Dict[int, int] = {}
+        taken: List[CircuitPair] = []
+        deferred: List[CircuitPair] = []
+        for s, d in remaining:
+            if (out.get(s, 0) < ports_per_node
+                    and inn.get(d, 0) < ports_per_node):
+                out[s] = out.get(s, 0) + 1
+                inn[d] = inn.get(d, 0) + 1
+                taken.append((s, d))
+            else:
+                deferred.append((s, d))
+        rounds.append(tuple(taken))
+        remaining = deferred
+    return rounds
+
+
+def color_bipartite_demand(pairs: Sequence[CircuitPair]) -> List[int]:
+    """Optimally edge-colour the demand multigraph (König's theorem).
+
+    Senders and receivers form the two sides of a bipartite multigraph;
+    its chromatic index equals its maximum degree ``Δ``, and the classic
+    alternating-path algorithm achieves it: each edge takes a colour
+    free at both endpoints, flipping an a/b-alternating path first when
+    the locally-free colours disagree.  Returns one colour in
+    ``[0, Δ)`` per input pair; pairs sharing a colour form a matching.
+    """
+    delta = max_pair_degree(pairs)
+
+    #: colour -> edge index, per endpoint ("u" = sender, "v" = receiver;
+    #: the two sides are separate namespaces even for the same node id).
+    u_used: Dict[int, Dict[int, int]] = {}
+    v_used: Dict[int, Dict[int, int]] = {}
+    colors: List[int] = [-1] * len(pairs)
+
+    def free_color(used: Dict[int, int]) -> int:
+        for c in range(delta):
+            if c not in used:
+                return c
+        raise TopologyError("edge colouring overflow")  # pragma: no cover
+
+    for idx, (s, d) in enumerate(pairs):
+        us = u_used.setdefault(s, {})
+        vd = v_used.setdefault(d, {})
+        a = free_color(us)
+        b = free_color(vd)
+        if a != b:
+            # Invert the a/b-alternating path starting at receiver ``d``
+            # with colour ``a``.  König's argument: the path can never
+            # reach sender ``s`` (senders are entered via colour-``a``
+            # edges, which ``s`` has none of), so after the inversion
+            # ``a`` is free at both endpoints of the new edge.
+            edge = vd.pop(a, None)
+            node, on_receiver = d, True
+            cur, other = a, b
+            while edge is not None:
+                es, ed = pairs[edge]
+                far = es if on_receiver else ed
+                far_used = (u_used if on_receiver
+                            else v_used).setdefault(far, {})
+                far_used.pop(cur, None)
+                next_edge = far_used.pop(other, None)
+                colors[edge] = other
+                far_used[other] = edge
+                near_used = (v_used if on_receiver else u_used)[node]
+                near_used[other] = edge
+                node, on_receiver = far, not on_receiver
+                cur, other = other, cur
+                edge = next_edge
+        colors[idx] = a
+        us[a] = idx
+        vd[a] = idx
+    return colors
+
+
+def optimal_demand_rounds(pairs: Sequence[CircuitPair],
+                          ports_per_node: int,
+                          ) -> List[Tuple[CircuitPair, ...]]:
+    """Optimal decomposition: ``ceil(Δ / ports)`` port-feasible rounds.
+
+    Edge-colours the demand into ``Δ`` matchings, then packs
+    ``ports_per_node`` matchings per round — the round count meets the
+    degree lower bound, which no decomposition can beat.
+    """
+    if ports_per_node < 1:
+        raise TopologyError(
+            f"ports_per_node must be >= 1, got {ports_per_node}")
+    if not pairs:
+        return []
+    colors = color_bipartite_demand(pairs)
+    delta = max(colors) + 1
+    num_rounds = -(-delta // ports_per_node)
+    rounds: List[List[CircuitPair]] = [[] for _ in range(num_rounds)]
+    for pair, color in zip(pairs, colors):
+        rounds[color // ports_per_node].append(pair)
+    return [tuple(r) for r in rounds if r]
+
+
+def decompose_demand(pairs: Sequence[CircuitPair], ports_per_node: int,
+                     mode: str = "auto") -> List[Tuple[CircuitPair, ...]]:
+    """Split one step's demand pairs into port-feasible circuit rounds.
+
+    ``mode``: ``"greedy"`` (first-fit), ``"optimal"`` (bipartite edge
+    colouring, exact round minimum), or ``"auto"`` — optimal up to
+    :data:`OPTIMAL_DECOMPOSITION_LIMIT` demand edges, greedy beyond.
+    """
+    if mode not in ("auto", "greedy", "optimal"):
+        raise TopologyError(
+            f"decomposition mode must be 'auto', 'greedy' or 'optimal', "
+            f"got {mode!r}")
+    if mode == "optimal" or (mode == "auto"
+                             and len(pairs) <= OPTIMAL_DECOMPOSITION_LIMIT):
+        return optimal_demand_rounds(pairs, ports_per_node)
+    return greedy_demand_rounds(pairs, ports_per_node)

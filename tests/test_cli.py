@@ -71,3 +71,30 @@ class TestCommands:
         rc = main(["sweep", "payload", "--nodes", "8"])
         assert rc == 0
         assert "winner" in capsys.readouterr().out
+
+    def test_sweep_substrates_lists_every_registered_fabric(self, capsys):
+        from repro.core.substrates import available_substrates
+
+        rc = main(["sweep", "substrates", "--nodes", "8",
+                   "--bytes", "1000000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in available_substrates():
+            assert name in out
+        assert "ocs-reconfig" in out
+
+    def test_plan_substrate_prints_cache_statistics(self, capsys):
+        rc = main(["plan", "--nodes", "16", "--wavelengths", "8",
+                   "--substrate", "optical-ring"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated on optical-ring" in out
+        assert "rwa_cache_misses" in out
+
+    def test_plan_substrate_ocs_reconfig(self, capsys):
+        rc = main(["plan", "--nodes", "16", "--wavelengths", "8",
+                   "--substrate", "ocs-reconfig"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated on ocs-reconfig" in out
+        assert "step_cache_misses" in out

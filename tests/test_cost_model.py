@@ -147,3 +147,37 @@ class TestScalingProperties:
                                               num_wavelengths=2 * w,
                                               alltoall_threshold=m))
         assert t_big <= t_small * (1 + 1e-9)
+
+
+class TestTorusClosedForm:
+    """The o-torus closed form is pinned to the substrate simulation."""
+
+    @pytest.mark.parametrize("n", [4, 8, 12, 16, 36])
+    def test_matches_substrate_simulation(self, n):
+        from repro.config import default_torus
+        from repro.core.substrates import OpticalTorusSubstrate
+
+        system = default_torus(n)
+        analytic = cm.otorus_ring_time(system, WL)
+        sim = OpticalTorusSubstrate(system).execute(
+            generate_ring_allreduce(n), WL).total_time
+        assert analytic == pytest.approx(sim, rel=1e-9)
+
+    def test_respects_explicit_shape(self):
+        from repro.config import OpticalTorusSystem
+        from repro.core.substrates import OpticalTorusSubstrate
+
+        system = OpticalTorusSystem(num_nodes=12, rows=2, cols=6)
+        analytic = cm.otorus_ring_time(system, WL)
+        sim = OpticalTorusSubstrate(system).execute(
+            generate_ring_allreduce(12), WL).total_time
+        assert analytic == pytest.approx(sim, rel=1e-9)
+
+    def test_comparison_analytic_uses_closed_form(self):
+        from repro.config import default_torus
+        from repro.core.comparison import compare_algorithms
+
+        wl = Workload(data_bytes=4 * units.MB)
+        comp = compare_algorithms(8, wl, algorithms=("o-torus",))
+        assert comp.time("o-torus") == pytest.approx(
+            cm.otorus_ring_time(default_torus(8), wl), rel=1e-12)

@@ -106,3 +106,49 @@ class TestPlanTable:
         best_in_table = min(r[2] for r in rows)
         plan = plan_wrht(system, WL)
         assert plan.predicted_time <= best_in_table * (1 + 1e-9)
+
+
+class TestHybridFidelity:
+    """fidelity="hybrid": analytic pruning + top-k simulation."""
+
+    def test_bad_fidelity_rejected(self):
+        with pytest.raises(PlanningError):
+            plan_wrht(opt(16), WL, fidelity="oracle")
+
+    def test_bad_top_k_rejected(self):
+        with pytest.raises(PlanningError):
+            plan_wrht(opt(16), WL, fidelity="hybrid", top_k=0)
+
+    def test_hybrid_times_come_from_the_simulator(self):
+        system = opt(32, 16)
+        wl = Workload(data_bytes=64 * units.MB)
+        hybrid = plan_wrht(system, wl, fidelity="hybrid")
+        simulate = plan_wrht(system, wl, fidelity="simulate")
+        assert hybrid.predicted_time == simulate.predicted_time
+
+    def test_matches_simulate_on_paper_headline_configs(self):
+        """The ROADMAP acceptance: hybrid (default k=4) returns the
+        same plan as full simulation on the paper's headline configs
+        (every Fig. 2 model at the smallest paper scale, w=64)."""
+        from repro.analysis.figure2 import PAPER_MODELS, PAPER_SCALES
+        from repro.models.catalog import paper_workload
+
+        n = PAPER_SCALES[0]
+        for model in PAPER_MODELS:
+            system = opt(n, 64)
+            wl = paper_workload(model)
+            hybrid = plan_wrht(system, wl, fidelity="hybrid")
+            simulate = plan_wrht(system, wl, fidelity="simulate")
+            assert hybrid.group_size == simulate.group_size, model
+            assert hybrid.variant == simulate.variant, model
+            assert hybrid.predicted_time == simulate.predicted_time, model
+
+    def test_hybrid_reuses_warm_substrate(self):
+        from repro.core.substrates import OpticalRingSubstrate
+
+        system = opt(32, 16)
+        wl = Workload(data_bytes=16 * units.MB)
+        sub = OpticalRingSubstrate(system)
+        plan = plan_wrht(system, wl, fidelity="hybrid", substrate=sub)
+        assert sub.rwa_cache_info().lookups > 0
+        assert plan.predicted_time > 0

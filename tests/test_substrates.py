@@ -42,7 +42,8 @@ class TestRegistry:
     def test_builtins_registered(self):
         names = available_substrates()
         for expected in ("optical-ring", "electrical-switch",
-                         "electrical-ring", "optical-torus"):
+                         "electrical-ring", "optical-torus",
+                         "ocs-reconfig"):
             assert expected in names
 
     def test_unknown_name_lists_registered(self):
@@ -221,6 +222,19 @@ class TestRwaCache:
 
 
 class TestExecuteMany:
+    def test_batch_matches_per_call_on_every_registered_substrate(self):
+        """Cross-substrate parity: for every registered substrate (the
+        ported ones and the torus/OCS extensions alike) the batch entry
+        point is indistinguishable from per-call ``execute``."""
+        wl2 = Workload(data_bytes=1 * units.MB)
+        for name in available_substrates():
+            batch_sub = get_substrate(name)
+            call_sub = get_substrate(name)
+            batched = batch_sub.execute_many([(SCHED, WL), (SCHED, wl2)])
+            individual = [call_sub.execute(SCHED, WL),
+                          call_sub.execute(SCHED, wl2)]
+            assert batched == individual, name
+
     def test_matches_individual_executes(self):
         sub = OpticalRingSubstrate(opt())
         wl2 = Workload(data_bytes=1 * units.MB)
@@ -279,9 +293,11 @@ class TestComparisonIntegration:
         comp = compare_algorithms(8, Workload(data_bytes=1 * units.MB),
                                   algorithms=EXTENDED_ALGORITHMS)
         assert set(comp.results) == {"e-ring", "rd", "o-ring", "wrht",
-                                     "o-torus"}
+                                     "o-torus", "ocs"}
         assert comp.results["o-torus"].substrate == "optical-torus"
         assert comp.time("o-torus") > 0
+        assert comp.results["ocs"].substrate == "ocs-reconfig"
+        assert comp.time("ocs") > 0
 
     def test_simulate_fidelity_dispatches_through_registry(self):
         comp = __import__("repro.core.comparison",
