@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Gate the fluid micro-benchmark against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py CURRENT.json BASELINE.json
+
+Compares the *speedup ratios* (engine vs the in-tree frozen reference
+implementation, measured on the same host in the same run), which makes
+the gate machine-independent: CI hosts are slower than dev laptops, but
+the engine and the reference slow down together.  The job fails when
+any section's speedup drops below half of the committed baseline's
+(i.e. a >2x relative regression).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: A section regresses when its speedup falls below baseline / FACTOR.
+FACTOR = 2.0
+
+#: Sections that must be present in both files and are gated.
+GATED_SECTIONS = ("solver_micro_cold", "step_cache_hit",
+                  "sweep_cell_end_to_end")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    current = json.loads(open(argv[1]).read())
+    baseline = json.loads(open(argv[2]).read())
+
+    failures = []
+    for section in GATED_SECTIONS:
+        if section not in baseline:
+            print(f"[skip] {section}: not in baseline")
+            continue
+        if section not in current:
+            failures.append(f"{section}: missing from current results")
+            continue
+        cur = float(current[section]["speedup"])
+        base = float(baseline[section]["speedup"])
+        floor = base / FACTOR
+        status = "ok" if cur >= floor else "REGRESSED"
+        print(f"[{status}] {section}: speedup {cur:.2f}x "
+              f"(baseline {base:.2f}x, floor {floor:.2f}x)")
+        if cur < floor:
+            failures.append(
+                f"{section}: speedup {cur:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base:.2f}x)")
+
+    if failures:
+        print("\nfluid benchmark regression detected:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nfluid benchmarks within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,6 +12,14 @@ inside the worker.  Workers resolve substrates through
 :func:`repro.core.substrates.pooled_substrate`, so each process keeps
 one warm substrate instance per (system, policy) — one network object,
 one RWA cache — instead of rebuilding ``OpticalRingNetwork`` per cell.
+
+With ``cache_dir`` set, workers additionally warm those pooled
+substrates from a :class:`~repro.core.cache_store.CacheStore` and spill
+what they solved back after each cell, so identical subproblems (RWA
+steps, fluid patterns, OCS decompositions) are solved once *across*
+processes and runs.  Every persisted value is a pure function of its
+key, so warmed and cold runs are byte-identical (pinned by the parity
+tests).
 """
 
 from __future__ import annotations
@@ -31,14 +39,55 @@ def _default_workers(requested: Optional[int]) -> int:
     return max(1, min(os.cpu_count() or 1, 8))
 
 
-def _fig2_cell(args: Tuple[str, int, Tuple[str, ...], str]
+#: The store currently attached to this process's substrate pool.
+_ACTIVE_STORE = None
+
+
+def _use_cache_store(cache_dir: Optional[str]):
+    """Attach a store to this process's substrate pool (worker setup).
+
+    Idempotent per directory: a worker processing many cells warms the
+    pool once, not once per cell (re-warming re-reads every namespace
+    from disk).  A ``None`` cache_dir *detaches* any previously
+    attached store, so a cache-less run after a cached one does not
+    keep reading a stale directory.
+    """
+    global _ACTIVE_STORE
+    if cache_dir is None:
+        if _ACTIVE_STORE is not None:
+            from ..core.substrates import set_pool_cache_store
+
+            set_pool_cache_store(None)
+            _ACTIVE_STORE = None
+        return None
+    if _ACTIVE_STORE is not None \
+            and _ACTIVE_STORE.path == os.fspath(cache_dir):
+        return _ACTIVE_STORE
+    from ..core.cache_store import CacheStore
+    from ..core.substrates import set_pool_cache_store
+
+    _ACTIVE_STORE = CacheStore(cache_dir)
+    set_pool_cache_store(_ACTIVE_STORE)
+    return _ACTIVE_STORE
+
+
+def _spill_cache_store(store) -> None:
+    if store is not None:
+        from ..core.substrates import spill_pool_caches
+
+        spill_pool_caches(store)
+
+
+def _fig2_cell(args: Tuple[str, int, Tuple[str, ...], str, Optional[str]]
                ) -> Tuple[str, int, Dict[str, float]]:
     """One (model, scale) cell — executed inside a worker process."""
     from ..core.comparison import compare_algorithms
 
-    model, n, algorithms, fidelity = args
+    model, n, algorithms, fidelity, cache_dir = args
+    store = _use_cache_store(cache_dir)
     comp = compare_algorithms(n, paper_workload(model),
                               algorithms=algorithms, fidelity=fidelity)
+    _spill_cache_store(store)
     return model, n, {a: comp.time(a) for a in algorithms}
 
 
@@ -47,6 +96,7 @@ def figure2_parallel(models: Sequence[str] = PAPER_MODELS,
                      max_workers: Optional[int] = None,
                      algorithms: Sequence[str] = ALGORITHMS,
                      fidelity: str = "analytic",
+                     cache_dir: Optional[str] = None,
                      ) -> Dict[str, Figure2Panel]:
     """The Fig. 2 grid computed with one process per cell.
 
@@ -55,9 +105,16 @@ def figure2_parallel(models: Sequence[str] = PAPER_MODELS,
     count.  The panel series are keyed by the *requested* ``algorithms``
     — never inferred from one cell's results, so a filtered or failed
     algorithm at one scale cannot skew every panel.
+
+    ``cache_dir`` names a persistent cache-store directory: workers
+    warm their substrate caches from it and spill solved subproblems
+    back, so repeated grids (and the serial path, which honours the
+    same argument) stop re-solving identical cells.  Panels are
+    byte-identical with or without a (warm or cold) store.
     """
     algos = tuple(algorithms)
-    cells = [(m, n, algos, fidelity) for m in models for n in scales]
+    cells = [(m, n, algos, fidelity, cache_dir)
+             for m in models for n in scales]
     workers = _default_workers(max_workers)
     results: Dict[Tuple[str, int], Dict[str, float]] = {}
     if workers == 1:
@@ -110,7 +167,7 @@ def plan_grid_parallel(node_counts: Sequence[int],
         return list(pool.map(_plan_cell, cells))
 
 
-def _substrate_cell(args: Tuple[str, int, Tuple[float, ...]]
+def _substrate_cell(args: Tuple[str, int, Tuple[float, ...], Optional[str]]
                     ) -> Tuple[str, int, List[float]]:
     """One (substrate, scale) cell: all payloads in one batch.
 
@@ -123,11 +180,13 @@ def _substrate_cell(args: Tuple[str, int, Tuple[float, ...]]
     from ..config import Workload
     from ..core.substrates import pooled_substrate
 
-    name, n, payloads = args
+    name, n, payloads, cache_dir = args
+    store = _use_cache_store(cache_dir)
     sub = pooled_substrate(name)
     sched = generate_ring_allreduce(n)
     reports = sub.execute_many(
         (sched, Workload(data_bytes=p, name="grid")) for p in payloads)
+    _spill_cache_store(store)
     return name, n, [r.total_time for r in reports]
 
 
@@ -135,17 +194,21 @@ def substrate_grid_parallel(substrates: Sequence[str],
                             node_counts: Sequence[int],
                             payload_bytes: Sequence[float],
                             max_workers: Optional[int] = None,
+                            cache_dir: Optional[str] = None,
                             ) -> List[Tuple[str, int, float, float]]:
     """Simulated ring all-reduce across substrates, scales and payloads.
 
     Fans (substrate, scale) cells over worker processes; each cell
     batch-executes every payload on one warm substrate instance.
-    Returns rows ``(substrate, num_nodes, payload_bytes, total_time)``
-    in grid order — the capacity-planning counterpart of
-    :func:`plan_grid_parallel` for full-fidelity execution.
+    ``cache_dir`` (optional) names a persistent cache store the workers
+    warm from and spill to.  Returns rows ``(substrate, num_nodes,
+    payload_bytes, total_time)`` in grid order — the capacity-planning
+    counterpart of :func:`plan_grid_parallel` for full-fidelity
+    execution.
     """
     payloads = tuple(float(p) for p in payload_bytes)
-    cells = [(s, n, payloads) for s in substrates for n in node_counts]
+    cells = [(s, n, payloads, cache_dir)
+             for s in substrates for n in node_counts]
     workers = _default_workers(max_workers)
     if workers == 1:
         batches = [_substrate_cell(c) for c in cells]

@@ -180,6 +180,7 @@ class SubstrateRow:
 
 def substrate_sweep(num_nodes: int, workload: Workload,
                     substrates: Optional[Sequence[str]] = None,
+                    cache_dir: Optional[str] = None,
                     ) -> List[SubstrateRow]:
     """Execute one ring all-reduce on every registered substrate.
 
@@ -188,15 +189,29 @@ def substrate_sweep(num_nodes: int, workload: Workload,
     ``num_nodes``.  Substrates that cannot host the schedule (e.g. the
     torus with a prime node count) are reported with an empty time and
     the configuration error as ``note`` rather than aborting the sweep.
+
+    ``cache_dir`` (optional) names a persistent
+    :class:`~repro.core.cache_store.CacheStore` directory: each
+    substrate warms its memoization caches (RWA, OCS decomposition,
+    fluid patterns) from it before executing and spills them back
+    after, so repeated sweeps skip already-solved subproblems.  Results
+    are identical either way.
     """
     from ..collectives.ring_allreduce import generate_ring_allreduce
 
+    store = None
+    if cache_dir is not None:
+        from ..core.cache_store import CacheStore
+
+        store = CacheStore(cache_dir)
     names = (tuple(substrates) if substrates is not None
              else available_substrates())
     sched = generate_ring_allreduce(num_nodes)
     rows: List[SubstrateRow] = []
     for name in names:
         sub = get_substrate(name)
+        if store is not None:
+            sub.warm_from(store)
         info = sub.describe()
         try:
             rep = sub.execute(sched, workload)
@@ -205,6 +220,9 @@ def substrate_sweep(num_nodes: int, workload: Workload,
                                      steps=0, kind=info.kind,
                                      note=str(exc)))
             continue
+        finally:
+            if store is not None:
+                sub.spill_to(store)
         rows.append(SubstrateRow(substrate=name, time=rep.total_time,
                                  steps=rep.num_steps, kind=info.kind))
     return rows

@@ -1,0 +1,135 @@
+"""Shared in-memory caching primitives.
+
+Every memoization layer in the repo — the optical ring's RWA cache, the
+OCS fabric's demand-decomposition step cache, the fluid simulator's
+pattern cache, and the topology routed-path cache — uses the same two
+building blocks:
+
+* :class:`LruCache` — a bounded LRU mapping with hit/miss counters;
+* :class:`CacheStats` — the frozen counter snapshot those caches report
+  through ``describe()`` and the CLI.
+
+They live in this dependency-free module (only the stdlib) so that the
+lowest layers (``repro.topology``) and the highest
+(``repro.core.substrates``, ``repro.core.cache_store``) can share one
+mechanism without import cycles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of an internal memoization cache."""
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+    max_size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes served from the cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Aggregate two counters (used when a substrate owns several
+        simulators, each with its own cache)."""
+        return CacheStats(hits=self.hits + other.hits,
+                          misses=self.misses + other.misses,
+                          size=self.size + other.size,
+                          max_size=self.max_size + other.max_size)
+
+
+class LruCache:
+    """A bounded LRU mapping with hit/miss counters.
+
+    The one cache mechanism every memoization in the repo uses (the
+    ring's RWA cache, the OCS fabric's decomposition step cache, the
+    fluid pattern cache, the topology routed-path cache): ``get``
+    promotes and counts, ``put`` evicts the least recently used entry
+    beyond ``max_size``.  ``None`` is not storable (it encodes a miss).
+    """
+
+    def __init__(self, max_size: int) -> None:
+        self.max_size = max(1, int(max_size))
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        #: Monotonic write counter — lets spillers skip unchanged caches.
+        self.mutations = 0
+
+    def get(self, key: Any) -> Optional[Any]:
+        """The cached value (promoted to most recent), or ``None``."""
+        value = self._data.get(key)
+        if value is not None:
+            self.hits += 1
+            self._data.move_to_end(key)
+        else:
+            self.misses += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert/refresh ``value`` (becomes most recent), evicting the
+        LRU entry when over bound."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        self.mutations += 1
+        if len(self._data) > self.max_size:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters.
+
+        ``mutations`` advances rather than resetting — the content
+        changed, so spillers must not mistake the cache for unchanged.
+        """
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        self.mutations += 1
+
+    def stats(self) -> CacheStats:
+        """Current counter snapshot."""
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          size=len(self._data), max_size=self.max_size)
+
+    # -- persistence hooks (see repro.core.cache_store) ---------------------
+
+    def export_items(self) -> Dict[Any, Any]:
+        """Snapshot of the live entries, LRU-first (for disk spilling)."""
+        return dict(self._data)
+
+    def warm(self, items: Dict[Any, Any]) -> int:
+        """Preload ``items`` without touching the hit/miss counters.
+
+        Entries beyond ``max_size`` evict LRU-first as usual.  Returns
+        the number of entries loaded (``None`` values are skipped — the
+        cache cannot represent them).
+        """
+        loaded = 0
+        for key, value in items.items():
+            if value is None:
+                continue
+            self.put(key, value)
+            loaded += 1
+        return loaded
+
+    def values(self) -> Iterator[Any]:
+        """Iterate over live values (LRU-first)."""
+        return iter(list(self._data.values()))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data

@@ -82,6 +82,11 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         sub = get_substrate(args.substrate,
                             system=system if args.substrate == "optical-ring"
                             else None)
+        store = _open_store(args)
+        if store is not None:
+            warmed = sub.warm_from(store)
+            print(f"  cache store        : {store.path} "
+                  f"({warmed} entries warmed)")
         try:
             rep = sub.execute(plan.schedule, wl)
         except ConfigurationError as exc:
@@ -91,19 +96,38 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print(f"  simulated on {rep.substrate:<7}: "
               f"{units.fmt_time(rep.total_time)} "
               f"({rep.num_steps} steps)")
-        # Cache behaviour (RWA / step caches) is part of describe(), so
-        # any substrate that memoizes work reports it here.
+        # Cache behaviour (RWA / step / fluid-pattern caches) is part of
+        # describe(), so any substrate that memoizes work reports it.
         stats = [(k, v) for k, v in sub.describe().parameters
                  if "_cache_" in k]
         if stats:
             print("  cache statistics   : "
                   + ", ".join(f"{k}={v}" for k, v in stats))
+        if store is not None:
+            sub.spill_to(store)
+            print("  cache store        : " + _store_summary(store))
     if args.show_schedule:
         from .topology.ring import RingTopology
         ring = RingTopology(args.nodes, capacity=1.0)
         print()
         print(describe_schedule(plan.schedule, ring))
     return 0
+
+
+def _open_store(args: argparse.Namespace):
+    """The persistent cache store named by ``--cache-dir`` (or None)."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir:
+        return None
+    from .core.cache_store import CacheStore
+    return CacheStore(cache_dir)
+
+
+def _store_summary(store) -> str:
+    stats = store.stats()
+    return (f"{stats['total_entries']} entries in "
+            f"{len(stats['namespaces'])} namespaces, "
+            f"{stats['total_bytes']} bytes")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -145,7 +169,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=f"EXT-A3 striping ablation (N={args.nodes}, "
                   f"{wl.name})"))
     elif args.kind == "substrates":
-        rows = substrate_sweep(args.nodes, wl)
+        rows = substrate_sweep(args.nodes, wl, cache_dir=args.cache_dir)
         print(simple_table(
             ["substrate", "kind", "time", "steps", "note"],
             [(r.substrate, r.kind,
@@ -153,6 +177,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               r.steps, r.note) for r in rows],
             title=f"EXT-S1 substrate comparison (N={args.nodes}, "
                   f"{wl.name}, ring all-reduce)"))
+        store = _open_store(args)
+        if store is not None:
+            print(f"cache store {store.path}: {_store_summary(store)}")
     return 0
 
 
@@ -186,6 +213,10 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--show-schedule", action="store_true")
     pl.add_argument("--substrate", choices=available_substrates(),
                     help="also execute the plan on this substrate")
+    pl.add_argument("--cache-dir",
+                    help="persistent cache-store directory to warm the "
+                         "substrate's memoization caches from (and spill "
+                         "back to)")
     pl.set_defaults(func=_cmd_plan)
 
     sw = sub.add_parser("sweep", help="ablation sweeps")
@@ -194,6 +225,9 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--nodes", type=int, default=256)
     sw.add_argument("--model", choices=PAPER_MODELS)
     sw.add_argument("--bytes", type=float, default=100 * units.MB)
+    sw.add_argument("--cache-dir",
+                    help="persistent cache-store directory "
+                         "(substrates sweep only)")
     sw.set_defaults(func=_cmd_sweep)
 
     rp = sub.add_parser("report",

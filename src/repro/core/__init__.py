@@ -9,6 +9,9 @@
   2-D optical torus) that keep network state warm across calls;
 * :mod:`~repro.core.executor` — the original function API, now thin
   wrappers over the substrates (kept for backward compatibility);
+* :mod:`~repro.core.cache_store` — the disk-backed cross-process cache
+  store substrates spill their memoization caches (RWA, OCS
+  decomposition, fluid patterns) to and warm from;
 * :mod:`~repro.core.planner` — chooses Wrht's group size ``m`` and
   all-to-all variant for a given system + payload (analytically or by
   simulating candidates on a substrate);
@@ -19,6 +22,7 @@
   that really reduces user arrays while reporting modelled time.
 """
 
+from .cache_store import CacheStore
 from .comparison import (ALGORITHMS, EXTENDED_ALGORITHMS, AlgorithmResult,
                          ComparisonResult, compare_algorithms)
 from .cost_model import (ering_time, oring_time, rd_time,
@@ -39,6 +43,7 @@ __all__ = [
     "ring_allreduce_time_optical",
     "wrht_time",
     "wrht_time_from_schedule",
+    "CacheStore",
     "ExecutionReport",
     "StepReport",
     "execute_on_optical_ring",

@@ -28,14 +28,16 @@ Third-party fabrics plug in with :func:`register_substrate`;
 
 from __future__ import annotations
 
-from .base import (CacheStats, ExecutionJob, ExecutionReport, LruCache,
-                   StepReport, Substrate, SubstrateInfo)
+from .base import (CacheStats, ExecutionJob, ExecutionReport,
+                   FluidCacheMixin, LruCache, StepReport, Substrate,
+                   SubstrateInfo)
 from .electrical import ElectricalSubstrate
 from .optical_ring import OpticalRingSubstrate, RwaCacheStats
 from .optical_torus import OpticalTorusSubstrate
 from .reconfigurable import OCSReconfigurableSubstrate
 from .registry import (available_substrates, clear_substrate_pool,
-                       get_substrate, pooled_substrate, register_substrate)
+                       get_substrate, pooled_substrate, register_substrate,
+                       set_pool_cache_store, spill_pool_caches)
 
 register_substrate(
     "optical-ring",
@@ -66,6 +68,7 @@ __all__ = [
     "OpticalTorusSubstrate",
     "OCSReconfigurableSubstrate",
     "CacheStats",
+    "FluidCacheMixin",
     "LruCache",
     "RwaCacheStats",
     "register_substrate",
@@ -73,4 +76,6 @@ __all__ = [
     "pooled_substrate",
     "available_substrates",
     "clear_substrate_pool",
+    "set_pool_cache_store",
+    "spill_pool_caches",
 ]

@@ -16,12 +16,24 @@ use.
 from __future__ import annotations
 
 import abc
-from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
 
+from ...caching import CacheStats, LruCache
 from ...collectives.schedule import Schedule
 from ...config import Workload
+
+__all__ = [
+    "CacheStats",
+    "LruCache",
+    "StepReport",
+    "ExecutionReport",
+    "SubstrateInfo",
+    "ExecutionJob",
+    "JobLike",
+    "Substrate",
+    "FluidCacheMixin",
+]
 
 
 @dataclass(frozen=True)
@@ -67,70 +79,6 @@ class ExecutionReport:
     def peak_wavelength_demand(self) -> int:
         """Worst per-step wavelength demand (optical runs only)."""
         return max((s.wavelength_demand for s in self.steps), default=0)
-
-
-@dataclass(frozen=True)
-class CacheStats:
-    """Hit/miss counters of a substrate-internal memoization cache."""
-
-    hits: int = 0
-    misses: int = 0
-    size: int = 0
-    max_size: int = 0
-
-    @property
-    def lookups(self) -> int:
-        """Total cache probes."""
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of probes served from the cache (0 when unused)."""
-        return self.hits / self.lookups if self.lookups else 0.0
-
-
-class LruCache:
-    """A bounded LRU mapping with hit/miss counters.
-
-    The one cache mechanism every substrate memoization uses (the
-    ring's RWA cache, the OCS fabric's decomposition step cache, the
-    per-configuration simulator pools): ``get`` promotes and counts,
-    ``put`` evicts the least recently used entry beyond ``max_size``.
-    ``None`` is not storable (it encodes a miss).
-    """
-
-    def __init__(self, max_size: int) -> None:
-        self.max_size = max(1, int(max_size))
-        self._data: "OrderedDict[Any, Any]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-
-    def get(self, key: Any) -> Optional[Any]:
-        """The cached value (promoted to most recent), or ``None``."""
-        value = self._data.get(key)
-        if value is not None:
-            self.hits += 1
-            self._data.move_to_end(key)
-        else:
-            self.misses += 1
-        return value
-
-    def put(self, key: Any, value: Any) -> None:
-        """Insert/refresh ``value`` (becomes most recent), evicting the
-        LRU entry when over bound."""
-        self._data[key] = value
-        self._data.move_to_end(key)
-        if len(self._data) > self.max_size:
-            self._data.popitem(last=False)
-
-    def clear(self) -> None:
-        """Drop every entry and reset the counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._data)
 
 
 @dataclass(frozen=True)
@@ -203,5 +151,178 @@ class Substrate(abc.ABC):
                                     **dict(j.options)))
         return out
 
+    # -- cross-process cache persistence ------------------------------------
+    #
+    # Substrates that memoize work expose their caches by *namespace* so
+    # a :class:`repro.core.cache_store.CacheStore` can warm them from
+    # disk and spill them back.  Every cached value must be a pure
+    # deterministic function of its key, so hit/miss history never
+    # changes results — the property the parallel drivers' byte-identical
+    # parity tests pin.
+
+    def persistent_caches(self) -> Dict[str, LruCache]:
+        """Spillable caches keyed by store namespace (default: none).
+
+        Namespaces must be globally unambiguous: keys of two substrates
+        sharing a namespace must mean the same thing (e.g. the fluid
+        pattern caches namespace by topology signature, the ring RWA
+        cache embeds the system in its keys).
+        """
+        return {}
+
+    def warm_from(self, store: Any) -> int:
+        """Preload every persistent cache from ``store``.
+
+        The store is remembered, so caches materialized *after* this
+        call (e.g. per-configuration fluid simulators built lazily)
+        warm themselves on creation.  Returns the number of entries
+        loaded.
+        """
+        self._cache_store = store
+        # A (re)attached store starts with no spill history — entries
+        # already spilled elsewhere still belong in *this* store.
+        self._spilled_mutations = {}
+        loaded = 0
+        for namespace, cache in self.persistent_caches().items():
+            was_empty = len(cache) == 0
+            loaded += cache.warm(store.load(namespace))
+            if was_empty:
+                # Everything in the cache came from this store, so the
+                # next spill can skip it until new work lands.
+                self._spilled_mutations[namespace] = cache.mutations
+        return loaded
+
+    def spill_to(self, store: Any = None) -> int:
+        """Merge every persistent cache into ``store`` (or the one from
+        :meth:`warm_from`).  Returns the number of entries written; 0
+        when no store is attached.
+
+        Spills to the *attached* store are incremental: namespaces
+        whose cache has not been written since the last spill are
+        skipped, so drivers can spill after every cell without
+        re-serializing an unchanged store each time.
+        """
+        attached = getattr(self, "_cache_store", None)
+        store = store if store is not None else attached
+        if store is None:
+            return 0
+        track = store is attached
+        seen: Dict[str, int] = getattr(self, "_spilled_mutations", None) \
+            or {}
+        self._spilled_mutations = seen
+        written = 0
+        for namespace, cache in self.persistent_caches().items():
+            if track and seen.get(namespace) == cache.mutations:
+                continue
+            items = cache.export_items()
+            if items:
+                store.merge(namespace, items)
+                written += len(items)
+            if track:
+                seen[namespace] = cache.mutations
+        return written
+
+    def detach_store(self) -> None:
+        """Forget the attached store (stops lazy warms and spills)."""
+        self._cache_store = None
+        self._spilled_mutations = {}
+
+    @property
+    def cache_store(self) -> Any:
+        """The attached :class:`~repro.core.cache_store.CacheStore`
+        (``None`` when running purely in-memory)."""
+        return getattr(self, "_cache_store", None)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: Bound on shared pattern-cache namespaces kept per substrate (LRU).
+_FLUID_NAMESPACES_MAX = 128
+
+
+class FluidCacheMixin:
+    """Shared cache plumbing for substrates driven by the fluid engine.
+
+    Substrates that pool
+    :class:`~repro.simulation.fluid.FluidNetworkSimulator` instances
+    (electrical, optical torus, reconfigurable OCS) mix this in and
+    call :meth:`_register_fluid_simulator` on every simulator they
+    create; in return they get one pattern cache per *topology
+    signature* shared across same-topology simulators (two systems
+    differing only in overheads build identical topologies and their
+    steps are interchangeable), aggregated counters for ``describe()``,
+    the persistent namespaces for
+    :meth:`Substrate.persistent_caches`, and lazy warming from an
+    attached store.
+    """
+
+    def _fluid_pattern_caches(self) -> LruCache:
+        """Namespace → shared pattern cache (LRU-bounded).
+
+        Bounded so substrates that visit many distinct topologies (the
+        OCS fabric builds one per circuit configuration) cannot pin an
+        unbounded set of pattern caches in memory; a namespace evicted
+        here simply re-registers (and re-warms) on next use.
+        """
+        caches = getattr(self, "_fluid_caches", None)
+        if caches is None:
+            caches = self._fluid_caches = LruCache(_FLUID_NAMESPACES_MAX)
+        return caches
+
+    def _register_fluid_simulator(self, sim: Any) -> None:
+        """Adopt/seed the shared pattern cache for a new simulator.
+
+        Same-namespace simulators share one cache object (so spills
+        lose nothing to key collisions and repeated configs reuse each
+        other's solves); the first simulator of a namespace warms it
+        from the attached store.
+        """
+        if sim.pattern_cache is None:
+            return
+        caches = self._fluid_pattern_caches()
+        namespace = sim.cache_namespace()
+        existing = caches.get(namespace)
+        if existing is not None:
+            sim.use_pattern_cache(existing)
+            return
+        store = getattr(self, "_cache_store", None)
+        if store is not None:
+            was_empty = len(sim.pattern_cache) == 0
+            sim.warm_pattern_cache(store.load(namespace))
+            seen = getattr(self, "_spilled_mutations", None)
+            if seen is not None and was_empty:
+                # Its whole content came from the store, so the next
+                # spill can skip it until new work lands.
+                seen[namespace] = sim.pattern_cache.mutations
+        caches.put(namespace, sim.pattern_cache)
+
+    def _schedule_steps(self, schedule: Schedule, workload: Workload,
+                        ) -> List[List[Tuple[int, int, float]]]:
+        """Every step of ``schedule`` as ``(src, dst, bytes)`` batches —
+        the input shape of ``FluidNetworkSimulator.step_time_many``."""
+        from ...collectives.primitives import transfer_bytes
+
+        return [[(t.src, t.dst,
+                  transfer_bytes(t, workload.data_bytes,
+                                 schedule.num_chunks))
+                 for t in step]
+                for step in schedule.steps]
+
+    def fluid_cache_info(self) -> CacheStats:
+        """Pattern-cache counters aggregated over the shared caches."""
+        total = CacheStats()
+        for cache in self._fluid_pattern_caches().values():
+            total = total + cache.stats()
+        return total
+
+    def _fluid_cache_params(self) -> List[Tuple[str, Any]]:
+        """The ``describe()`` parameters every fluid substrate reports."""
+        stats = self.fluid_cache_info()
+        return [("fluid_cache_hits", stats.hits),
+                ("fluid_cache_misses", stats.misses),
+                ("fluid_cache_hit_rate", round(stats.hit_rate, 4))]
+
+    def persistent_caches(self) -> Dict[str, LruCache]:
+        """Default for fluid substrates: the shared pattern caches."""
+        return dict(self._fluid_pattern_caches().export_items())

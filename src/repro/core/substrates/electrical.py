@@ -12,17 +12,17 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ...collectives.primitives import transfer_bytes
 from ...collectives.schedule import Schedule
 from ...config import ElectricalSystem, Workload, default_electrical
 from ...errors import ConfigurationError
 from ...simulation.fluid import FluidNetworkSimulator
 from ...topology.ring import RingTopology
 from ...topology.switched import SwitchedStar
-from .base import ExecutionReport, StepReport, Substrate, SubstrateInfo
+from .base import (ExecutionReport, FluidCacheMixin, StepReport, Substrate,
+                   SubstrateInfo)
 
 
-class ElectricalSubstrate(Substrate):
+class ElectricalSubstrate(FluidCacheMixin, Substrate):
     """Fluid-model schedule execution on an electrical network.
 
     Parameters
@@ -60,8 +60,10 @@ class ElectricalSubstrate(Substrate):
         return f"electrical-{self._topology}"
 
     def describe(self) -> SubstrateInfo:
-        """Metadata: fluid model and topology settings."""
+        """Metadata: fluid model, topology settings, and the aggregated
+        fluid-pattern cache counters."""
         params = [("topology", self._topology)]
+        params += self._fluid_cache_params()
         if self._system is not None:
             params += [("num_nodes", self._system.num_nodes),
                        ("link_rate", self._system.link_rate)]
@@ -78,13 +80,13 @@ class ElectricalSubstrate(Substrate):
         sim = self._simulator(system)
         report = ExecutionReport(schedule_name=schedule.name,
                                  substrate=f"electrical-{system.topology}")
+        # One batch call: repeated step patterns (a ring schedule has
+        # 2(N-1) identical ones) hit the simulator's pattern cache.
+        makespans = sim.step_time_many(
+            self._schedule_steps(schedule, workload))
         now = 0.0
-        for idx, step in enumerate(schedule.steps):
-            pairs = [(t.src, t.dst,
-                      transfer_bytes(t, workload.data_bytes,
-                                     schedule.num_chunks))
-                     for t in step]
-            makespan = sim.step_time(pairs)
+        for idx, (step, makespan) in enumerate(zip(schedule.steps,
+                                                   makespans)):
             duration = system.step_latency + makespan
             now += duration
             report.steps.append(StepReport(
@@ -119,5 +121,6 @@ class ElectricalSubstrate(Substrate):
                 topo = RingTopology(system.num_nodes, system.link_rate,
                                     bidirectional=True)
             sim = FluidNetworkSimulator(topo)
+            self._register_fluid_simulator(sim)
             self._sims[system] = sim
         return sim

@@ -123,6 +123,14 @@ class OpticalRingSubstrate(Substrate):
         """Drop every memoized RWA solution (counters reset too)."""
         self._cache.clear()
 
+    def persistent_caches(self) -> Dict[str, "LruCache"]:
+        """The RWA cache, spillable to a cross-process store.
+
+        One global namespace is safe: every key embeds the system, the
+        policy, the striping factor and the routed step pattern.
+        """
+        return {"rwa": self._cache}
+
     # -- substrate interface ------------------------------------------------
 
     def describe(self) -> SubstrateInfo:

@@ -15,16 +15,16 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ...collectives.primitives import transfer_bytes
 from ...collectives.schedule import Schedule
 from ...config import OpticalTorusSystem, Workload, default_torus
 from ...errors import ConfigurationError
 from ...simulation.fluid import FluidNetworkSimulator
 from ...topology.torus import Torus2D
-from .base import ExecutionReport, StepReport, Substrate, SubstrateInfo
+from .base import (ExecutionReport, FluidCacheMixin, StepReport, Substrate,
+                   SubstrateInfo)
 
 
-class OpticalTorusSubstrate(Substrate):
+class OpticalTorusSubstrate(FluidCacheMixin, Substrate):
     """Fluid-model schedule execution on a WDM 2-D torus.
 
     Parameters
@@ -46,13 +46,14 @@ class OpticalTorusSubstrate(Substrate):
         self._sims: Dict[OpticalTorusSystem, FluidNetworkSimulator] = {}
 
     def describe(self) -> SubstrateInfo:
-        """Metadata: torus shape and aggregate WDM link model."""
-        params = []
+        """Metadata: torus shape, aggregate WDM link model, and the
+        aggregated fluid-pattern cache counters."""
+        params = self._fluid_cache_params()
         if self._system is not None:
             rows, cols = self._system.grid_shape
-            params = [("rows", rows), ("cols", cols),
-                      ("num_wavelengths", self._system.num_wavelengths),
-                      ("link_rate", self._system.link_rate)]
+            params += [("rows", rows), ("cols", cols),
+                       ("num_wavelengths", self._system.num_wavelengths),
+                       ("link_rate", self._system.link_rate)]
         return SubstrateInfo(
             name=self.name, kind="optical",
             description="2-D WDM torus, dimension-ordered routing, "
@@ -67,13 +68,11 @@ class OpticalTorusSubstrate(Substrate):
         sim = self._simulator(system)
         report = ExecutionReport(schedule_name=schedule.name,
                                  substrate=self.name)
+        makespans = sim.step_time_many(
+            self._schedule_steps(schedule, workload))
         now = 0.0
-        for idx, step in enumerate(schedule.steps):
-            pairs = [(t.src, t.dst,
-                      transfer_bytes(t, workload.data_bytes,
-                                     schedule.num_chunks))
-                     for t in step]
-            makespan = sim.step_time(pairs)
+        for idx, (step, makespan) in enumerate(zip(schedule.steps,
+                                                   makespans)):
             # Hierarchical routes re-tune MRRs every step (no static
             # neighbour circuit as on the ring), so tuning is charged
             # per step alongside the synchronisation overhead.
@@ -108,5 +107,6 @@ class OpticalTorusSubstrate(Substrate):
             topo = Torus2D(rows, cols, capacity=system.link_rate,
                            latency=system.hop_propagation_delay)
             sim = FluidNetworkSimulator(topo)
+            self._register_fluid_simulator(sim)
             self._sims[system] = sim
         return sim

@@ -40,8 +40,8 @@ from ...topology.program import (CircuitConfig, CircuitPair,
                                  CircuitTopology, TopologyProgram,
                                  decompose_demand, max_pair_degree,
                                  ring_circuit_config)
-from .base import (CacheStats, ExecutionReport, LruCache, StepReport,
-                   Substrate, SubstrateInfo)
+from .base import (CacheStats, ExecutionReport, FluidCacheMixin, LruCache,
+                   StepReport, Substrate, SubstrateInfo)
 
 Initial = Union[str, CircuitConfig]
 
@@ -52,7 +52,7 @@ DEFAULT_STEP_CACHE_SIZE = 4096
 _SIM_CACHE_MAX = 64
 
 
-class OCSReconfigurableSubstrate(Substrate):
+class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
     """Reconfiguration-aware schedule execution on an OCS fabric.
 
     Parameters
@@ -142,6 +142,7 @@ class OCSReconfigurableSubstrate(Substrate):
             ("step_cache_misses", stats.misses),
             ("step_cache_hit_rate", round(stats.hit_rate, 4)),
         ]
+        params += self._fluid_cache_params()
         if self._system is not None:
             params += [
                 ("num_nodes", self._system.num_nodes),
@@ -266,22 +267,11 @@ class OCSReconfigurableSubstrate(Substrate):
         """
         sim = self._simulator(system, config)
         try:
-            results = sim.run_pairs(
+            profile = sim.step_profile(
                 [(s, d, b) for (s, d), b in sorted(sizes.items())])
         except TopologyError:
             return float("inf"), 0.0
-        makespan = 0.0
-        slowest = None
-        for r in results:
-            if r.finish_time > makespan:
-                makespan = r.finish_time
-                slowest = r
-        if slowest is None:
-            return 0.0, 0.0
-        topo = sim.topology
-        propagation = topo.path_latency(topo.path(slowest.src,
-                                                  slowest.dst))
-        return makespan, propagation
+        return profile.makespan, profile.propagation
 
     class _ReconfigPlan:
         """Costed reconfigure option for one step."""
@@ -343,6 +333,16 @@ class OCSReconfigurableSubstrate(Substrate):
             self._cache.put(key, rounds)
         return rounds
 
+    def persistent_caches(self) -> Dict[str, LruCache]:
+        """The decomposition step cache plus the fluid pattern caches.
+
+        Decomposition keys are ``(ports, mode, ordered pattern)`` —
+        system-rate independent — so one global namespace is safe.
+        """
+        caches = {"ocs/decomposition": self._cache}
+        caches.update(self._fluid_pattern_caches().export_items())
+        return caches
+
     def _simulator(self, system: ReconfigurableOCSSystem,
                    config: CircuitConfig) -> FluidNetworkSimulator:
         key = (system, config)
@@ -352,5 +352,6 @@ class OCSReconfigurableSubstrate(Substrate):
                                    capacity=system.circuit_rate,
                                    latency=system.circuit_latency)
             sim = FluidNetworkSimulator(topo)
+            self._register_fluid_simulator(sim)
             self._sims.put(key, sim)
         return sim

@@ -25,6 +25,9 @@ _REGISTRY: Dict[str, SubstrateFactory] = {}
 _POOL_MAX = 32
 _POOL: "OrderedDict[Tuple, Substrate]" = OrderedDict()
 
+#: Process-local persistent cache store newly pooled substrates warm from.
+_POOL_STORE: Optional[Any] = None
+
 
 def register_substrate(name: str, factory: SubstrateFactory,
                        replace: bool = False) -> None:
@@ -81,6 +84,8 @@ def pooled_substrate(name: str, system: Optional[Any] = None,
     sub = _POOL.get(key)
     if sub is None:
         sub = get_substrate(name, system=system, **kwargs)
+        if _POOL_STORE is not None:
+            sub.warm_from(_POOL_STORE)
         _POOL[key] = sub
         if len(_POOL) > _POOL_MAX:
             _POOL.popitem(last=False)
@@ -92,3 +97,38 @@ def pooled_substrate(name: str, system: Optional[Any] = None,
 def clear_substrate_pool() -> None:
     """Drop every pooled instance (tests / memory pressure)."""
     _POOL.clear()
+
+
+def set_pool_cache_store(store: Optional[Any]) -> None:
+    """Attach a :class:`~repro.core.cache_store.CacheStore` to the pool.
+
+    Substrates pooled from now on warm their persistent caches from
+    ``store`` at construction; instances already pooled are warmed
+    immediately.  Pass ``None`` to detach the pool *and* every pooled
+    instance (their in-memory caches stay, but they stop reading from
+    or spilling to the old directory).  The setting is process-local —
+    parallel workers each call this once at cell start.
+    """
+    global _POOL_STORE
+    _POOL_STORE = store
+    for sub in _POOL.values():
+        if store is not None:
+            sub.warm_from(store)
+        else:
+            sub.detach_store()
+
+
+def spill_pool_caches(store: Optional[Any] = None) -> int:
+    """Spill every pooled substrate's caches to ``store``.
+
+    Defaults to the store attached via :func:`set_pool_cache_store`.
+    Returns the number of entries written (0 when no store is
+    configured).
+    """
+    store = store if store is not None else _POOL_STORE
+    if store is None:
+        return 0
+    written = 0
+    for sub in _POOL.values():
+        written += sub.spill_to(store)
+    return written

@@ -15,8 +15,10 @@ of S bytes over an uncongested path of rate B and latency L completes in
 """
 
 from .engine import Event, EventQueue, Simulator
-from .flows import Flow, max_min_fair_rates
-from .fluid import FlowResult, FluidNetworkSimulator
+from .flows import (CompiledFlowBatch, Flow, compile_flows, compile_paths,
+                    max_min_fair_rates, progressive_fill,
+                    validate_allocation)
+from .fluid import FlowResult, FluidNetworkSimulator, StepProfile
 from .trace import LinkTrace, TraceRecorder
 
 __all__ = [
@@ -24,9 +26,15 @@ __all__ = [
     "EventQueue",
     "Simulator",
     "Flow",
+    "CompiledFlowBatch",
+    "compile_flows",
+    "compile_paths",
+    "progressive_fill",
     "max_min_fair_rates",
+    "validate_allocation",
     "FluidNetworkSimulator",
     "FlowResult",
+    "StepProfile",
     "LinkTrace",
     "TraceRecorder",
 ]

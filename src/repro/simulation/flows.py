@@ -7,16 +7,26 @@ saturates; freeze the flows crossing it; repeat.  This is the allocation
 SimGrid's default TCP model converges to at this granularity, and is the
 textbook fluid model for congestion-controlled traffic.
 
-The solver is vectorized with NumPy over a links x flows incidence matrix;
-the Fig. 2 grid only has O(N) flows per step, but ablation sweeps run it
-tens of thousands of times, so the hot loop matters (see the HPC guide:
-vectorize the bottleneck, keep the rest legible).
+The solver is split into a **compile** step and a **fill** step so the
+fluid event loop never rebuilds Python-side structures per event:
+
+* :func:`compile_paths` turns a batch of flow paths into a
+  :class:`CompiledFlowBatch` — a CSR flow→link index, the dense
+  links x flows incidence matrix, and the link capacity vector — built
+  exactly once per ``run()`` batch;
+* :func:`progressive_fill` solves max-min over the compiled structure
+  restricted to an *active mask*, which is how one synchronous step of
+  N flows costs N vectorized solves instead of N full rebuilds.
+
+:func:`max_min_fair_rates` keeps the historical one-shot API on top of
+the two (and the property suite pins it bit-for-bit against the frozen
+pre-refactor implementation in ``repro.simulation._reference``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,81 +64,183 @@ class Flow:
         self.remaining = float(self.size)
 
 
+class CompiledFlowBatch:
+    """One batch of flow paths compiled for repeated max-min solves.
+
+    Everything the per-event hot loop needs, precomputed as arrays:
+
+    * ``link_ids`` / ``cap`` — the links actually used by the batch (in
+      first-use order, matching the historical solver) and their
+      capacities;
+    * ``inc`` — dense links x flows incidence (float64, so the per-round
+      ``inc @ active`` matmul needs no cast);
+    * ``flow_ptr`` / ``flow_links`` — CSR rows: flow ``j`` crosses
+      ``flow_links[flow_ptr[j]:flow_ptr[j+1]]``;
+    * ``flow_of`` — ``flow_links``'s owning flow per entry (for
+      flow-major trace accumulation with ``np.add.at``);
+    * ``loopback`` — flows with an empty path (delivered instantly).
+    """
+
+    __slots__ = ("link_ids", "cap", "inc", "flow_ptr", "flow_links",
+                 "flow_of", "loopback", "any_loopback")
+
+    def __init__(self, link_ids: Tuple[LinkId, ...], cap: np.ndarray,
+                 inc: np.ndarray, flow_ptr: np.ndarray,
+                 flow_links: np.ndarray, flow_of: np.ndarray,
+                 loopback: np.ndarray) -> None:
+        self.link_ids = link_ids
+        self.cap = cap
+        self.inc = inc
+        self.flow_ptr = flow_ptr
+        self.flow_links = flow_links
+        self.flow_of = flow_of
+        self.loopback = loopback
+        self.any_loopback = bool(loopback.any())
+
+    @property
+    def num_flows(self) -> int:
+        """Flows in the batch."""
+        return len(self.flow_ptr) - 1
+
+    @property
+    def num_links(self) -> int:
+        """Distinct links used by the batch."""
+        return len(self.link_ids)
+
+
+def compile_paths(paths: Sequence[Tuple[LinkId, ...]],
+                  capacities: Dict[LinkId, float]) -> CompiledFlowBatch:
+    """Compile a batch of flow paths against ``capacities``.
+
+    Links are indexed in first-use order (flow-major), matching the
+    historical solver exactly; a path crossing a link with no declared
+    capacity raises, as does a non-positive capacity.
+    """
+    n = len(paths)
+    used_links: List[LinkId] = []
+    index_of: Dict[LinkId, int] = {}
+    flow_links: List[int] = []
+    flow_ptr = np.zeros(n + 1, dtype=np.intp)
+    for j, path in enumerate(paths):
+        for lid in path:
+            idx = index_of.get(lid)
+            if idx is None:
+                if lid not in capacities:
+                    raise SimulationError(
+                        f"flow crosses unknown link {lid!r}")
+                idx = len(used_links)
+                index_of[lid] = idx
+                used_links.append(lid)
+            flow_links.append(idx)
+        flow_ptr[j + 1] = len(flow_links)
+
+    m = len(used_links)
+    links_arr = np.asarray(flow_links, dtype=np.intp)
+    counts = np.diff(flow_ptr)
+    flow_of = np.repeat(np.arange(n, dtype=np.intp), counts)
+    inc = np.zeros((m, n), dtype=np.float64)
+    if links_arr.size:
+        inc[links_arr, flow_of] = 1.0
+    cap = np.array([capacities[lid] for lid in used_links], dtype=float)
+    if np.any(cap <= 0):
+        raise SimulationError("link capacities must be positive")
+    loopback = counts == 0
+    return CompiledFlowBatch(link_ids=tuple(used_links), cap=cap, inc=inc,
+                             flow_ptr=flow_ptr, flow_links=links_arr,
+                             flow_of=flow_of, loopback=loopback)
+
+
+def compile_flows(flows: Sequence[Flow],
+                  capacities: Dict[LinkId, float]) -> CompiledFlowBatch:
+    """:func:`compile_paths` over ``Flow`` objects."""
+    return compile_paths([f.path for f in flows], capacities)
+
+
+def progressive_fill(batch: CompiledFlowBatch,
+                     active: Optional[np.ndarray] = None) -> np.ndarray:
+    """Max-min fair rates over ``batch`` restricted to ``active`` flows.
+
+    ``active`` is a boolean mask aligned with the batch (``None`` means
+    every flow).  Inactive flows get rate 0; loopback flows get
+    ``inf``.  The filling loop is identical, operation for operation,
+    to the historical solver — links idle under the current mask have
+    zero counts and drop out of every round — so restricted solves are
+    bit-for-bit what a fresh solve over the active subset would return.
+    """
+    n = batch.num_flows
+    rates = np.zeros(n)
+    if n == 0:
+        return rates
+
+    if batch.any_loopback:
+        rates[batch.loopback] = np.inf
+        filling = (~batch.loopback if active is None
+                   else active & ~batch.loopback)
+    else:
+        filling = (np.ones(n, dtype=bool) if active is None
+                   else active.copy())
+
+    m = batch.num_links
+    if m == 0:
+        return rates
+
+    inc = batch.inc
+    residual = batch.cap.copy()
+    filling_f = filling.astype(np.float64)
+
+    # Progressive filling: at most one link saturates per round, so the
+    # loop runs at most m times.  The arithmetic mirrors the historical
+    # per-event solver operation for operation (compressed over the hot
+    # links instead of masking a full-size array), so restricted solves
+    # are bit-for-bit what a fresh solve over the subset returns.
+    for _ in range(m + 1):
+        counts = inc @ filling_f  # active flows per link
+        hot_idx = np.nonzero(counts)[0]
+        if not hot_idx.size:
+            break
+        fair_hot = residual[hot_idx] / counts[hot_idx]
+        bottleneck = float(fair_hot.min())
+        if not np.isfinite(bottleneck):  # pragma: no cover - defensive
+            break
+        # Grant the increment to every filling flow.
+        rates[filling] += bottleneck
+        residual -= counts * bottleneck
+        residual = np.maximum(residual, 0.0)
+        # Freeze flows on saturated links.
+        sat_idx = hot_idx[fair_hot <= bottleneck + 1e-15]
+        frozen = (np.add.reduce(inc[sat_idx], axis=0) > 0.0) & filling
+        if not frozen.any():  # pragma: no cover - defensive
+            break
+        filling = filling & ~frozen
+        if not filling.any():
+            break
+        filling_f[frozen] = 0.0
+    else:  # pragma: no cover - defensive
+        raise SimulationError("progressive filling failed to converge")
+
+    return rates
+
+
 def max_min_fair_rates(
     flows: Sequence[Flow],
     capacities: Dict[LinkId, float],
 ) -> np.ndarray:
     """Max-min fair rates for ``flows`` under ``capacities``.
 
-    Returns an array of rates (bytes/s) aligned with ``flows``.  Flows with
-    an empty path (loopback) get infinite rate.  Raises if a flow crosses a
-    link with no declared capacity.
+    Returns an array of rates (bytes/s) aligned with ``flows``.  Flows
+    with an empty path (loopback) get infinite rate.  Raises if a flow
+    crosses a link with no declared capacity.  One-shot convenience
+    over :func:`compile_flows` + :func:`progressive_fill`; hot loops
+    compile once and fill many times instead.
     """
-    n = len(flows)
-    rates = np.zeros(n)
-    if n == 0:
-        return rates
-
-    # Collect the links actually used; ignore idle ones.
-    used_links: List[LinkId] = []
-    index_of: Dict[LinkId, int] = {}
-    for f in flows:
-        for lid in f.path:
-            if lid not in index_of:
-                if lid not in capacities:
-                    raise SimulationError(f"flow crosses unknown link {lid!r}")
-                index_of[lid] = len(used_links)
-                used_links.append(lid)
-
-    loopback = np.array([len(f.path) == 0 for f in flows])
-    if not used_links:
-        rates[:] = np.inf
-        return rates
-
-    m = len(used_links)
-    # Incidence: A[l, f] = 1 iff flow f crosses link l.
-    inc = np.zeros((m, n), dtype=bool)
-    for j, f in enumerate(flows):
-        for lid in f.path:
-            inc[index_of[lid], j] = True
-
-    cap = np.array([capacities[lid] for lid in used_links], dtype=float)
-    if np.any(cap <= 0):
-        raise SimulationError("link capacities must be positive")
-
-    residual = cap.copy()
-    active = ~loopback  # flows still being filled
-    rates[loopback] = np.inf
-
-    # Progressive filling: at most one link saturates per round, so the
-    # loop runs at most m times.
-    for _ in range(m + 1):
-        # NB: cast before matmul — bool @ bool would OR, not count.
-        counts = inc @ active.astype(np.float64)  # active flows per link
-        hot = counts > 0
-        if not np.any(hot):
-            break
-        fair = np.full(m, np.inf)
-        fair[hot] = residual[hot] / counts[hot]
-        bottleneck = float(fair.min())
-        if not np.isfinite(bottleneck):  # pragma: no cover - defensive
-            break
-        # Grant the increment to every active flow.
-        rates[active] += bottleneck
-        residual -= counts * bottleneck
-        residual = np.maximum(residual, 0.0)
-        # Freeze flows on saturated links.
-        saturated = hot & (fair <= bottleneck + 1e-15)
-        frozen = np.any(inc[saturated][:, :], axis=0) & active
-        if not np.any(frozen):  # pragma: no cover - defensive
-            break
-        active = active & ~frozen
-        if not np.any(active):
-            break
-    else:  # pragma: no cover - defensive
-        raise SimulationError("progressive filling failed to converge")
-
-    return rates
+    if not flows:
+        return np.zeros(0)
+    batch = compile_flows(flows, capacities)
+    if batch.num_links == 0:
+        # Every flow is loopback: the historical solver reported inf
+        # for the whole batch.
+        return np.full(batch.num_flows, np.inf)
+    return progressive_fill(batch)
 
 
 def validate_allocation(

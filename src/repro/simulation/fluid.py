@@ -10,6 +10,28 @@ SimGrid's default TCP fluid model computes for the electrical network: an
 uncongested flow of S bytes over a path of bottleneck B and latency L is
 delivered at ``L + S/B``; congested flows share bottlenecks max-min
 fairly.
+
+The engine is **incremental**: each ``run()`` batch is compiled once
+into a :class:`~repro.simulation.flows.CompiledFlowBatch` (CSR flow→link
+rows, dense incidence, capacity vector) and the whole event loop is
+driven with array operations — progressive filling restricted to the
+active mask, vectorized earliest-completion selection, vectorized
+remaining-bytes drain, and trace accumulation via ``np.add.at`` — with
+zero per-event Python matrix rebuilds.  Results are bit-for-bit
+identical to the historical per-event implementation (pinned against
+:mod:`repro.simulation._reference` by the property suite), with one
+documented exception: loopback flows (``src == dst``, empty path) are
+now delivered instantly at admission instead of hanging the old loop.
+
+On top of the engine sits a **pattern-keyed step cache**
+(:meth:`FluidNetworkSimulator.step_profile`): a synchronous step's
+max-min dynamics depend only on the ``(src, dst)`` pattern and the
+flows' *relative* sizes, and collective schedules repeat a handful of
+patterns across dozens of steps, so the solved rate schedule is
+memoized under a normalized key and rescaled per call.  Cached entries
+are pure functions of their key — a hit returns exactly what the miss
+path would compute — so warm and cold runs are byte-identical, which is
+what lets :mod:`repro.core.cache_store` share them across processes.
 """
 
 from __future__ import annotations
@@ -19,13 +41,24 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..caching import CacheStats, LruCache
 from ..errors import SimulationError
 from ..topology.base import Topology
-from .flows import Flow, LinkId, max_min_fair_rates
+from .flows import (CompiledFlowBatch, compile_paths, progressive_fill,
+                    Flow, LinkId)
 from .trace import TraceRecorder
 
 #: Bytes of slack below which a flow counts as finished (guards float error).
 _EPS_BYTES = 1e-9
+
+#: Default bound on memoized normalized rate schedules per simulator.
+DEFAULT_PATTERN_CACHE_SIZE = 1024
+
+#: Bound on compiled (routed) pattern structures per simulator.
+_COMPILED_PATTERN_MAX = 256
+
+#: Bound on memoized ``(path, latency)`` routes per simulator.
+_ROUTE_CACHE_MAX = 16384
 
 
 @dataclass(frozen=True)
@@ -50,6 +83,51 @@ class FlowResult:
         return self.size / self.duration if self.duration > 0 else float("inf")
 
 
+@dataclass(frozen=True)
+class StepProfile:
+    """Solved timing of one synchronous step of concurrent transfers.
+
+    ``finish_times`` are delivery times (transmission + path latency)
+    aligned with ``pairs`` (the step's transfers in canonical sorted
+    order); ``latencies`` are the per-pair path latencies.
+    """
+
+    pairs: Tuple[Tuple[int, int], ...]
+    finish_times: np.ndarray
+    latencies: np.ndarray
+
+    @property
+    def makespan(self) -> float:
+        """Delivery time of the slowest transfer (0 for an empty step)."""
+        return float(self.finish_times.max()) if self.finish_times.size \
+            else 0.0
+
+    @property
+    def slowest(self) -> int:
+        """Index (into ``pairs``) of the first slowest transfer
+        (-1 for an empty step)."""
+        if not self.finish_times.size:
+            return -1
+        return int(np.argmax(self.finish_times))
+
+    @property
+    def propagation(self) -> float:
+        """Path latency of the slowest transfer (0 for an empty step)."""
+        return float(self.latencies[self.slowest]) \
+            if self.finish_times.size else 0.0
+
+
+class _CompiledPattern:
+    """Routed structure of one ``(src, dst)`` step pattern."""
+
+    __slots__ = ("batch", "latencies")
+
+    def __init__(self, batch: CompiledFlowBatch,
+                 latencies: np.ndarray) -> None:
+        self.batch = batch
+        self.latencies = latencies
+
+
 class FluidNetworkSimulator:
     """Simulates a batch of fluid flows over a :class:`Topology`.
 
@@ -58,10 +136,20 @@ class FluidNetworkSimulator:
     topology:
         Provides links (capacities, latencies) and default routing.
     keep_trace:
-        Record per-link utilization into :attr:`trace`.
+        Record per-link utilization into :attr:`trace`.  Tracing
+        disables the step-cache fast path (the trace needs the real
+        byte counts), so traced runs always use the raw engine.
+    pattern_cache:
+        Memoize normalized rate schedules per step pattern (identical
+        results either way).
+    pattern_cache_size:
+        Bound on memoized rate schedules (LRU eviction).
     """
 
-    def __init__(self, topology: Topology, keep_trace: bool = False) -> None:
+    def __init__(self, topology: Topology, keep_trace: bool = False,
+                 pattern_cache: bool = True,
+                 pattern_cache_size: int = DEFAULT_PATTERN_CACHE_SIZE,
+                 ) -> None:
         self.topology = topology
         self.capacities: Dict[LinkId, float] = {
             l.ident: l.capacity for l in topology.links}
@@ -69,14 +157,35 @@ class FluidNetworkSimulator:
             l.ident: l.latency for l in topology.links}
         self.trace: Optional[TraceRecorder] = (
             TraceRecorder(self.capacities) if keep_trace else None)
+        self._pattern_cache: Optional[LruCache] = (
+            LruCache(pattern_cache_size) if pattern_cache else None)
+        self._compiled_patterns = LruCache(_COMPILED_PATTERN_MAX)
+        self._routes = LruCache(_ROUTE_CACHE_MAX)
 
     # -- flow construction ----------------------------------------------------
+
+    def _route(self, src: int, dst: int) -> Tuple[Tuple[LinkId, ...], float]:
+        """Memoized ``(link idents, path latency)`` per ``(src, dst)``.
+
+        A second, simulator-local layer over ``Topology.routed_path``
+        (which returns Link objects): this one stores exactly what the
+        hot path needs.  The simulator snapshots capacities/latencies
+        at construction, so — like those — it assumes the topology is
+        not mutated under a live simulator.
+        """
+        key = (src, dst)
+        route = self._routes.get(key)
+        if route is None:
+            path = tuple(l.ident
+                         for l in self.topology.routed_path(src, dst))
+            route = (path, sum(self._latencies[lid] for lid in path))
+            self._routes.put(key, route)
+        return route
 
     def make_flow(self, src: int, dst: int, size: float,
                   start_time: float = 0.0, tag: str = "") -> Flow:
         """Build a flow routed by the topology's deterministic routing."""
-        path = tuple(l.ident for l in self.topology.path(src, dst))
-        latency = sum(self._latencies[lid] for lid in path)
+        path, latency = self._route(src, dst)
         flow = Flow(src=src, dst=dst, size=size, path=path,
                     latency=latency, tag=tag)
         flow.start_time = start_time
@@ -84,76 +193,279 @@ class FluidNetworkSimulator:
 
     # -- simulation -------------------------------------------------------------
 
-    def run(self, flows: Sequence[Flow]) -> List[FlowResult]:
+    def run(self, flows: Sequence[Flow],
+            rate_log: Optional[List[Tuple[float, np.ndarray, np.ndarray]]]
+            = None) -> List[FlowResult]:
         """Simulate ``flows`` to completion; returns per-flow results.
 
-        The input list is consumed logically only — ``remaining`` fields are
-        reset first so the same flow objects can be re-run.
+        The input list is consumed logically only — ``remaining`` fields
+        are reset first so the same flow objects can be re-run.  When
+        ``rate_log`` is a list, one ``(time, active_indices, rates)``
+        entry is appended per allocation event (indices refer to the
+        admission-sorted flow order) — the hook the property suite uses
+        to validate every intermediate allocation.
         """
+        if not flows:
+            return []
         for f in flows:
             f.remaining = float(f.size)
             f.finish_time = float("nan")
 
-        pending = sorted(flows, key=lambda f: (f.start_time, f.src, f.dst))
-        active: List[Flow] = []
+        order = sorted(range(len(flows)),
+                       key=lambda i: (flows[i].start_time, flows[i].src,
+                                      flows[i].dst))
+        batch_flows = [flows[i] for i in order]
+        batch = compile_paths([f.path for f in batch_flows],
+                              self.capacities)
+        sizes = np.array([f.size for f in batch_flows], dtype=float)
+        starts = np.array([f.start_time for f in batch_flows], dtype=float)
+        lats = np.array([f.latency for f in batch_flows], dtype=float)
+
+        completion, tx_times, final_rates = self._drive(
+            batch, batch_flows, sizes, starts,
+            trace=self.trace, rate_log=rate_log)
+
         results: List[FlowResult] = []
+        for i in completion:
+            f = batch_flows[i]
+            f.remaining = 0.0
+            f.rate = float(final_rates[i])
+            f.finish_time = float(tx_times[i] + lats[i])
+            results.append(FlowResult(
+                src=f.src, dst=f.dst, size=f.size,
+                start_time=f.start_time, finish_time=f.finish_time,
+                tag=f.tag))
+        return results
+
+    def _drive(self, batch: CompiledFlowBatch,
+               batch_flows: Optional[Sequence[Flow]],
+               sizes: np.ndarray, starts: np.ndarray,
+               trace: Optional[TraceRecorder] = None,
+               rate_log: Optional[List] = None,
+               ) -> Tuple[List[int], np.ndarray, np.ndarray]:
+        """The vectorized event loop over a compiled batch.
+
+        Flows must already be in admission order (ascending
+        ``(start, src, dst)``).  Returns ``(completion_order,
+        tx_finish_times, last_rates)`` where ``tx_finish_times`` are
+        *transmission* completions (no latency).  ``batch_flows`` is
+        only used to phrase error messages (``None`` for the
+        pattern-cache path, where pairs name the flows).
+        """
+        n = batch.num_flows
+        remaining = sizes.astype(float, copy=True)
+        tx_times = np.full(n, np.nan)
+        last_rates = np.zeros(n)
+        active = np.zeros(n, dtype=bool)
+        active_count = 0
+        cursor = 0  # admission index into the sorted batch
+        completion: List[int] = []
         now = 0.0
         guard = 0
-        max_rounds = 4 * len(flows) + 8
+        max_rounds = 4 * n + 8
 
-        while pending or active:
+        def flow_name(i: int) -> str:
+            if batch_flows is not None:
+                f = batch_flows[i]
+                return f"{f.src}->{f.dst}"
+            return f"#{i}"
+
+        while cursor < n or active_count:
             guard += 1
             if guard > max_rounds:
+                stuck = [flow_name(i) for i in np.nonzero(active)[0]]
                 raise SimulationError(
-                    "fluid simulation failed to converge "
-                    f"({len(active)} active, {len(pending)} pending)")
+                    f"fluid simulation failed to converge at t={now!r} "
+                    f"({active_count} active, {n - cursor} pending; "
+                    f"stuck flows: {', '.join(stuck) or '<none>'})")
 
-            if not active:
-                now = max(now, pending[0].start_time)
+            if not active_count:
+                now = max(now, starts[cursor])
             # Admit everything that has started by `now`.
-            while pending and pending[0].start_time <= now + 1e-18:
-                active.append(pending.pop(0))
+            while cursor < n and starts[cursor] <= now + 1e-18:
+                i = cursor
+                if batch.loopback[i]:
+                    # Empty path: delivered instantly (the historical
+                    # loop hung on these; see module docstring).
+                    tx_times[i] = now
+                    last_rates[i] = np.inf
+                    completion.append(i)
+                else:
+                    active[i] = True
+                    active_count += 1
+                cursor += 1
+            if not active_count:
+                continue  # only loopbacks admitted; jump to next start
 
-            rates = max_min_fair_rates(active, self.capacities)
-            for f, r in zip(active, rates):
-                f.rate = float(r)
+            rates = progressive_fill(batch, active)
+            act_idx = np.nonzero(active)[0]
+            act_rates = rates[act_idx]
+            last_rates[act_idx] = act_rates
+
+            if float(act_rates.min()) <= 0:
+                i = act_idx[int(np.argmax(act_rates <= 0))]
+                raise SimulationError(
+                    f"flow {flow_name(i)} starved (rate 0)")
 
             # Earliest transmission completion among active flows.
-            finish_dt = np.inf
-            for f in active:
-                if f.rate <= 0:
-                    raise SimulationError(
-                        f"flow {f.src}->{f.dst} starved (rate 0)")
-                finish_dt = min(finish_dt, f.remaining / f.rate)
-            next_admit_dt = (pending[0].start_time - now) if pending else np.inf
+            rem_act = remaining[act_idx]
+            finish_dt = float((rem_act / act_rates).min())
+            next_admit_dt = (starts[cursor] - now) if cursor < n else np.inf
             dt = min(finish_dt, next_admit_dt)
             if not np.isfinite(dt):
                 raise SimulationError("no progress possible")
 
-            if self.trace is not None and active:
-                link_rates: Dict[LinkId, float] = {}
-                for f in active:
-                    for lid in f.path:
-                        link_rates[lid] = link_rates.get(lid, 0.0) + f.rate
-                self.trace.record_interval(now, dt, link_rates)
+            if rate_log is not None:
+                rate_log.append((now, act_idx.copy(), act_rates.copy()))
+
+            if trace is not None:
+                # Flow-major accumulation (np.add.at applies updates in
+                # index order), matching the historical per-flow sums.
+                sel = active[batch.flow_of]
+                flat = batch.flow_links[sel]
+                link_rates = np.zeros(batch.num_links)
+                np.add.at(link_rates, flat, rates[batch.flow_of[sel]])
+                touched = np.zeros(batch.num_links, dtype=bool)
+                touched[flat] = True
+                trace.record_interval(now, dt, {
+                    batch.link_ids[j]: link_rates[j]
+                    for j in np.nonzero(touched)[0]})
 
             # Advance time; drain progress.
             now += dt
-            still_active: List[Flow] = []
-            for f in active:
-                f.remaining -= f.rate * dt
-                if f.remaining <= _EPS_BYTES:
-                    f.remaining = 0.0
-                    f.finish_time = now + f.latency
-                    results.append(FlowResult(
-                        src=f.src, dst=f.dst, size=f.size,
-                        start_time=f.start_time, finish_time=f.finish_time,
-                        tag=f.tag))
-                else:
-                    still_active.append(f)
-            active = still_active
+            rem_act = rem_act - act_rates * dt
+            remaining[act_idx] = rem_act
+            done = act_idx[rem_act <= _EPS_BYTES]
+            if done.size:
+                remaining[done] = 0.0
+                tx_times[done] = now
+                active[done] = False
+                active_count -= int(done.size)
+                completion.extend(int(i) for i in done)
 
-        return results
+        return completion, tx_times, last_rates
+
+    # -- pattern-keyed step cache -------------------------------------------
+
+    def _compiled_pattern(self, pattern: Tuple[Tuple[int, int], ...],
+                          ) -> _CompiledPattern:
+        """Routed + compiled structure for a step pattern (memoized)."""
+        compiled = self._compiled_patterns.get(pattern)
+        if compiled is None:
+            paths = []
+            lats = np.zeros(len(pattern))
+            for k, (src, dst) in enumerate(pattern):
+                path, latency = self._route(src, dst)
+                paths.append(path)
+                lats[k] = latency
+            compiled = _CompiledPattern(
+                batch=compile_paths(paths, self.capacities),
+                latencies=lats)
+            self._compiled_patterns.put(pattern, compiled)
+        return compiled
+
+    def step_profile(self, pairs: Iterable[Tuple[int, int, float]]
+                     ) -> StepProfile:
+        """Solved timing of a synchronous step of concurrent transfers.
+
+        The step is canonicalized (sorted by ``(src, dst, size)``) and
+        solved through the pattern cache: the max-min dynamics of a
+        step depend only on the pair pattern and the *relative* sizes,
+        so the normalized transmission times are memoized under
+        ``(pattern, size-ratios)`` and rescaled by the step's largest
+        transfer.  Both the miss and the hit path go through the same
+        normalization, so results never depend on cache history.
+        """
+        step = sorted((int(s), int(d), float(z)) for s, d, z in pairs)
+        for s, d, z in step:
+            if z <= 0:
+                raise SimulationError(f"flow {s}->{d} size must be > 0")
+        pattern = tuple((s, d) for s, d, _ in step)
+        if not pattern:
+            return StepProfile(pairs=(), finish_times=np.zeros(0),
+                               latencies=np.zeros(0))
+        compiled = self._compiled_pattern(pattern)
+        sizes = np.array([z for _, _, z in step], dtype=float)
+        s_ref = float(sizes.max())
+        ratios = sizes / s_ref
+        key = (pattern, tuple(ratios))
+
+        tx_hat = (self._pattern_cache.get(key)
+                  if self._pattern_cache is not None else None)
+        if tx_hat is None:
+            _, tx_hat, _ = self._drive(
+                compiled.batch, None, ratios,
+                np.zeros(len(pattern)))
+            if self._pattern_cache is not None:
+                self._pattern_cache.put(key, tx_hat)
+        finish = tx_hat * s_ref + compiled.latencies
+        return StepProfile(pairs=pattern, finish_times=finish,
+                           latencies=compiled.latencies)
+
+    def step_time(self, pairs: Iterable[Tuple[int, int, float]]) -> float:
+        """Makespan of a synchronous step of concurrent transfers."""
+        if self.trace is not None:
+            results = self.run_pairs(pairs)
+            return max((r.finish_time for r in results), default=0.0)
+        return self.step_profile(pairs).makespan
+
+    def step_time_many(self, steps: Sequence[Iterable[Tuple[int, int, float]]]
+                       ) -> List[float]:
+        """Makespans of a whole schedule's synchronous steps.
+
+        The batch entry point substrates use: collective schedules
+        repeat a handful of step patterns, so after the first
+        occurrence every repeat is served from the pattern cache.
+        """
+        return [self.step_time(step) for step in steps]
+
+    # -- cache management ---------------------------------------------------
+
+    def pattern_cache_info(self) -> CacheStats:
+        """Current pattern-cache counters (zeros when disabled)."""
+        if self._pattern_cache is None:
+            return CacheStats()
+        return self._pattern_cache.stats()
+
+    def clear_pattern_cache(self) -> None:
+        """Drop memoized rate schedules and compiled patterns."""
+        if self._pattern_cache is not None:
+            self._pattern_cache.clear()
+        self._compiled_patterns.clear()
+
+    def cache_namespace(self) -> str:
+        """Persistent-store namespace of this simulator's pattern cache.
+
+        Derived from the topology signature, so any simulator over an
+        identical topology — in any process — shares the entries.
+        """
+        return f"fluid-pattern/{self.topology.signature()}"
+
+    def export_pattern_cache(self) -> Dict:
+        """Snapshot of the memoized rate schedules (for disk spilling)."""
+        if self._pattern_cache is None:
+            return {}
+        return self._pattern_cache.export_items()
+
+    def warm_pattern_cache(self, items: Dict) -> int:
+        """Preload memoized rate schedules (counters untouched)."""
+        if self._pattern_cache is None or not items:
+            return 0
+        return self._pattern_cache.warm(items)
+
+    @property
+    def pattern_cache(self) -> Optional[LruCache]:
+        """The live pattern cache (``None`` when disabled)."""
+        return self._pattern_cache
+
+    def use_pattern_cache(self, cache: LruCache) -> None:
+        """Adopt ``cache`` as this simulator's pattern cache.
+
+        Substrates share one cache object between simulators whose
+        topologies have the same :meth:`cache_namespace` — entries are
+        interchangeable there by construction.
+        """
+        self._pattern_cache = cache
 
     # -- conveniences -------------------------------------------------------------
 
@@ -162,8 +474,3 @@ class FluidNetworkSimulator:
         """Simulate ``(src, dst, size)`` tuples all starting together."""
         flows = [self.make_flow(s, d, z, start_time) for s, d, z in pairs]
         return self.run(flows)
-
-    def step_time(self, pairs: Iterable[Tuple[int, int, float]]) -> float:
-        """Makespan of a synchronous step of concurrent transfers."""
-        results = self.run_pairs(pairs)
-        return max((r.finish_time for r in results), default=0.0)

@@ -8,10 +8,15 @@ ranks in collective schedules.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from ..caching import CacheStats, LruCache
 from ..errors import TopologyError
+
+#: Default bound on memoized routed paths per topology instance.
+DEFAULT_PATH_CACHE_SIZE = 8192
 
 
 @dataclass(frozen=True)
@@ -51,6 +56,7 @@ class Topology:
             raise TopologyError(f"need >=1 host, got {num_hosts}")
         self._num_hosts = num_hosts
         self._links: Dict[Tuple[int, int, str], Link] = {}
+        self._path_cache = LruCache(DEFAULT_PATH_CACHE_SIZE)
 
     # -- construction -------------------------------------------------------
 
@@ -58,6 +64,8 @@ class Topology:
         if link.ident in self._links:
             raise TopologyError(f"duplicate link {link.ident}")
         self._links[link.ident] = link
+        # Routes memoized before this link existed may now be stale.
+        self._path_cache.clear()
 
     # -- queries ------------------------------------------------------------
 
@@ -96,6 +104,43 @@ class Topology:
         Subclasses implement their natural (deterministic) routing.
         """
         raise NotImplementedError
+
+    def routed_path(self, src: int, dst: int) -> Tuple[Link, ...]:
+        """Memoized :meth:`path` (routing is deterministic, so the BFS /
+        arc walk per ``(src, dst)`` only ever needs to run once).
+
+        This is the entry point the fluid simulator's ``make_flow`` and
+        the pattern compiler use; ``path()`` stays uncached for callers
+        that mutate topologies mid-flight.  The cache is invalidated
+        whenever a link is added.
+        """
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = tuple(self.path(src, dst))
+            self._path_cache.put(key, cached)
+        return cached
+
+    def path_cache_info(self) -> CacheStats:
+        """Current routed-path cache counters."""
+        return self._path_cache.stats()
+
+    def signature(self) -> str:
+        """Stable digest of this topology's link structure.
+
+        Two topology instances of the same class with identical links
+        (same endpoints, keys, capacities and latencies) share a
+        signature — the key the persistent cache store uses to let
+        *processes* share fluid pattern caches safely.  The class is
+        part of the digest because routing (:meth:`path`) is defined by
+        the subclass: identical link sets routed differently must not
+        share cached rate schedules.
+        """
+        canon = repr((type(self).__qualname__, self._num_hosts,
+                      tuple(sorted((l.src, l.dst, l.key, l.capacity,
+                                    l.latency)
+                                   for l in self._links.values()))))
+        return hashlib.sha1(canon.encode("utf-8")).hexdigest()[:16]
 
     def path_latency(self, path: Iterable[Link]) -> float:
         """Sum of link latencies along ``path``."""

@@ -84,6 +84,17 @@ class TestSweeps:
         assert [r.substrate for r in rows] == list(available_substrates())
         assert all(r.time > 0 for r in rows)
 
+    def test_substrate_sweep_with_cache_dir_identical(self, tmp_path):
+        from repro.analysis.sweeps import substrate_sweep
+        wl = Workload(data_bytes=1 * units.MB)
+        plain = substrate_sweep(8, wl)
+        cache_dir = str(tmp_path / "store")
+        seeded = substrate_sweep(8, wl, cache_dir=cache_dir)
+        warmed = substrate_sweep(8, wl, cache_dir=cache_dir)
+        assert [(r.substrate, r.time) for r in plain] \
+            == [(r.substrate, r.time) for r in seeded] \
+            == [(r.substrate, r.time) for r in warmed]
+
     def test_substrate_sweep_reports_infeasible_rows(self):
         from repro.analysis.sweeps import substrate_sweep
         rows = substrate_sweep(13, Workload(data_bytes=1 * units.MB),

@@ -98,3 +98,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "simulated on ocs-reconfig" in out
         assert "step_cache_misses" in out
+        assert "fluid_cache_misses" in out
+
+    def test_plan_substrate_fluid_cache_statistics(self, capsys):
+        rc = main(["plan", "--nodes", "16", "--wavelengths", "8",
+                   "--substrate", "electrical-ring"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fluid_cache_hits" in out and "fluid_cache_misses" in out
+
+    def test_plan_substrate_cache_dir(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "store")
+        args = ["plan", "--nodes", "16", "--wavelengths", "8",
+                "--substrate", "electrical-ring", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cache store" in out
+        # Second run warms from the spilled entries.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "entries warmed" in out and "fluid_cache_hits" in out
+
+    def test_sweep_substrates_cache_dir(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "store")
+        rc = main(["sweep", "substrates", "--nodes", "8",
+                   "--bytes", "1000000", "--cache-dir", cache_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cache store" in out and "entries" in out

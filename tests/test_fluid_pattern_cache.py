@@ -1,0 +1,191 @@
+"""Tests for the pattern-keyed fluid step cache and its surfacing."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.collectives.ring_allreduce import generate_ring_allreduce
+from repro.config import Workload, default_ocs
+from repro.core.substrates import get_substrate
+from repro.simulation.fluid import FluidNetworkSimulator
+from repro.topology.ring import RingTopology
+from repro.topology.switched import SwitchedStar
+
+GB100 = 100 * units.GBPS
+
+#: Every registry substrate whose execution is fluid-backed.
+FLUID_SUBSTRATES = ("electrical-switch", "electrical-ring",
+                    "optical-torus", "ocs-reconfig")
+
+
+class TestStepCache:
+    def test_repeated_pattern_hits(self):
+        sim = FluidNetworkSimulator(SwitchedStar(8, GB100))
+        pairs = [(i, (i + 1) % 8, 1.0 * units.MB) for i in range(8)]
+        t1 = sim.step_time(pairs)
+        t2 = sim.step_time(pairs)
+        assert t1 == t2
+        info = sim.pattern_cache_info()
+        assert info.misses == 1 and info.hits == 1
+
+    def test_hit_result_equals_miss_result(self):
+        """Cold and warm calls are byte-identical (history-free)."""
+        cold = FluidNetworkSimulator(SwitchedStar(8, GB100))
+        warm = FluidNetworkSimulator(SwitchedStar(8, GB100))
+        pairs = [(0, 1, 3.0 * units.MB), (2, 1, 1.0 * units.MB)]
+        warm.step_time(pairs)  # populate
+        assert warm.step_time(pairs) == cold.step_time(pairs)
+
+    def test_scaled_sizes_share_one_entry(self):
+        """Same pattern + same ratios at any absolute size is one
+        cache entry, and times scale linearly (latency-free case)."""
+        sim = FluidNetworkSimulator(SwitchedStar(8, GB100))
+        pairs = [(0, 1, 2.0 * units.MB), (2, 3, 1.0 * units.MB)]
+        scaled = [(s, d, 10 * z) for s, d, z in pairs]
+        t1 = sim.step_time(pairs)
+        t2 = sim.step_time(scaled)
+        info = sim.pattern_cache_info()
+        assert info.misses == 1 and info.hits == 1
+        assert t2 == pytest.approx(10 * t1, rel=1e-12)
+
+    def test_latency_not_scaled(self):
+        """Path latency is additive, not scaled with transfer size."""
+        sim = FluidNetworkSimulator(
+            SwitchedStar(4, GB100, latency=10 * units.USEC))
+        small = sim.step_time([(0, 1, 125 * units.MB)])
+        big = sim.step_time([(0, 1, 250 * units.MB)])
+        assert small == pytest.approx(10e-3 + 10e-6, rel=1e-9)
+        assert big == pytest.approx(20e-3 + 10e-6, rel=1e-9)
+
+    def test_permuted_input_shares_entry(self):
+        sim = FluidNetworkSimulator(SwitchedStar(8, GB100))
+        a = [(0, 1, 1.0), (2, 3, 2.0)]
+        b = [(2, 3, 2.0), (0, 1, 1.0)]
+        assert sim.step_time(a) == sim.step_time(b)
+        info = sim.pattern_cache_info()
+        assert info.misses == 1 and info.hits == 1
+
+    def test_cache_disabled_still_correct(self):
+        on = FluidNetworkSimulator(SwitchedStar(8, GB100))
+        off = FluidNetworkSimulator(SwitchedStar(8, GB100),
+                                    pattern_cache=False)
+        pairs = [(0, 1, 1.0 * units.MB), (2, 1, 1.0 * units.MB)]
+        assert on.step_time(pairs) == off.step_time(pairs)
+        assert off.pattern_cache_info().lookups == 0
+
+    def test_step_time_many_matches_loop(self):
+        sim = FluidNetworkSimulator(RingTopology(8, GB100))
+        other = FluidNetworkSimulator(RingTopology(8, GB100))
+        steps = [[(i, (i + 1) % 8, 1.0 * units.MB) for i in range(8)]
+                 for _ in range(5)]
+        batch = sim.step_time_many(steps)
+        assert batch == [other.step_time(s) for s in steps]
+        # 5 identical steps: one miss, four hits
+        info = sim.pattern_cache_info()
+        assert info.misses == 1 and info.hits == 4
+
+    def test_step_profile_slowest_and_propagation(self):
+        sim = FluidNetworkSimulator(
+            RingTopology(8, GB100, latency=1 * units.USEC))
+        profile = sim.step_profile([(0, 1, 1.0 * units.MB),
+                                    (0, 4, 1.0 * units.MB)])
+        # the 4-hop flow is slowest; its propagation is 4 hops
+        assert profile.pairs[profile.slowest] == (0, 4)
+        assert profile.propagation == pytest.approx(4e-6, rel=1e-9)
+
+    def test_empty_step(self):
+        sim = FluidNetworkSimulator(SwitchedStar(4, GB100))
+        assert sim.step_time([]) == 0.0
+        profile = sim.step_profile([])
+        assert profile.makespan == 0.0 and profile.propagation == 0.0
+
+    def test_nonpositive_size_rejected(self):
+        from repro.errors import SimulationError
+
+        sim = FluidNetworkSimulator(SwitchedStar(4, GB100))
+        with pytest.raises(SimulationError, match="size must be > 0"):
+            sim.step_time([(0, 1, 0.0)])
+
+    def test_trace_mode_bypasses_cache(self):
+        sim = FluidNetworkSimulator(SwitchedStar(4, GB100),
+                                    keep_trace=True)
+        pairs = [(0, 1, 125 * units.MB)]
+        sim.step_time(pairs)
+        sim.step_time(pairs)
+        assert sim.pattern_cache_info().lookups == 0
+        assert sim.trace.total_bytes() == pytest.approx(
+            2 * 2 * 125 * units.MB, rel=1e-6)
+
+    def test_export_and_warm_roundtrip(self):
+        a = FluidNetworkSimulator(SwitchedStar(8, GB100))
+        pairs = [(0, 1, 1.0 * units.MB), (2, 1, 3.0 * units.MB)]
+        t = a.step_time(pairs)
+        items = a.export_pattern_cache()
+        assert items
+
+        b = FluidNetworkSimulator(SwitchedStar(8, GB100))
+        assert b.warm_pattern_cache(items) == len(items)
+        assert b.step_time(pairs) == t
+        info = b.pattern_cache_info()
+        assert info.misses == 0 and info.hits == 1
+
+    def test_namespace_tracks_topology_identity(self):
+        a = FluidNetworkSimulator(SwitchedStar(8, GB100))
+        b = FluidNetworkSimulator(SwitchedStar(8, GB100))
+        c = FluidNetworkSimulator(SwitchedStar(8, 2 * GB100))
+        assert a.cache_namespace() == b.cache_namespace()
+        assert a.cache_namespace() != c.cache_namespace()
+
+
+class TestSubstrateCounters:
+    @pytest.mark.parametrize("name", FLUID_SUBSTRATES)
+    def test_describe_reports_fluid_cache(self, name):
+        """Every fluid-backed substrate surfaces pattern-cache counters."""
+        sub = get_substrate(name)
+        sched = generate_ring_allreduce(8)
+        sub.execute(sched, Workload(data_bytes=1 * units.MB))
+        params = dict(sub.describe().parameters)
+        assert "fluid_cache_hits" in params
+        assert "fluid_cache_misses" in params
+        assert "fluid_cache_hit_rate" in params
+        assert params["fluid_cache_misses"] >= 1
+
+    @pytest.mark.parametrize("name", FLUID_SUBSTRATES)
+    def test_ring_allreduce_hits_pattern_cache(self, name):
+        """2(N-1) identical ring steps resolve to a handful of misses."""
+        sub = get_substrate(name)
+        sched = generate_ring_allreduce(8)
+        sub.execute(sched, Workload(data_bytes=1 * units.MB))
+        info = sub.fluid_cache_info()
+        assert info.hits > info.misses
+
+    def test_same_topology_systems_share_one_cache(self):
+        """Two systems differing only in per-step overhead build the
+        same topology; their simulators share one pattern cache, so
+        nothing is lost to namespace collisions on spill."""
+        from repro.config import default_electrical
+        from repro.core.substrates import ElectricalSubstrate
+
+        base = default_electrical(8).with_(topology="ring")
+        other = base.with_(step_latency=base.step_latency * 2)
+        sub = ElectricalSubstrate(topology="ring")
+        sched = generate_ring_allreduce(8)
+        wl = Workload(data_bytes=1 * units.MB)
+        sub._system = base
+        sub.execute(sched, wl)
+        first = sub.fluid_cache_info()
+        sub._system = other
+        sub.execute(sched, wl)
+        second = sub.fluid_cache_info()
+        # second system's steps all hit the shared cache
+        assert second.misses == first.misses
+        assert second.hits > first.hits
+        assert len(sub.persistent_caches()) == 1
+
+    def test_ocs_stay_time_unchanged_by_profile_path(self):
+        """The OCS substrate's stay/reconfigure balance is unchanged."""
+        sub = get_substrate("ocs-reconfig", system=default_ocs(8))
+        sched = generate_ring_allreduce(8)
+        rep = sub.execute(sched, Workload(data_bytes=64 * units.KB))
+        assert rep.total_time > 0
+        assert np.isfinite(rep.total_time)

@@ -72,6 +72,54 @@ class TestSubstrateGridParallel:
         assert rows[0][3] == pytest.approx(direct.total_time, rel=1e-12)
 
 
+class TestPersistentCacheParity:
+    """figure2_parallel with a warmed cache store must be byte-identical
+    to the serial path (every persisted value is a pure function of its
+    key, so cache history never leaks into results)."""
+
+    MODELS, SCALES = ("googlenet",), (8, 16)
+
+    def test_warmed_store_byte_identical(self, tmp_path):
+        cache_dir = str(tmp_path / "store")
+        serial = figure2(models=self.MODELS, scales=self.SCALES,
+                         fidelity="simulate")
+        # Pass 1 populates the store; pass 2 runs workers warm.
+        populate = figure2_parallel(models=self.MODELS, scales=self.SCALES,
+                                    fidelity="simulate", max_workers=1,
+                                    cache_dir=cache_dir)
+        warmed = figure2_parallel(models=self.MODELS, scales=self.SCALES,
+                                  fidelity="simulate", max_workers=2,
+                                  cache_dir=cache_dir)
+        for m in self.MODELS:
+            for a, times in serial[m].times.items():
+                assert populate[m].times[a] == times  # exact, not approx
+                assert warmed[m].times[a] == times
+
+    def test_store_populated_by_workers(self, tmp_path):
+        from repro.core.cache_store import CacheStore
+
+        cache_dir = str(tmp_path / "store")
+        figure2_parallel(models=self.MODELS, scales=(8,),
+                         fidelity="simulate", max_workers=2,
+                         cache_dir=cache_dir)
+        stats = CacheStore(cache_dir).stats()
+        assert stats["total_entries"] > 0
+
+    def test_substrate_grid_with_cache_dir(self, tmp_path):
+        from repro.analysis.parallel import substrate_grid_parallel
+
+        cache_dir = str(tmp_path / "store")
+        cold = substrate_grid_parallel(("electrical-ring",), (8,),
+                                       (1 * units.MB,), max_workers=1)
+        seeded = substrate_grid_parallel(("electrical-ring",), (8,),
+                                         (1 * units.MB,), max_workers=1,
+                                         cache_dir=cache_dir)
+        warm = substrate_grid_parallel(("electrical-ring",), (8,),
+                                       (1 * units.MB,), max_workers=2,
+                                       cache_dir=cache_dir)
+        assert cold == seeded == warm
+
+
 class TestPlanGridParallel:
     def test_grid_rows(self):
         rows = plan_grid_parallel((8, 16), (4, 8), 1 * units.MB,
