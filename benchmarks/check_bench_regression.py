@@ -23,7 +23,8 @@ FACTOR = 2.0
 
 #: Sections that must be present in both files and are gated.
 GATED_SECTIONS = ("solver_micro_cold", "step_cache_hit",
-                  "sweep_cell_end_to_end")
+                  "sweep_cell_end_to_end", "solver_warm_start",
+                  "sparse_large_batch", "schedule_fused")
 
 
 def main(argv: list[str]) -> int:

@@ -1,6 +1,6 @@
-"""Fluid-engine performance benchmarks (the PR's ≥5x acceptance gate).
+"""Fluid-engine performance benchmarks (the CI-gated speedup record).
 
-Three levels, each compared against the frozen pre-refactor engine
+Three levels compare against the frozen pre-refactor engine
 (:mod:`repro.simulation._reference`) on the same inputs:
 
 * **solver micro** — one cold 64-flow synchronous step through the
@@ -13,6 +13,17 @@ Three levels, each compared against the frozen pre-refactor engine
   (electrical-ring ring all-reduce) against a loop over the reference
   engine.
 
+Three more compare the active-set engine against its own previous
+generation (the PR 3 paths, reachable via constructor flags):
+
+* **warm-start solver** — a cold (cache-miss) 64-flow incast-staircase
+  step: warm-started event solves vs refilling every event from zero
+  (``warm_start=False``, the PR 3 behaviour);
+* **sparse large batch** — a 1024-flow step: scipy CSR incidence vs
+  the dense matrix the PR 3 engine always used;
+* **fused schedule** — a whole ring all-reduce schedule through
+  ``step_time_many``'s fused path vs the per-step ``step_time`` loop.
+
 Every test folds its measurement into ``BENCH_fluid.json`` at the repo
 root — the machine-readable speedup summary CI uploads as an artifact
 and gates against the committed baseline
@@ -23,10 +34,14 @@ import json
 import time
 from pathlib import Path
 
+import pytest
+
 from repro import units
 from repro.simulation._reference import ReferenceFluidSimulator
+from repro.simulation.flows import have_sparse
 from repro.simulation.fluid import FluidNetworkSimulator
 from repro.topology.ring import RingTopology
+from repro.topology.switched import SwitchedStar
 
 #: Where the machine-readable summary accumulates (repo root).
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fluid.json"
@@ -41,6 +56,35 @@ PAIRS = [(i, (i + 8) % NODES, 1.0 * units.MB + i) for i in range(NODES)]
 def _ring():
     return RingTopology(NODES, capacity=100 * units.GBPS,
                         latency=1 * units.USEC)
+
+
+def _staircase(total, max_fan):
+    """An incast staircase: destination groups of fan-in 1..max_fan.
+
+    Every group shares a bottleneck level of its own (C/fan), so one
+    synchronous step resolves through ~max_fan progressive-filling
+    rounds, and groups complete in rate order one event at a time —
+    the structured workload the warm-start solver is built for (the
+    uniform ring exchange above collapses to a single round and is the
+    solver's *worst* case for warm starts).
+    """
+    pairs = []
+    dst = 0
+    srcs = iter(range(total, 4 * total))
+    k = 1
+    while len(pairs) < total:
+        fan = min(k, total - len(pairs))
+        for _ in range(fan):
+            pairs.append((next(srcs), dst, 1.0 * units.MB))
+        dst += 1
+        k = k + 1 if k < max_fan else 1
+    return pairs
+
+
+def _star_for(pairs):
+    hosts = max(max(s for s, _, _ in pairs),
+                max(d for _, d, _ in pairs)) + 1
+    return SwitchedStar(hosts, 100 * units.GBPS)
 
 
 def _time(fn, repeats):
@@ -164,3 +208,117 @@ def test_bench_sweep_cell_end_to_end(once):
     # The ≥5x bound is the micro-benchmark's; end-to-end must show a
     # clearly measurable win (it lands ~5-6x; noise margin for CI).
     assert speedup >= 2.0
+
+
+def test_bench_solver_warm_start(once):
+    """Cold (cache-miss) 64-flow staircase step: warm-started active-set
+    solves vs the PR 3 engine's from-zero refill at every event.
+
+    Pattern caching is off on both sides (this measures the *solver*,
+    not the cache) and the compiled pattern is shared, so the only
+    difference is replaying unchanged bottleneck rounds vs re-deriving
+    them.  The ≥1.5x acceptance bound is asserted here (it lands ~1.9x).
+    """
+    pairs = _staircase(64, 10)
+
+    def run():
+        warm = FluidNetworkSimulator(_star_for(pairs), warm_start=True,
+                                     pattern_cache=False)
+        cold = FluidNetworkSimulator(_star_for(pairs), warm_start=False,
+                                     pattern_cache=False)
+        # identical results first (warm starts must not buy wrong answers)
+        import numpy as np
+        assert np.array_equal(warm.step_profile(pairs).finish_times,
+                              cold.step_profile(pairs).finish_times)
+        t_cold = _time(lambda: cold.step_profile(pairs), 15)
+        t_warm = _time(lambda: warm.step_profile(pairs), 15)
+        return t_cold, t_warm
+
+    t_cold, t_warm = once(run)
+    speedup = t_cold / t_warm
+    print(f"\nwarm-start solver (64 flows, staircase): from-zero "
+          f"{t_cold*1e3:.2f} ms, warm-started {t_warm*1e3:.2f} ms "
+          f"-> {speedup:.1f}x")
+    _record("solver_warm_start", {
+        "flows": 64, "reference_s": t_cold, "engine_s": t_warm,
+        "speedup": speedup})
+    assert speedup >= 1.5
+
+
+def test_bench_sparse_large_batch(once):
+    """1024-flow staircase step: scipy CSR incidence vs the dense
+    matrix backend on the same cold solves.
+
+    Warm starts are off on both sides so every event exercises the
+    backend's per-round products (counts + freeze detection) — the
+    regime the sparse backend exists for.  The ≥3x acceptance bound
+    for the ≥512-flow case is asserted here (it lands ~6-8x).
+    """
+    if not have_sparse():  # pragma: no cover - CI installs scipy
+        pytest.skip("scipy not installed")
+    pairs = _staircase(1024, 45)
+
+    def run():
+        dense = FluidNetworkSimulator(_star_for(pairs), backend="dense",
+                                      warm_start=False,
+                                      pattern_cache=False)
+        sparse = FluidNetworkSimulator(_star_for(pairs), backend="sparse",
+                                       warm_start=False,
+                                       pattern_cache=False)
+        import numpy as np
+        assert np.array_equal(sparse.step_profile(pairs).finish_times,
+                              dense.step_profile(pairs).finish_times)
+        t_dense = _time(lambda: dense.step_profile(pairs), 3)
+        t_sparse = _time(lambda: sparse.step_profile(pairs), 3)
+        return t_dense, t_sparse
+
+    t_dense, t_sparse = once(run)
+    speedup = t_dense / t_sparse
+    print(f"\nsparse large batch (1024 flows): dense {t_dense*1e3:.1f} ms, "
+          f"scipy CSR {t_sparse*1e3:.1f} ms -> {speedup:.1f}x")
+    _record("sparse_large_batch", {
+        "flows": 1024, "reference_s": t_dense, "engine_s": t_sparse,
+        "speedup": speedup})
+    assert speedup >= 3.0
+
+
+def test_bench_schedule_fused(once):
+    """A whole 64-node ring all-reduce (126 steps, one repeated
+    pattern) through ``step_time_many``'s fused path vs the PR 3
+    per-step ``step_time`` loop, both from a cold simulator."""
+    from repro.collectives.primitives import transfer_bytes
+    from repro.collectives.ring_allreduce import generate_ring_allreduce
+
+    n = 64
+    sched = generate_ring_allreduce(n)
+    data = 4 * units.MB
+    steps = [[(t.src, t.dst, transfer_bytes(t, data, sched.num_chunks))
+              for t in step]
+             for step in sched.steps]
+
+    def fresh():
+        return FluidNetworkSimulator(
+            RingTopology(n, 100 * units.GBPS, bidirectional=True))
+
+    def run():
+        fused_sim, loop_sim = fresh(), fresh()
+        assert fused_sim.step_time_many(steps) == \
+            [loop_sim.step_time(s) for s in steps]
+
+        def loop():
+            sim = fresh()
+            return [sim.step_time(s) for s in steps]
+
+        t_loop = _time(loop, 5)
+        t_fused = _time(lambda: fresh().step_time_many(steps), 5)
+        return t_loop, t_fused
+
+    t_loop, t_fused = once(run)
+    speedup = t_loop / t_fused
+    print(f"\nfused schedule (N={n} ring all-reduce, {len(steps)} steps): "
+          f"per-step {t_loop*1e3:.2f} ms, fused {t_fused*1e3:.2f} ms "
+          f"-> {speedup:.1f}x")
+    _record("schedule_fused", {
+        "nodes": n, "steps": len(steps),
+        "reference_s": t_loop, "engine_s": t_fused, "speedup": speedup})
+    assert speedup >= 1.5

@@ -30,6 +30,9 @@ class CacheStats:
     misses: int = 0
     size: int = 0
     max_size: int = 0
+    #: Values solved but refused by the admission policy (too costly to
+    #: keep; see :attr:`LruCache.admit_cost_bound`).
+    skipped: int = 0
 
     @property
     def lookups(self) -> int:
@@ -47,7 +50,8 @@ class CacheStats:
         return CacheStats(hits=self.hits + other.hits,
                           misses=self.misses + other.misses,
                           size=self.size + other.size,
-                          max_size=self.max_size + other.max_size)
+                          max_size=self.max_size + other.max_size,
+                          skipped=self.skipped + other.skipped)
 
 
 class LruCache:
@@ -58,13 +62,24 @@ class LruCache:
     fluid pattern cache, the topology routed-path cache): ``get``
     promotes and counts, ``put`` evicts the least recently used entry
     beyond ``max_size``.  ``None`` is not storable (it encodes a miss).
+
+    ``admit_cost_bound`` is an optional *admission policy*: callers that
+    pass a ``cost`` to :meth:`put` (e.g. the number of flows in a step
+    signature) get the value stored only when the cost is within the
+    bound; over-bound values are counted in :attr:`skipped` and simply
+    recomputed on the next probe.  This keeps single enormous steps
+    from pinning memory or bloating the persistent spill files.
     """
 
-    def __init__(self, max_size: int) -> None:
+    def __init__(self, max_size: int,
+                 admit_cost_bound: Optional[int] = None) -> None:
         self.max_size = max(1, int(max_size))
+        self.admit_cost_bound = admit_cost_bound
         self._data: "OrderedDict[Any, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Values refused by the admission policy (solved, not stored).
+        self.skipped = 0
         #: Monotonic write counter — lets spillers skip unchanged caches.
         self.mutations = 0
 
@@ -78,14 +93,26 @@ class LruCache:
             self.misses += 1
         return value
 
-    def put(self, key: Any, value: Any) -> None:
+    def put(self, key: Any, value: Any,
+            cost: Optional[int] = None) -> bool:
         """Insert/refresh ``value`` (becomes most recent), evicting the
-        LRU entry when over bound."""
+        LRU entry when over bound.
+
+        When ``cost`` is given and exceeds :attr:`admit_cost_bound`,
+        the value is *not* stored (admission policy): :attr:`skipped`
+        is incremented and ``False`` returned.  Returns ``True`` when
+        the value was stored.
+        """
+        if cost is not None and self.admit_cost_bound is not None \
+                and cost > self.admit_cost_bound:
+            self.skipped += 1
+            return False
         self._data[key] = value
         self._data.move_to_end(key)
         self.mutations += 1
         if len(self._data) > self.max_size:
             self._data.popitem(last=False)
+        return True
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters.
@@ -96,12 +123,14 @@ class LruCache:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.skipped = 0
         self.mutations += 1
 
     def stats(self) -> CacheStats:
         """Current counter snapshot."""
         return CacheStats(hits=self.hits, misses=self.misses,
-                          size=len(self._data), max_size=self.max_size)
+                          size=len(self._data), max_size=self.max_size,
+                          skipped=self.skipped)
 
     # -- persistence hooks (see repro.core.cache_store) ---------------------
 

@@ -270,32 +270,70 @@ class FluidCacheMixin:
             caches = self._fluid_caches = LruCache(_FLUID_NAMESPACES_MAX)
         return caches
 
+    def _topo_path_caches(self) -> LruCache:
+        """Namespace → shared routed-path cache (LRU-bounded).
+
+        The same shape as :meth:`_fluid_pattern_caches`, for the
+        topologies' routed-path LRUs — persisting those keeps
+        BFS-heavy ``CircuitTopology`` routing warm across processes.
+        """
+        caches = getattr(self, "_topo_caches", None)
+        if caches is None:
+            caches = self._topo_caches = LruCache(_FLUID_NAMESPACES_MAX)
+        return caches
+
     def _register_fluid_simulator(self, sim: Any) -> None:
         """Adopt/seed the shared pattern cache for a new simulator.
 
         Same-namespace simulators share one cache object (so spills
         lose nothing to key collisions and repeated configs reuse each
         other's solves); the first simulator of a namespace warms it
-        from the attached store.
+        from the attached store.  The simulator's topology gets the
+        same treatment for its routed-path cache.
         """
+        self._register_topology(sim.topology)
         if sim.pattern_cache is None:
             return
-        caches = self._fluid_pattern_caches()
-        namespace = sim.cache_namespace()
+        self._share_namespace_cache(
+            self._fluid_pattern_caches(), sim.cache_namespace(),
+            sim.pattern_cache, sim.use_pattern_cache)
+
+    def _register_topology(self, topology: Any) -> None:
+        """Share/warm/spill a topology's routed-path cache by namespace.
+
+        Same-signature topologies (identical links *and* routing class)
+        share one cache object; the first one of a namespace warms it
+        from the attached store.  Routing is deterministic, so a warmed
+        route is exactly what the BFS/arc walk would recompute.
+        """
+        self._share_namespace_cache(
+            self._topo_path_caches(), topology.path_cache_namespace(),
+            topology.path_cache, topology.use_path_cache)
+
+    def _share_namespace_cache(self, caches: LruCache, namespace: str,
+                               cache: LruCache, adopt: Any) -> None:
+        """Adopt/warm/track one namespaced cache (the shared plumbing of
+        :meth:`_register_fluid_simulator` and :meth:`_register_topology`).
+
+        If the namespace already has a shared cache object, ``adopt`` it
+        onto the new owner; otherwise warm the owner's own cache from
+        the attached store and make it the namespace's shared object.
+        """
         existing = caches.get(namespace)
         if existing is not None:
-            sim.use_pattern_cache(existing)
+            if existing is not cache:
+                adopt(existing)
             return
         store = getattr(self, "_cache_store", None)
         if store is not None:
-            was_empty = len(sim.pattern_cache) == 0
-            sim.warm_pattern_cache(store.load(namespace))
+            was_empty = len(cache) == 0
+            cache.warm(store.load(namespace))
             seen = getattr(self, "_spilled_mutations", None)
             if seen is not None and was_empty:
                 # Its whole content came from the store, so the next
                 # spill can skip it until new work lands.
-                seen[namespace] = sim.pattern_cache.mutations
-        caches.put(namespace, sim.pattern_cache)
+                seen[namespace] = cache.mutations
+        caches.put(namespace, cache)
 
     def _schedule_steps(self, schedule: Schedule, workload: Workload,
                         ) -> List[List[Tuple[int, int, float]]]:
@@ -309,6 +347,17 @@ class FluidCacheMixin:
                  for t in step]
                 for step in schedule.steps]
 
+    def _fluid_step_times(self, sim: Any, schedule: Schedule,
+                          workload: Workload) -> List[float]:
+        """All step makespans of ``schedule`` in one fused solve.
+
+        The one call the fluid substrates' ``execute`` paths make per
+        schedule: ``FluidNetworkSimulator.run_schedule`` canonicalizes
+        and dedupes the whole step list up front, so repeated step
+        patterns pay neither compile nor per-step dispatch.
+        """
+        return sim.step_time_many(self._schedule_steps(schedule, workload))
+
     def fluid_cache_info(self) -> CacheStats:
         """Pattern-cache counters aggregated over the shared caches."""
         total = CacheStats()
@@ -321,8 +370,12 @@ class FluidCacheMixin:
         stats = self.fluid_cache_info()
         return [("fluid_cache_hits", stats.hits),
                 ("fluid_cache_misses", stats.misses),
-                ("fluid_cache_hit_rate", round(stats.hit_rate, 4))]
+                ("fluid_cache_hit_rate", round(stats.hit_rate, 4)),
+                ("fluid_cache_skipped", stats.skipped)]
 
     def persistent_caches(self) -> Dict[str, LruCache]:
-        """Default for fluid substrates: the shared pattern caches."""
-        return dict(self._fluid_pattern_caches().export_items())
+        """Default for fluid substrates: the shared pattern caches plus
+        the topologies' routed-path caches."""
+        caches = dict(self._fluid_pattern_caches().export_items())
+        caches.update(self._topo_path_caches().export_items())
+        return caches

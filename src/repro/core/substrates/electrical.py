@@ -80,10 +80,10 @@ class ElectricalSubstrate(FluidCacheMixin, Substrate):
         sim = self._simulator(system)
         report = ExecutionReport(schedule_name=schedule.name,
                                  substrate=f"electrical-{system.topology}")
-        # One batch call: repeated step patterns (a ring schedule has
-        # 2(N-1) identical ones) hit the simulator's pattern cache.
-        makespans = sim.step_time_many(
-            self._schedule_steps(schedule, workload))
+        # One fused call: the whole schedule is canonicalized and
+        # deduped up front (a ring schedule has 2(N-1) identical
+        # steps), and repeats hit the simulator's pattern cache.
+        makespans = self._fluid_step_times(sim, schedule, workload)
         now = 0.0
         for idx, (step, makespan) in enumerate(zip(schedule.steps,
                                                    makespans)):

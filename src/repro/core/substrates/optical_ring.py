@@ -42,6 +42,11 @@ Striping = Union[str, int]
 #: Default bound on memoized RWA solutions per substrate instance.
 DEFAULT_RWA_CACHE_SIZE = 4096
 
+#: Default admission bound: steps with more routed transfers than this
+#: are solved but not memoized (their keys and assignments are large,
+#: and steps that size rarely repeat).
+DEFAULT_RWA_CACHE_MAX_TRANSFERS = 1024
+
 
 @dataclass(frozen=True)
 class RwaCacheStats(CacheStats):
@@ -85,6 +90,10 @@ class OpticalRingSubstrate(Substrate):
         Enable the RWA memoization cache (identical results either way).
     cache_size:
         Bound on memoized RWA solutions (LRU eviction).
+    cache_max_transfers:
+        Admission bound: steps with more routed transfers than this are
+        solved but not memoized (``None`` admits everything); skipped
+        solves surface as ``rwa_cache_skipped`` in :meth:`describe`.
     """
 
     name = "optical-ring"
@@ -93,7 +102,9 @@ class OpticalRingSubstrate(Substrate):
                  policy: AssignmentPolicy = AssignmentPolicy.FIRST_FIT,
                  striping: Striping = "auto",
                  cache: bool = True,
-                 cache_size: int = DEFAULT_RWA_CACHE_SIZE) -> None:
+                 cache_size: int = DEFAULT_RWA_CACHE_SIZE,
+                 cache_max_transfers: Optional[int]
+                 = DEFAULT_RWA_CACHE_MAX_TRANSFERS) -> None:
         if system is not None and not isinstance(system, OpticalRingSystem):
             raise ConfigurationError(
                 f"optical-ring substrate needs an OpticalRingSystem, "
@@ -103,7 +114,8 @@ class OpticalRingSubstrate(Substrate):
         self._striping = striping
         self._networks: Dict[OpticalRingSystem, OpticalRingNetwork] = {}
         self._cache_enabled = cache
-        self._cache = LruCache(cache_size)
+        self._cache = LruCache(cache_size,
+                               admit_cost_bound=cache_max_transfers)
 
     # -- cache management ---------------------------------------------------
 
@@ -117,7 +129,8 @@ class OpticalRingSubstrate(Substrate):
         return RwaCacheStats(hits=self._cache.hits,
                              misses=self._cache.misses,
                              size=len(self._cache),
-                             max_size=self._cache.max_size)
+                             max_size=self._cache.max_size,
+                             skipped=self._cache.skipped)
 
     def clear_rwa_cache(self) -> None:
         """Drop every memoized RWA solution (counters reset too)."""
@@ -147,7 +160,8 @@ class OpticalRingSubstrate(Substrate):
                   ("rwa_cache", self._cache_enabled),
                   ("rwa_cache_hits", stats.hits),
                   ("rwa_cache_misses", stats.misses),
-                  ("rwa_cache_hit_rate", round(stats.hit_rate, 4))]
+                  ("rwa_cache_hit_rate", round(stats.hit_rate, 4)),
+                  ("rwa_cache_skipped", stats.skipped)]
         if self._system is not None:
             params += [("num_nodes", self._system.num_nodes),
                        ("num_wavelengths", self._system.num_wavelengths)]
@@ -319,5 +333,7 @@ class OpticalRingSubstrate(Substrate):
                 k -= 1
 
         if key is not None:
-            self._cache.put(key, (k, rwa))
+            # Admission policy: very large steps are solved but not
+            # memoized (`rwa_cache_skipped` counts them).
+            self._cache.put(key, (k, rwa), cost=len(base_requests))
         return k, requests, rwa

@@ -68,8 +68,7 @@ class OpticalTorusSubstrate(FluidCacheMixin, Substrate):
         sim = self._simulator(system)
         report = ExecutionReport(schedule_name=schedule.name,
                                  substrate=self.name)
-        makespans = sim.step_time_many(
-            self._schedule_steps(schedule, workload))
+        makespans = self._fluid_step_times(sim, schedule, workload)
         now = 0.0
         for idx, (step, makespan) in enumerate(zip(schedule.steps,
                                                    makespans)):

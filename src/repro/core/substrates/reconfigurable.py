@@ -334,13 +334,15 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
         return rounds
 
     def persistent_caches(self) -> Dict[str, LruCache]:
-        """The decomposition step cache plus the fluid pattern caches.
+        """The decomposition step cache plus the fluid-layer caches
+        (pattern caches and the circuit topologies' routed-path caches
+        — the BFS-heavy ones the persistent store pays off most for).
 
         Decomposition keys are ``(ports, mode, ordered pattern)`` —
         system-rate independent — so one global namespace is safe.
         """
         caches = {"ocs/decomposition": self._cache}
-        caches.update(self._fluid_pattern_caches().export_items())
+        caches.update(FluidCacheMixin.persistent_caches(self))
         return caches
 
     def _simulator(self, system: ReconfigurableOCSSystem,

@@ -15,9 +15,10 @@ of S bytes over an uncongested path of rate B and latency L completes in
 """
 
 from .engine import Event, EventQueue, Simulator
-from .flows import (CompiledFlowBatch, Flow, compile_flows, compile_paths,
-                    max_min_fair_rates, progressive_fill,
-                    validate_allocation)
+from .flows import (CompiledFlowBatch, FillState, Flow,
+                    SPARSE_FLOW_THRESHOLD, compile_flows, compile_paths,
+                    have_sparse, max_min_fair_rates, progressive_fill,
+                    resolve_backend, validate_allocation)
 from .fluid import FlowResult, FluidNetworkSimulator, StepProfile
 from .trace import LinkTrace, TraceRecorder
 
@@ -27,10 +28,14 @@ __all__ = [
     "Simulator",
     "Flow",
     "CompiledFlowBatch",
+    "FillState",
+    "SPARSE_FLOW_THRESHOLD",
     "compile_flows",
     "compile_paths",
+    "have_sparse",
     "progressive_fill",
     "max_min_fair_rates",
+    "resolve_backend",
     "validate_allocation",
     "FluidNetworkSimulator",
     "FlowResult",

@@ -11,28 +11,87 @@ The solver is split into a **compile** step and a **fill** step so the
 fluid event loop never rebuilds Python-side structures per event:
 
 * :func:`compile_paths` turns a batch of flow paths into a
-  :class:`CompiledFlowBatch` — a CSR flow→link index, the dense
-  links x flows incidence matrix, and the link capacity vector — built
-  exactly once per ``run()`` batch;
+  :class:`CompiledFlowBatch` — a CSR flow→link index, a links x flows
+  incidence operator (dense matrix or ``scipy.sparse`` CSR, see
+  *backends* below), and the link capacity vector — built exactly once
+  per ``run()`` batch;
 * :func:`progressive_fill` solves max-min over the compiled structure
-  restricted to an *active mask*, which is how one synchronous step of
-  N flows costs N vectorized solves instead of N full rebuilds.
+  restricted to an *active mask*, and can **warm-start** from the
+  previous event's recorded solve (:class:`FillState`): when the active
+  set only *shrank* (flows completed), every filling round up to the
+  first bottleneck touched by a completed flow is *replayed* from the
+  record in O(links) vector ops instead of re-solved — the incremental
+  active-set solver the event loop rides on.
 
-:func:`max_min_fair_rates` keeps the historical one-shot API on top of
-the two (and the property suite pins it bit-for-bit against the frozen
+Incidence backends
+------------------
+``compile_paths(..., backend=...)`` selects how per-round link counts
+and freeze detection are computed:
+
+* ``"dense"`` — a dense links x flows float matrix (one BLAS matvec per
+  round); the right call below a few hundred flows;
+* ``"sparse"`` — a ``scipy.sparse`` CSR matrix (O(nnz) per round); the
+  right call for very large flow batches, and what ``"auto"`` picks at
+  or above :data:`SPARSE_FLOW_THRESHOLD` flows when scipy is
+  importable.  When scipy is absent, ``"sparse"``/``"auto"`` degrade
+  gracefully to dense.
+
+Both backends are *numerically interchangeable*: the incidence is 0/1
+and the filling mask is 0/1, so per-round link counts are exact small
+integers no matter how the products are summed.  The documented
+contract is agreement within 1e-12 relative tolerance; in practice the
+backends agree bit-for-bit (and the property suite pins exactly that).
+
+:func:`max_min_fair_rates` keeps the historical one-shot API on top
+(and the property suite pins it bit-for-bit against the frozen
 pre-refactor implementation in ``repro.simulation._reference``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..errors import SimulationError
 
+try:  # gated dependency: the sparse backend needs scipy
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    _scipy_sparse = None
+
 LinkId = Hashable
+
+#: Flow count at which ``backend="auto"`` switches to scipy CSR (kept
+#: dense below it: BLAS on small dense blocks beats sparse overhead).
+SPARSE_FLOW_THRESHOLD = 512
+
+
+def have_sparse() -> bool:
+    """Whether the scipy-backed sparse incidence backend is available."""
+    return _scipy_sparse is not None
+
+
+def resolve_backend(backend: Optional[str], num_flows: int) -> str:
+    """The concrete backend (``"dense"``/``"sparse"``) for a batch.
+
+    ``None``/``"auto"`` select sparse at or above
+    :data:`SPARSE_FLOW_THRESHOLD` flows when scipy is importable;
+    an explicit ``"sparse"`` without scipy degrades to dense (the
+    results are identical either way, only the speed differs).
+    """
+    if backend in (None, "auto"):
+        if _scipy_sparse is not None and num_flows >= SPARSE_FLOW_THRESHOLD:
+            return "sparse"
+        return "dense"
+    if backend == "dense":
+        return "dense"
+    if backend == "sparse":
+        return "sparse" if _scipy_sparse is not None else "dense"
+    raise SimulationError(
+        f"unknown incidence backend {backend!r} "
+        f"(expected 'auto', 'dense' or 'sparse')")
 
 
 @dataclass
@@ -72,30 +131,70 @@ class CompiledFlowBatch:
     * ``link_ids`` / ``cap`` — the links actually used by the batch (in
       first-use order, matching the historical solver) and their
       capacities;
-    * ``inc`` — dense links x flows incidence (float64, so the per-round
-      ``inc @ active`` matmul needs no cast);
     * ``flow_ptr`` / ``flow_links`` — CSR rows: flow ``j`` crosses
       ``flow_links[flow_ptr[j]:flow_ptr[j+1]]``;
     * ``flow_of`` — ``flow_links``'s owning flow per entry (for
       flow-major trace accumulation with ``np.add.at``);
+    * ``inc_flows`` / ``inc_links`` — the *deduplicated* (flow, link)
+      incidence pairs backing the counting operators (a path crossing a
+      link twice still counts it once, as the incidence matrix does);
+    * ``backend`` — ``"dense"`` or ``"sparse"``: how :meth:`link_counts`
+      and :meth:`flows_on` are computed (identical values either way);
     * ``loopback`` — flows with an empty path (delivered instantly).
     """
 
-    __slots__ = ("link_ids", "cap", "inc", "flow_ptr", "flow_links",
-                 "flow_of", "loopback", "any_loopback")
+    __slots__ = ("link_ids", "cap", "flow_ptr", "flow_links", "flow_of",
+                 "inc_flows", "inc_links", "inc_ptr", "loopback",
+                 "any_loopback", "backend", "_inc", "_inc_sp",
+                 "_lnk_ptr", "_lnk_flows")
 
     def __init__(self, link_ids: Tuple[LinkId, ...], cap: np.ndarray,
-                 inc: np.ndarray, flow_ptr: np.ndarray,
-                 flow_links: np.ndarray, flow_of: np.ndarray,
-                 loopback: np.ndarray) -> None:
+                 flow_ptr: np.ndarray, flow_links: np.ndarray,
+                 flow_of: np.ndarray, inc_flows: np.ndarray,
+                 inc_links: np.ndarray, loopback: np.ndarray,
+                 backend: str = "dense") -> None:
         self.link_ids = link_ids
         self.cap = cap
-        self.inc = inc
         self.flow_ptr = flow_ptr
         self.flow_links = flow_links
         self.flow_of = flow_of
+        self.inc_flows = inc_flows
+        self.inc_links = inc_links
+        # inc_* entries are flow-major sorted; per-flow pointers let
+        # the warm-start path slice a removed flow's links directly.
+        n = len(flow_ptr) - 1
+        self.inc_ptr = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(np.bincount(inc_flows, minlength=n),
+                  out=self.inc_ptr[1:])
         self.loopback = loopback
         self.any_loopback = bool(loopback.any())
+        self.backend = backend
+        self._inc: Optional[np.ndarray] = None
+        self._inc_sp = None
+        self._lnk_ptr: Optional[np.ndarray] = None
+        self._lnk_flows: Optional[np.ndarray] = None
+        if backend == "sparse":
+            self._inc_sp = _scipy_sparse.csr_matrix(
+                (np.ones(len(inc_links), dtype=np.float64),
+                 (inc_links, inc_flows)),
+                shape=(self.num_links, self.num_flows))
+            # Link-major (CSC-style) incidence for freeze detection:
+            # flows crossing link ``l`` are
+            # ``lnk_flows[lnk_ptr[l]:lnk_ptr[l+1]]``.
+            order = np.argsort(inc_links, kind="stable")
+            self._lnk_flows = inc_flows[order]
+            lnk_ptr = np.zeros(self.num_links + 1, dtype=np.intp)
+            np.cumsum(np.bincount(inc_links, minlength=self.num_links),
+                      out=lnk_ptr[1:])
+            self._lnk_ptr = lnk_ptr
+        else:
+            self._inc = self._build_dense()
+
+    def _build_dense(self) -> np.ndarray:
+        inc = np.zeros((self.num_links, self.num_flows), dtype=np.float64)
+        if self.inc_links.size:
+            inc[self.inc_links, self.inc_flows] = 1.0
+        return inc
 
     @property
     def num_flows(self) -> int:
@@ -107,14 +206,57 @@ class CompiledFlowBatch:
         """Distinct links used by the batch."""
         return len(self.link_ids)
 
+    @property
+    def inc(self) -> np.ndarray:
+        """The dense links x flows incidence (built on demand under the
+        sparse backend; always materialized under the dense one)."""
+        if self._inc is None:
+            self._inc = self._build_dense()
+        return self._inc
+
+    # -- backend-dispatched counting operators ------------------------------
+
+    def link_counts(self, filling_f: np.ndarray) -> np.ndarray:
+        """Filling flows per link (exact integers in float64)."""
+        if self._inc_sp is not None:
+            return self._inc_sp @ filling_f
+        return self._inc @ filling_f
+
+    def flows_on(self, link_idx: np.ndarray,
+                 filling: np.ndarray) -> np.ndarray:
+        """Mask of ``filling`` flows crossing any link in ``link_idx``.
+
+        Pure set membership (no float arithmetic), so both backends
+        return the identical mask: the dense path reduces incidence
+        rows, the sparse path gathers the links' flow lists from the
+        link-major index (CSR row slicing is far too slow here).
+        """
+        if self._lnk_ptr is not None:
+            starts = self._lnk_ptr[link_idx]
+            lens = self._lnk_ptr[link_idx + 1] - starts
+            total = int(lens.sum())
+            on = np.zeros(self.num_flows, dtype=bool)
+            if total:
+                # Multi-range gather: absolute positions of every
+                # (link, flow) entry under the saturated links.
+                offs = np.arange(total) \
+                    - np.repeat(np.cumsum(lens) - lens, lens)
+                on[self._lnk_flows[np.repeat(starts, lens) + offs]] = True
+        else:
+            on = np.add.reduce(self._inc[link_idx], axis=0) > 0.0
+        return on & filling
+
 
 def compile_paths(paths: Sequence[Tuple[LinkId, ...]],
-                  capacities: Dict[LinkId, float]) -> CompiledFlowBatch:
+                  capacities: Dict[LinkId, float],
+                  backend: Optional[str] = None) -> CompiledFlowBatch:
     """Compile a batch of flow paths against ``capacities``.
 
     Links are indexed in first-use order (flow-major), matching the
     historical solver exactly; a path crossing a link with no declared
-    capacity raises, as does a non-positive capacity.
+    capacity raises, as does a non-positive capacity.  ``backend``
+    picks the incidence representation (see module docstring);
+    ``None``/``"auto"`` auto-select by batch size.
     """
     n = len(paths)
     used_links: List[LinkId] = []
@@ -138,87 +280,335 @@ def compile_paths(paths: Sequence[Tuple[LinkId, ...]],
     links_arr = np.asarray(flow_links, dtype=np.intp)
     counts = np.diff(flow_ptr)
     flow_of = np.repeat(np.arange(n, dtype=np.intp), counts)
-    inc = np.zeros((m, n), dtype=np.float64)
     if links_arr.size:
-        inc[links_arr, flow_of] = 1.0
+        # Dedupe (flow, link) pairs: the incidence counts a link once
+        # per crossing flow even if a (degenerate) path repeats it.
+        enc = np.unique(flow_of * m + links_arr)
+        inc_flows = enc // m
+        inc_links = enc - inc_flows * m
+    else:
+        inc_flows = np.zeros(0, dtype=np.intp)
+        inc_links = np.zeros(0, dtype=np.intp)
     cap = np.array([capacities[lid] for lid in used_links], dtype=float)
     if np.any(cap <= 0):
         raise SimulationError("link capacities must be positive")
     loopback = counts == 0
-    return CompiledFlowBatch(link_ids=tuple(used_links), cap=cap, inc=inc,
+    return CompiledFlowBatch(link_ids=tuple(used_links), cap=cap,
                              flow_ptr=flow_ptr, flow_links=links_arr,
-                             flow_of=flow_of, loopback=loopback)
+                             flow_of=flow_of, inc_flows=inc_flows,
+                             inc_links=inc_links, loopback=loopback,
+                             backend=resolve_backend(backend, n))
 
 
 def compile_flows(flows: Sequence[Flow],
-                  capacities: Dict[LinkId, float]) -> CompiledFlowBatch:
+                  capacities: Dict[LinkId, float],
+                  backend: Optional[str] = None) -> CompiledFlowBatch:
     """:func:`compile_paths` over ``Flow`` objects."""
-    return compile_paths([f.path for f in flows], capacities)
+    return compile_paths([f.path for f in flows], capacities,
+                         backend=backend)
+
+
+class FillState:
+    """The recorded trajectory of one progressive-filling solve.
+
+    One entry per filling round, flattened into arrays so the next
+    event can warm-start without per-round Python work:
+
+    * ``bottlenecks[r]`` / ``levels[r]`` — the round's fair-share
+      increment and the cumulative level a flow frozen in round ``r``
+      ends at (accumulated with the exact float additions the solver
+      performs, so replayed rates are bit-for-bit);
+    * ``sat_cat``/``sat_ptr`` — per-round saturated link indices
+      (CSR-style);
+    * ``frozen_cat``/``frozen_ptr`` — per-round frozen flow indices;
+    * ``counts`` — the (rounds x links) per-round link count vectors
+      (needed to replay residual-capacity updates exactly);
+    * ``active`` — the solve's active mask; ``rates`` — its result.
+
+    The warm-start contract (proved in :func:`progressive_fill`): when
+    the next event's active set is a *subset* (flows completed, none
+    admitted), every round whose saturated links avoid the completed
+    flows' links is untouched — same bottleneck, same frozen set, same
+    float arithmetic — and can be replayed from this record.
+    """
+
+    __slots__ = ("active", "nrounds", "bottlenecks", "levels",
+                 "sat_cat", "sat_ptr", "frozen_cat", "frozen_ptr",
+                 "frozen_levels", "counts", "rates", "replayed")
+
+    def __init__(self, active: np.ndarray, bottlenecks: np.ndarray,
+                 levels: np.ndarray, sat_cat: np.ndarray,
+                 sat_ptr: np.ndarray, frozen_cat: np.ndarray,
+                 frozen_ptr: np.ndarray, frozen_levels: np.ndarray,
+                 counts: np.ndarray, rates: np.ndarray,
+                 replayed: int = 0) -> None:
+        self.active = active
+        self.nrounds = len(bottlenecks)
+        #: Rounds this solve replayed from its warm state (0 for a cold
+        #: solve) — the event loop's signal for adaptive warm-starting.
+        self.replayed = replayed
+        self.bottlenecks = bottlenecks
+        self.levels = levels
+        self.sat_cat = sat_cat
+        self.sat_ptr = sat_ptr
+        self.frozen_cat = frozen_cat
+        self.frozen_ptr = frozen_ptr
+        #: ``frozen_cat``-aligned cumulative level per frozen flow (the
+        #: exact float its rate froze at) — lets the replay assign all
+        #: prefix rates in one fancy index.
+        self.frozen_levels = frozen_levels
+        self.counts = counts
+        self.rates = rates
+
+
+def _pack_rounds(lists: List[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-round index arrays into (cat, ptr) CSR form."""
+    ptr = np.zeros(len(lists) + 1, dtype=np.intp)
+    for i, arr in enumerate(lists):
+        ptr[i + 1] = ptr[i] + len(arr)
+    cat = (np.concatenate(lists) if lists
+           else np.zeros(0, dtype=np.intp))
+    return cat, ptr
+
+
+FillResultT = Union[np.ndarray, Tuple[np.ndarray, Optional[FillState]]]
 
 
 def progressive_fill(batch: CompiledFlowBatch,
-                     active: Optional[np.ndarray] = None) -> np.ndarray:
+                     active: Optional[np.ndarray] = None,
+                     *, warm: Optional[FillState] = None,
+                     removed: Optional[np.ndarray] = None,
+                     record: bool = False) -> FillResultT:
     """Max-min fair rates over ``batch`` restricted to ``active`` flows.
 
     ``active`` is a boolean mask aligned with the batch (``None`` means
     every flow).  Inactive flows get rate 0; loopback flows get
-    ``inf``.  The filling loop is identical, operation for operation,
-    to the historical solver — links idle under the current mask have
-    zero counts and drop out of every round — so restricted solves are
-    bit-for-bit what a fresh solve over the active subset would return.
+    ``inf``.  Returns the rates array, or ``(rates, FillState)`` when
+    ``record`` is true (the state is ``None`` for degenerate batches).
+
+    ``warm`` is a :class:`FillState` recorded over a *superset* of the
+    current active flows on the same batch (anything else — additions,
+    a different batch — silently falls back to a cold solve).  The
+    solver then replays recorded rounds up to the first round whose
+    saturated links touch a removed flow's links and re-solves only
+    from there.  Replayed solves are **bit-for-bit** what the cold
+    solve computes, by the following argument: removing flows (a)
+    leaves counts and residuals on links they do not cross untouched,
+    so every fair share there is the identical float; (b) only *raises*
+    fair shares on links they do cross (counts shrink, residuals grow,
+    and float subtraction/division are monotone), so a link that was
+    strictly above the bottleneck's tie tolerance stays above it.
+    Hence every round whose saturated set avoids the removed flows'
+    links keeps the same bottleneck value, the same saturated set, and
+    the same frozen flows — and the replay performs the same residual
+    arithmetic (``counts - removed`` is exact integer float math).
+
+    ``removed`` is an optional fast path for trusted callers (the event
+    loop): the exact indices dropped from ``warm``'s active set since
+    it was recorded.  When given, the solver skips the mask-diff
+    validation and slices the removed flows' links straight from the
+    batch CSR.  It is ignored without ``warm``; passing indices that do
+    not match ``active``'s true difference voids the warm-start
+    contract.
     """
     n = batch.num_flows
     rates = np.zeros(n)
     if n == 0:
-        return rates
+        return (rates, None) if record else rates
 
+    act = np.ones(n, dtype=bool) if active is None else active
     if batch.any_loopback:
         rates[batch.loopback] = np.inf
-        filling = (~batch.loopback if active is None
-                   else active & ~batch.loopback)
+        filling = act & ~batch.loopback
     else:
-        filling = (np.ones(n, dtype=bool) if active is None
-                   else active.copy())
+        filling = act.copy()
 
     m = batch.num_links
     if m == 0:
+        return (rates, None) if record else rates
+
+    # -- warm-start: replay the previous event's recorded rounds ----------
+    state = warm
+    d_links: Optional[np.ndarray] = None
+    if state is not None and removed is not None:
+        # Trusted caller: `removed` names the dropped flows exactly.
+        if len(removed) == 0:
+            return ((state.rates.copy(), state) if record
+                    else state.rates.copy())
+        ptr = batch.inc_ptr
+        if len(removed) == 1:
+            i = int(removed[0])
+            d_links = batch.inc_links[ptr[i]:ptr[i + 1]]
+        else:
+            d_links = np.concatenate(
+                [batch.inc_links[ptr[int(i)]:ptr[int(i) + 1]]
+                 for i in removed])
+    elif state is not None:
+        if state.active.shape[0] != n \
+                or bool(np.any(act & ~state.active)):
+            state = None  # additions or a foreign record: solve cold
+        else:
+            removed_mask = state.active & ~act
+            if not removed_mask.any():
+                # Identical active set: the record *is* this solve.
+                return ((state.rates.copy(), state) if record
+                        else state.rates.copy())
+            d_entries = removed_mask[batch.inc_flows]
+            d_links = batch.inc_links[d_entries]
+    rstar = 0
+    dcounts: Optional[np.ndarray] = None
+    residual: Optional[np.ndarray] = None
+    if state is not None:
+        d_mask = np.zeros(m, dtype=bool)
+        d_mask[d_links] = True
+        bad = np.flatnonzero(d_mask[state.sat_cat])
+        if bad.size:
+            rstar = int(np.searchsorted(state.sat_ptr, bad[0],
+                                        side="right")) - 1
+        else:
+            rstar = state.nrounds
+        dcounts = np.bincount(d_links, minlength=m).astype(np.float64)
+        if rstar > 0:
+            fcut = int(state.frozen_ptr[rstar])
+            frozen_pre = state.frozen_cat[:fcut]
+            rates[frozen_pre] = state.frozen_levels[:fcut]
+            filling[frozen_pre] = False
+            rates[filling] = state.levels[rstar - 1]
+        if filling.any():
+            # Resuming the fill loop needs the residual capacities at
+            # round ``rstar`` — replay the recorded updates with the
+            # removed flows' (exact integer) contribution subtracted.
+            residual = batch.cap.copy()
+            for s in range(rstar):
+                residual -= ((state.counts[s] - dcounts)
+                             * state.bottlenecks[s])
+                np.maximum(residual, 0.0, out=residual)
+
+    # -- the filling loop (cold, or resumed past the replayed prefix) ----
+    app_b: List[float] = []
+    app_lvl: List[float] = []
+    app_sat: List[np.ndarray] = []
+    app_frozen: List[np.ndarray] = []
+    app_counts: List[np.ndarray] = []
+    clean = True
+    if filling.any():
+        if residual is None:
+            residual = batch.cap.copy()
+        level = float(state.levels[rstar - 1]) \
+            if (state is not None and rstar > 0) else 0.0
+        filling_f = filling.astype(np.float64)
+
+        # Progressive filling: at most one link saturates per round, so
+        # the loop runs at most m times.  The arithmetic mirrors the
+        # historical per-event solver operation for operation, so
+        # restricted solves are bit-for-bit what a fresh solve over the
+        # subset returns.
+        for _ in range(m + 1):
+            counts = batch.link_counts(filling_f)
+            hot_idx = np.nonzero(counts)[0]
+            if not hot_idx.size:  # pragma: no cover - defensive
+                clean = False
+                break
+            fair_hot = residual[hot_idx] / counts[hot_idx]
+            bottleneck = float(fair_hot.min())
+            if not np.isfinite(bottleneck):  # pragma: no cover - defensive
+                clean = False
+                break
+            # Grant the increment to every filling flow.
+            rates[filling] += bottleneck
+            residual -= counts * bottleneck
+            residual = np.maximum(residual, 0.0)
+            # Freeze flows on saturated links.
+            sat_idx = hot_idx[fair_hot <= bottleneck + 1e-15]
+            frozen = batch.flows_on(sat_idx, filling)
+            if not frozen.any():  # pragma: no cover - defensive
+                clean = False
+                break
+            if record:
+                level = level + bottleneck
+                app_b.append(bottleneck)
+                app_lvl.append(level)
+                app_sat.append(sat_idx)
+                app_frozen.append(np.nonzero(frozen)[0])
+                app_counts.append(counts)
+            filling = filling & ~frozen
+            if not filling.any():
+                break
+            filling_f[frozen] = 0.0
+        else:  # pragma: no cover - defensive
+            raise SimulationError("progressive filling failed to converge")
+
+    if not record:
         return rates
+    if not clean:  # pragma: no cover - defensive
+        return rates, None
 
-    inc = batch.inc
-    residual = batch.cap.copy()
-    filling_f = filling.astype(np.float64)
+    # -- assemble the new record (prefix of the replay + fresh rounds) ----
+    active_copy = act.copy()
+    if state is not None and not app_b:
+        # Pure replay (possibly truncated): the trajectory is a prefix
+        # of the old one with the removed flows' link counts shifted
+        # out — array views, no concatenation.
+        full = rstar == state.nrounds
+        new_state = FillState(
+            active=active_copy,
+            bottlenecks=state.bottlenecks if full
+            else state.bottlenecks[:rstar],
+            levels=state.levels if full else state.levels[:rstar],
+            sat_cat=state.sat_cat if full
+            else state.sat_cat[:state.sat_ptr[rstar]],
+            sat_ptr=state.sat_ptr if full
+            else state.sat_ptr[:rstar + 1],
+            frozen_cat=state.frozen_cat if full
+            else state.frozen_cat[:state.frozen_ptr[rstar]],
+            frozen_ptr=state.frozen_ptr if full
+            else state.frozen_ptr[:rstar + 1],
+            frozen_levels=state.frozen_levels if full
+            else state.frozen_levels[:state.frozen_ptr[rstar]],
+            counts=(state.counts if full else state.counts[:rstar])
+            - dcounts,
+            rates=rates.copy(), replayed=rstar)
+        return rates, new_state
 
-    # Progressive filling: at most one link saturates per round, so the
-    # loop runs at most m times.  The arithmetic mirrors the historical
-    # per-event solver operation for operation (compressed over the hot
-    # links instead of masking a full-size array), so restricted solves
-    # are bit-for-bit what a fresh solve over the subset returns.
-    for _ in range(m + 1):
-        counts = inc @ filling_f  # active flows per link
-        hot_idx = np.nonzero(counts)[0]
-        if not hot_idx.size:
-            break
-        fair_hot = residual[hot_idx] / counts[hot_idx]
-        bottleneck = float(fair_hot.min())
-        if not np.isfinite(bottleneck):  # pragma: no cover - defensive
-            break
-        # Grant the increment to every filling flow.
-        rates[filling] += bottleneck
-        residual -= counts * bottleneck
-        residual = np.maximum(residual, 0.0)
-        # Freeze flows on saturated links.
-        sat_idx = hot_idx[fair_hot <= bottleneck + 1e-15]
-        frozen = (np.add.reduce(inc[sat_idx], axis=0) > 0.0) & filling
-        if not frozen.any():  # pragma: no cover - defensive
-            break
-        filling = filling & ~frozen
-        if not filling.any():
-            break
-        filling_f[frozen] = 0.0
-    else:  # pragma: no cover - defensive
-        raise SimulationError("progressive filling failed to converge")
-
-    return rates
+    app_fro_cat, app_fro_ptr = _pack_rounds(app_frozen)
+    app_fro_levels = np.repeat(np.asarray(app_lvl),
+                               np.diff(app_fro_ptr))
+    if state is not None and rstar > 0:
+        pre_counts = state.counts[:rstar] - dcounts
+        bottlenecks = np.concatenate(
+            [state.bottlenecks[:rstar], np.asarray(app_b)])
+        levels = np.concatenate(
+            [state.levels[:rstar], np.asarray(app_lvl)])
+        app_sat_cat, app_sat_ptr = _pack_rounds(app_sat)
+        sat_cat = np.concatenate(
+            [state.sat_cat[:state.sat_ptr[rstar]], app_sat_cat])
+        sat_ptr = np.concatenate(
+            [state.sat_ptr[:rstar + 1],
+             state.sat_ptr[rstar] + app_sat_ptr[1:]])
+        frozen_cat = np.concatenate(
+            [state.frozen_cat[:state.frozen_ptr[rstar]], app_fro_cat])
+        frozen_ptr = np.concatenate(
+            [state.frozen_ptr[:rstar + 1],
+             state.frozen_ptr[rstar] + app_fro_ptr[1:]])
+        frozen_levels = np.concatenate(
+            [state.frozen_levels[:state.frozen_ptr[rstar]],
+             app_fro_levels])
+        counts_mat = (np.concatenate([pre_counts, np.asarray(app_counts)])
+                      if app_counts else pre_counts)
+    else:
+        bottlenecks = np.asarray(app_b)
+        levels = np.asarray(app_lvl)
+        sat_cat, sat_ptr = _pack_rounds(app_sat)
+        frozen_cat, frozen_ptr = app_fro_cat, app_fro_ptr
+        frozen_levels = app_fro_levels
+        counts_mat = (np.asarray(app_counts) if app_counts
+                      else np.zeros((0, m)))
+    new_state = FillState(
+        active=active_copy, bottlenecks=bottlenecks, levels=levels,
+        sat_cat=sat_cat, sat_ptr=sat_ptr, frozen_cat=frozen_cat,
+        frozen_ptr=frozen_ptr, frozen_levels=frozen_levels,
+        counts=counts_mat, rates=rates.copy(), replayed=rstar)
+    return rates, new_state
 
 
 def max_min_fair_rates(

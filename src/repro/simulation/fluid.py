@@ -11,17 +11,30 @@ uncongested flow of S bytes over a path of bottleneck B and latency L is
 delivered at ``L + S/B``; congested flows share bottlenecks max-min
 fairly.
 
-The engine is **incremental**: each ``run()`` batch is compiled once
-into a :class:`~repro.simulation.flows.CompiledFlowBatch` (CSR flow→link
-rows, dense incidence, capacity vector) and the whole event loop is
-driven with array operations — progressive filling restricted to the
-active mask, vectorized earliest-completion selection, vectorized
-remaining-bytes drain, and trace accumulation via ``np.add.at`` — with
-zero per-event Python matrix rebuilds.  Results are bit-for-bit
-identical to the historical per-event implementation (pinned against
-:mod:`repro.simulation._reference` by the property suite), with one
-documented exception: loopback flows (``src == dst``, empty path) are
-now delivered instantly at admission instead of hanging the old loop.
+The engine is **incremental** on three levels:
+
+* each ``run()`` batch is compiled once into a
+  :class:`~repro.simulation.flows.CompiledFlowBatch` (CSR flow→link
+  rows, a dense or ``scipy.sparse`` incidence operator picked by batch
+  size, capacity vector) and the whole event loop is driven with array
+  operations;
+* between consecutive events the solver **warm-starts**: the previous
+  allocation's recorded trajectory
+  (:class:`~repro.simulation.flows.FillState`) is passed back into
+  :func:`~repro.simulation.flows.progressive_fill`, which replays every
+  bottleneck round not invalidated by the completed flows and re-solves
+  only from the first one that is — O(changed bottlenecks) per event
+  instead of O(all bottlenecks);
+* whole schedules execute through :meth:`FluidNetworkSimulator.run_schedule`,
+  which canonicalizes and dedupes all steps up front (reusing the key
+  for identical consecutive steps) and solves each distinct step
+  pattern exactly once.
+
+Results are bit-for-bit identical to the historical per-event
+implementation (pinned against :mod:`repro.simulation._reference` by
+the property suite), with one documented exception: loopback flows
+(``src == dst``, empty path) are delivered instantly at admission
+instead of hanging the old loop.
 
 On top of the engine sits a **pattern-keyed step cache**
 (:meth:`FluidNetworkSimulator.step_profile`): a synchronous step's
@@ -32,6 +45,9 @@ memoized under a normalized key and rescaled per call.  Cached entries
 are pure functions of their key — a hit returns exactly what the miss
 path would compute — so warm and cold runs are byte-identical, which is
 what lets :mod:`repro.core.cache_store` share them across processes.
+An *admission policy* keeps enormous steps from bloating the cache:
+patterns above ``pattern_cache_max_flows`` flows are solved but not
+stored (counted in the cache's ``skipped`` statistic).
 """
 
 from __future__ import annotations
@@ -53,6 +69,10 @@ _EPS_BYTES = 1e-9
 
 #: Default bound on memoized normalized rate schedules per simulator.
 DEFAULT_PATTERN_CACHE_SIZE = 1024
+
+#: Default admission bound: steps above this many flows are solved but
+#: not memoized (pattern keys and rate schedules grow with the step).
+DEFAULT_PATTERN_CACHE_MAX_FLOWS = 1024
 
 #: Bound on compiled (routed) pattern structures per simulator.
 _COMPILED_PATTERN_MAX = 256
@@ -117,6 +137,11 @@ class StepProfile:
             if self.finish_times.size else 0.0
 
 
+def _empty_profile() -> StepProfile:
+    return StepProfile(pairs=(), finish_times=np.zeros(0),
+                       latencies=np.zeros(0))
+
+
 class _CompiledPattern:
     """Routed structure of one ``(src, dst)`` step pattern."""
 
@@ -144,11 +169,28 @@ class FluidNetworkSimulator:
         results either way).
     pattern_cache_size:
         Bound on memoized rate schedules (LRU eviction).
+    pattern_cache_max_flows:
+        Admission bound: steps with more flows than this are solved but
+        not memoized (``None`` admits everything).
+    backend:
+        Incidence backend for compiled batches — ``"auto"`` (default;
+        scipy CSR at/above
+        :data:`~repro.simulation.flows.SPARSE_FLOW_THRESHOLD` flows,
+        dense below), ``"dense"``, or ``"sparse"``.  Identical results
+        either way; ``"sparse"`` degrades to dense without scipy.
+    warm_start:
+        Warm-start consecutive event solves from the previous
+        allocation's recorded trajectory (identical results either
+        way; disable only for benchmarking the cold solver).
     """
 
     def __init__(self, topology: Topology, keep_trace: bool = False,
                  pattern_cache: bool = True,
                  pattern_cache_size: int = DEFAULT_PATTERN_CACHE_SIZE,
+                 pattern_cache_max_flows: Optional[int]
+                 = DEFAULT_PATTERN_CACHE_MAX_FLOWS,
+                 backend: Optional[str] = None,
+                 warm_start: bool = True,
                  ) -> None:
         self.topology = topology
         self.capacities: Dict[LinkId, float] = {
@@ -158,9 +200,18 @@ class FluidNetworkSimulator:
         self.trace: Optional[TraceRecorder] = (
             TraceRecorder(self.capacities) if keep_trace else None)
         self._pattern_cache: Optional[LruCache] = (
-            LruCache(pattern_cache_size) if pattern_cache else None)
+            LruCache(pattern_cache_size,
+                     admit_cost_bound=pattern_cache_max_flows)
+            if pattern_cache else None)
         self._compiled_patterns = LruCache(_COMPILED_PATTERN_MAX)
         self._routes = LruCache(_ROUTE_CACHE_MAX)
+        self._backend = backend
+        self._warm_start = warm_start
+
+    @property
+    def backend(self) -> Optional[str]:
+        """The configured incidence backend (``None`` = auto)."""
+        return self._backend
 
     # -- flow construction ----------------------------------------------------
 
@@ -216,7 +267,7 @@ class FluidNetworkSimulator:
                                       flows[i].dst))
         batch_flows = [flows[i] for i in order]
         batch = compile_paths([f.path for f in batch_flows],
-                              self.capacities)
+                              self.capacities, backend=self._backend)
         sizes = np.array([f.size for f in batch_flows], dtype=float)
         starts = np.array([f.start_time for f in batch_flows], dtype=float)
         lats = np.array([f.latency for f in batch_flows], dtype=float)
@@ -251,6 +302,12 @@ class FluidNetworkSimulator:
         *transmission* completions (no latency).  ``batch_flows`` is
         only used to phrase error messages (``None`` for the
         pattern-cache path, where pairs name the flows).
+
+        Consecutive allocations warm-start from the previous event's
+        recorded :class:`~repro.simulation.flows.FillState` whenever
+        the active set only shrank (completions); admissions reset the
+        record (identical results either way — the record replay is
+        bit-for-bit, see :func:`progressive_fill`).
         """
         n = batch.num_flows
         remaining = sizes.astype(float, copy=True)
@@ -263,6 +320,10 @@ class FluidNetworkSimulator:
         now = 0.0
         guard = 0
         max_rounds = 4 * n + 8
+        warm_start = self._warm_start
+        fill_state = None
+        completed_since = None  # flows done since the recorded solve
+        no_replay = 0  # consecutive completion events that replayed 0 rounds
 
         def flow_name(i: int) -> str:
             if batch_flows is not None:
@@ -282,6 +343,7 @@ class FluidNetworkSimulator:
             if not active_count:
                 now = max(now, starts[cursor])
             # Admit everything that has started by `now`.
+            admitted = False
             while cursor < n and starts[cursor] <= now + 1e-18:
                 i = cursor
                 if batch.loopback[i]:
@@ -293,11 +355,34 @@ class FluidNetworkSimulator:
                 else:
                     active[i] = True
                     active_count += 1
+                    admitted = True
                 cursor += 1
             if not active_count:
                 continue  # only loopbacks admitted; jump to next start
 
-            rates = progressive_fill(batch, active)
+            if admitted:
+                fill_state = None  # additions invalidate the record
+                completed_since = None
+            if warm_start:
+                rates, fill_state = progressive_fill(
+                    batch, active, warm=fill_state,
+                    removed=completed_since, record=True)
+                # Adaptive warm-starting: a workload whose completions
+                # always invalidate round 0 (e.g. a uniform exchange
+                # saturating every link at once) can never replay —
+                # stop paying for the records after two consecutive
+                # fruitless completion events.  Purely a cost knob:
+                # cold solves are the definitionally identical path.
+                if completed_since is not None and completed_since.size:
+                    if fill_state is not None and fill_state.replayed == 0:
+                        no_replay += 1
+                        if no_replay >= 2:
+                            warm_start = False
+                            fill_state = None
+                    else:
+                        no_replay = 0
+            else:
+                rates = progressive_fill(batch, active)
             act_idx = np.nonzero(active)[0]
             act_rates = rates[act_idx]
             last_rates[act_idx] = act_rates
@@ -336,6 +421,7 @@ class FluidNetworkSimulator:
             rem_act = rem_act - act_rates * dt
             remaining[act_idx] = rem_act
             done = act_idx[rem_act <= _EPS_BYTES]
+            completed_since = done
             if done.size:
                 remaining[done] = 0.0
                 tx_times[done] = now
@@ -359,10 +445,52 @@ class FluidNetworkSimulator:
                 paths.append(path)
                 lats[k] = latency
             compiled = _CompiledPattern(
-                batch=compile_paths(paths, self.capacities),
+                batch=compile_paths(paths, self.capacities,
+                                    backend=self._backend),
                 latencies=lats)
             self._compiled_patterns.put(pattern, compiled)
         return compiled
+
+    @staticmethod
+    def _canon_step(pairs: Iterable[Tuple[int, int, float]],
+                    ) -> Optional[Tuple[Tuple, float]]:
+        """Canonical ``(cache key, reference size)`` of one step.
+
+        The step is sorted by ``(src, dst, size)``; the key is the pair
+        pattern plus the sizes normalized by the largest transfer (the
+        max-min dynamics depend only on those ratios).  ``None`` for an
+        empty step.
+        """
+        step = sorted((int(s), int(d), float(z)) for s, d, z in pairs)
+        for s, d, z in step:
+            if z <= 0:
+                raise SimulationError(f"flow {s}->{d} size must be > 0")
+        if not step:
+            return None
+        pattern = tuple((s, d) for s, d, _ in step)
+        sizes = np.array([z for _, _, z in step], dtype=float)
+        s_ref = float(sizes.max())
+        ratios = sizes / s_ref
+        return (pattern, tuple(ratios)), s_ref
+
+    def _profile_for(self, key: Tuple, s_ref: float) -> StepProfile:
+        """Solve (or fetch) one canonical step and rescale it."""
+        pattern, ratios = key
+        compiled = self._compiled_pattern(pattern)
+        tx_hat = (self._pattern_cache.get(key)
+                  if self._pattern_cache is not None else None)
+        if tx_hat is None:
+            _, tx_hat, _ = self._drive(
+                compiled.batch, None,
+                np.asarray(ratios, dtype=float),
+                np.zeros(len(pattern)))
+            if self._pattern_cache is not None:
+                # Admission policy: enormous steps are solved but not
+                # memoized (`skipped` counts them).
+                self._pattern_cache.put(key, tx_hat, cost=len(pattern))
+        finish = tx_hat * s_ref + compiled.latencies
+        return StepProfile(pairs=pattern, finish_times=finish,
+                           latencies=compiled.latencies)
 
     def step_profile(self, pairs: Iterable[Tuple[int, int, float]]
                      ) -> StepProfile:
@@ -376,31 +504,10 @@ class FluidNetworkSimulator:
         transfer.  Both the miss and the hit path go through the same
         normalization, so results never depend on cache history.
         """
-        step = sorted((int(s), int(d), float(z)) for s, d, z in pairs)
-        for s, d, z in step:
-            if z <= 0:
-                raise SimulationError(f"flow {s}->{d} size must be > 0")
-        pattern = tuple((s, d) for s, d, _ in step)
-        if not pattern:
-            return StepProfile(pairs=(), finish_times=np.zeros(0),
-                               latencies=np.zeros(0))
-        compiled = self._compiled_pattern(pattern)
-        sizes = np.array([z for _, _, z in step], dtype=float)
-        s_ref = float(sizes.max())
-        ratios = sizes / s_ref
-        key = (pattern, tuple(ratios))
-
-        tx_hat = (self._pattern_cache.get(key)
-                  if self._pattern_cache is not None else None)
-        if tx_hat is None:
-            _, tx_hat, _ = self._drive(
-                compiled.batch, None, ratios,
-                np.zeros(len(pattern)))
-            if self._pattern_cache is not None:
-                self._pattern_cache.put(key, tx_hat)
-        finish = tx_hat * s_ref + compiled.latencies
-        return StepProfile(pairs=pattern, finish_times=finish,
-                           latencies=compiled.latencies)
+        canon = self._canon_step(pairs)
+        if canon is None:
+            return _empty_profile()
+        return self._profile_for(*canon)
 
     def step_time(self, pairs: Iterable[Tuple[int, int, float]]) -> float:
         """Makespan of a synchronous step of concurrent transfers."""
@@ -409,15 +516,86 @@ class FluidNetworkSimulator:
             return max((r.finish_time for r in results), default=0.0)
         return self.step_profile(pairs).makespan
 
+    def run_schedule(self, steps: Sequence[Iterable[Tuple[int, int, float]]]
+                     ) -> List[StepProfile]:
+        """Fused whole-schedule execution: one profile per step.
+
+        All steps are canonicalized up front — identical *consecutive*
+        steps reuse the previous step's normalized key outright (ring
+        and torus schedules repeat one pattern 2(N-1) times in a row) —
+        then each distinct ``(pattern, ratios, scale)`` is solved
+        exactly once and its :class:`StepProfile` shared across
+        repeats, eliminating the per-step compile and Python dispatch
+        the per-step path pays.  For cache-admitted patterns the
+        counters advance exactly as the per-step path would (repeats
+        still probe), so warm/cold observability is unchanged; an
+        admission-*skipped* pattern is solved once per schedule rather
+        than once per repeat, so its ``skipped`` count advances once
+        (the per-step path re-solves and re-skips every repeat).
+        Traced simulators fall back to the raw engine per step (the
+        trace needs real byte accounting).
+        """
+        steps = list(steps)
+        if self.trace is not None:
+            return [self._raw_profile(step) for step in steps]
+
+        # Pass 1: canonicalize, hoisting the key of repeated steps.
+        entries: List[Optional[Tuple[Tuple, float]]] = []
+        prev_raw: Optional[List[Tuple[int, int, float]]] = None
+        prev_entry: Optional[Tuple[Tuple, float]] = None
+        for step in steps:
+            raw = [(int(s), int(d), float(z)) for s, d, z in step]
+            if prev_raw is not None and raw == prev_raw:
+                entries.append(prev_entry)
+                continue
+            prev_raw = raw
+            prev_entry = self._canon_step(raw)
+            entries.append(prev_entry)
+
+        # Pass 2: solve each distinct (key, scale) once; share profiles.
+        made: Dict[Tuple, StepProfile] = {}
+        profiles: List[StepProfile] = []
+        for entry in entries:
+            if entry is None:
+                profiles.append(_empty_profile())
+                continue
+            prof = made.get(entry)
+            if prof is None:
+                prof = self._profile_for(*entry)
+                made[entry] = prof
+            elif self._pattern_cache is not None:
+                # Counter/LRU parity with the per-step path: a repeat
+                # is a cache probe there, so it is one here too.
+                self._pattern_cache.get(entry[0])
+            profiles.append(prof)
+        return profiles
+
     def step_time_many(self, steps: Sequence[Iterable[Tuple[int, int, float]]]
                        ) -> List[float]:
         """Makespans of a whole schedule's synchronous steps.
 
-        The batch entry point substrates use: collective schedules
-        repeat a handful of step patterns, so after the first
-        occurrence every repeat is served from the pattern cache.
+        The batch entry point substrates use; see :meth:`run_schedule`
+        for the fused execution it rides on.
         """
-        return [self.step_time(step) for step in steps]
+        if self.trace is not None:
+            return [self.step_time(step) for step in steps]
+        return [p.makespan for p in self.run_schedule(steps)]
+
+    def _raw_profile(self, pairs: Iterable[Tuple[int, int, float]]
+                     ) -> StepProfile:
+        """A step profile through the raw (traced) engine."""
+        step = sorted((int(s), int(d), float(z)) for s, d, z in pairs)
+        for s, d, z in step:
+            if z <= 0:
+                raise SimulationError(f"flow {s}->{d} size must be > 0")
+        if not step:
+            return _empty_profile()
+        flows = [self.make_flow(s, d, z) for s, d, z in step]
+        self.run(flows)
+        finish = np.array([f.finish_time for f in flows])
+        lats = np.array([f.latency for f in flows])
+        return StepProfile(pairs=tuple((s, d) for s, d, _ in step),
+                           finish_times=finish, latencies=lats)
 
     # -- cache management ---------------------------------------------------
 
@@ -463,7 +641,8 @@ class FluidNetworkSimulator:
 
         Substrates share one cache object between simulators whose
         topologies have the same :meth:`cache_namespace` — entries are
-        interchangeable there by construction.
+        interchangeable there by construction.  The adopted cache's
+        admission bound wins over this simulator's configured one.
         """
         self._pattern_cache = cache
 

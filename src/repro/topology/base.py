@@ -125,6 +125,32 @@ class Topology:
         """Current routed-path cache counters."""
         return self._path_cache.stats()
 
+    @property
+    def path_cache(self) -> LruCache:
+        """The live routed-path cache (for sharing and persistence)."""
+        return self._path_cache
+
+    def use_path_cache(self, cache: LruCache) -> None:
+        """Adopt ``cache`` as this topology's routed-path cache.
+
+        Substrates share one cache object between topologies with the
+        same :meth:`path_cache_namespace` — identical link structure
+        and routing make the entries interchangeable.  Adopt only
+        after construction: :meth:`_add_link` clears the (now shared)
+        cache.
+        """
+        self._path_cache = cache
+
+    def path_cache_namespace(self) -> str:
+        """Persistent-store namespace of this topology's path cache.
+
+        Derived from :meth:`signature` — any topology with identical
+        links and routing class, in any process, shares the entries
+        (this is what keeps BFS-heavy ``CircuitTopology`` runs warm
+        across worker processes).
+        """
+        return f"topo-paths/{self.signature()}"
+
     def signature(self) -> str:
         """Stable digest of this topology's link structure.
 

@@ -107,6 +107,92 @@ class TestLruCachePersistenceHooks:
         assert len(c) == 2  # LRU-evicted down to the bound
 
 
+class TestLruCacheAdmission:
+    def test_over_bound_values_are_skipped(self):
+        c = LruCache(8, admit_cost_bound=2)
+        assert c.put("small", 1, cost=2) is True
+        assert c.put("big", 2, cost=3) is False
+        assert len(c) == 1 and c.skipped == 1
+        assert c.get("big") is None  # never stored
+
+    def test_no_bound_admits_everything(self):
+        c = LruCache(8)
+        assert c.put("x", 1, cost=10 ** 9) is True
+        assert c.skipped == 0
+
+    def test_costless_puts_bypass_the_policy(self):
+        c = LruCache(8, admit_cost_bound=1)
+        assert c.put("x", 1) is True  # no cost declared
+        assert c.skipped == 0
+
+    def test_clear_resets_skipped(self):
+        c = LruCache(8, admit_cost_bound=1)
+        c.put("big", 1, cost=5)
+        assert c.skipped == 1
+        c.clear()
+        assert c.skipped == 0
+
+    def test_stats_carry_skipped(self):
+        c = LruCache(8, admit_cost_bound=1)
+        c.put("big", 1, cost=5)
+        assert c.stats().skipped == 1
+
+
+class TestPathCachePersistence:
+    def test_routed_paths_spill_and_warm(self, tmp_path):
+        """The topology routed-path LRU round-trips through the store:
+        a warmed substrate re-routes nothing (path-cache misses 0)."""
+        store = CacheStore(str(tmp_path))
+        hot = ElectricalSubstrate(topology="ring")
+        report = hot.execute(SCHED, WL)
+        assert any(ns.startswith("topo-paths/")
+                   for ns in hot.persistent_caches())
+        assert hot.spill_to(store) > 0
+        assert any(ns.startswith("topo-paths/")
+                   for ns in store.namespaces())
+
+        cold = ElectricalSubstrate(topology="ring")
+        cold.warm_from(store)
+        assert cold.execute(SCHED, WL) == report
+        (topo,) = [sim.topology for sim in cold._sims.values()]
+        info = topo.path_cache_info()
+        assert info.misses == 0
+
+    def test_circuit_topology_bfs_warm(self, tmp_path):
+        """The BFS-heavy OCS circuit topologies ride the same store."""
+        from repro.config import default_ocs
+        from repro.core.substrates import OCSReconfigurableSubstrate
+
+        store = CacheStore(str(tmp_path))
+        system = default_ocs(8)
+        hot = OCSReconfigurableSubstrate(system)
+        report = hot.execute(SCHED, WL)
+        assert hot.spill_to(store) > 0
+        assert any(ns.startswith("topo-paths/")
+                   for ns in store.namespaces())
+
+        cold = OCSReconfigurableSubstrate(system)
+        cold.warm_from(store)
+        assert cold.execute(SCHED, WL) == report
+        # every circuit topology routed its steps from the warmed cache
+        for sim in cold._sims.values():
+            assert sim.topology.path_cache_info().misses == 0
+
+    def test_same_signature_topologies_share_one_path_cache(self):
+        from repro.config import default_electrical
+
+        base = default_electrical(8).with_(topology="ring")
+        other = base.with_(step_latency=base.step_latency * 2)
+        sub = ElectricalSubstrate(topology="ring")
+        sub._system = base
+        sub.execute(SCHED, WL)
+        sub._system = other
+        sub.execute(SCHED, WL)
+        topologies = [sim.topology for sim in sub._sims.values()]
+        assert len(topologies) == 2
+        assert topologies[0].path_cache is topologies[1].path_cache
+
+
 class TestSubstrateSpillWarm:
     def test_rwa_cache_spill_and_warm(self, tmp_path):
         store = CacheStore(str(tmp_path))

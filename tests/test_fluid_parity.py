@@ -7,6 +7,17 @@ times, same result order — on randomized flow sets with overlapping
 paths, staggered starts, and congested links; and every intermediate
 allocation it computes must be a feasible max-min allocation
 (:func:`repro.simulation.flows.validate_allocation`).
+
+Two further parity axes are pinned here:
+
+* **warm-start vs cold** — the active-set solver's replayed rounds
+  must reproduce every intermediate allocation of the cold solver
+  bit-for-bit, not just the final step times;
+* **sparse vs dense** — the scipy CSR incidence backend must agree
+  with the dense one (documented tolerance 1e-12 relative; in practice
+  — and asserted here — exactly, since 0/1 incidence keeps every link
+  count an exact small integer), and environments without scipy must
+  degrade gracefully to dense.
 """
 
 import numpy as np
@@ -16,11 +27,17 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import SimulationError
 from repro.simulation._reference import (ReferenceFluidSimulator,
                                          reference_max_min_fair_rates)
-from repro.simulation.flows import (Flow, compile_flows, max_min_fair_rates,
-                                    progressive_fill, validate_allocation)
+from repro.simulation import flows as flows_mod
+from repro.simulation.flows import (Flow, compile_flows, compile_paths,
+                                    have_sparse, max_min_fair_rates,
+                                    progressive_fill, resolve_backend,
+                                    validate_allocation)
 from repro.simulation.fluid import FluidNetworkSimulator
 from repro.topology.ring import RingTopology
 from repro.topology.switched import FatTree, SwitchedStar
+
+needs_scipy = pytest.mark.skipif(not have_sparse(),
+                                 reason="scipy not installed")
 
 
 @st.composite
@@ -105,6 +122,163 @@ class TestEngineParity:
         subset = [f for f, m in zip(flows, mask) if m]
         want = reference_max_min_fair_rates(subset, sim.capacities)
         assert np.array_equal(got, want)
+
+
+class TestWarmStartParity:
+    """The active-set warm start is bit-for-bit a cold solve."""
+
+    @given(topology_and_flows())
+    @settings(max_examples=80, deadline=None)
+    def test_every_intermediate_allocation_matches_cold(self, inst):
+        """Warm and cold engines agree on *every* allocation event
+        (same times, same active sets, same rates — exactly)."""
+        topo, specs = inst
+        warm_sim = FluidNetworkSimulator(topo, warm_start=True)
+        cold_sim = FluidNetworkSimulator(topo, warm_start=False)
+        warm_log, cold_log = [], []
+        got = warm_sim.run([warm_sim.make_flow(*sp) for sp in specs],
+                           rate_log=warm_log)
+        want = cold_sim.run([cold_sim.make_flow(*sp) for sp in specs],
+                            rate_log=cold_log)
+        assert [_result_tuple(r) for r in got] == \
+            [_result_tuple(r) for r in want]
+        assert len(warm_log) == len(cold_log)
+        for (tw, iw, rw), (tc, ic, rc) in zip(warm_log, cold_log):
+            assert tw == tc
+            assert np.array_equal(iw, ic)
+            assert np.array_equal(rw, rc)
+
+    @given(topology_and_flows(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_chained_removals_replay_exactly(self, inst, data):
+        """A chain of warm-started fills over shrinking active sets is
+        bit-for-bit the corresponding chain of cold fills."""
+        topo, specs = inst
+        sim = FluidNetworkSimulator(topo)
+        flows = [sim.make_flow(*sp) for sp in specs]
+        batch = compile_flows(flows, sim.capacities)
+        n = len(flows)
+        mask = np.ones(n, dtype=bool)
+        rates, state = progressive_fill(batch, mask, record=True)
+        assert np.array_equal(rates, progressive_fill(batch, mask))
+        while mask.any():
+            alive = list(np.nonzero(mask)[0])
+            drop = data.draw(st.lists(st.sampled_from(alive), min_size=1,
+                                      unique=True), label="drop")
+            mask = mask.copy()
+            mask[drop] = False
+            warm, state = progressive_fill(batch, mask, warm=state,
+                                           record=True)
+            cold = progressive_fill(batch, mask)
+            assert np.array_equal(warm, cold)
+
+    def test_additions_fall_back_to_cold(self):
+        """A warm state over a *smaller* active set is ignored."""
+        star = SwitchedStar(6, 10.0)
+        sim = FluidNetworkSimulator(star)
+        flows = [sim.make_flow(i, (i + 1) % 6, 1.0) for i in range(6)]
+        batch = compile_flows(flows, sim.capacities)
+        small = np.zeros(6, dtype=bool)
+        small[:3] = True
+        _, state = progressive_fill(batch, small, record=True)
+        full = np.ones(6, dtype=bool)
+        got = progressive_fill(batch, full, warm=state)
+        assert np.array_equal(got, progressive_fill(batch, full))
+
+    def test_identical_active_set_reuses_the_record(self):
+        star = SwitchedStar(6, 10.0)
+        sim = FluidNetworkSimulator(star)
+        flows = [sim.make_flow(i, (i + 1) % 6, 1.0) for i in range(6)]
+        batch = compile_flows(flows, sim.capacities)
+        mask = np.ones(6, dtype=bool)
+        rates, state = progressive_fill(batch, mask, record=True)
+        again = progressive_fill(batch, mask, warm=state)
+        assert np.array_equal(again, rates)
+
+
+class TestSparseBackendParity:
+    """Dense and scipy-CSR incidence backends are interchangeable."""
+
+    @needs_scipy
+    @given(topology_and_flows())
+    @settings(max_examples=60, deadline=None)
+    def test_fill_matches_dense_exactly(self, inst):
+        topo, specs = inst
+        sim = FluidNetworkSimulator(topo)
+        flows = [sim.make_flow(*sp) for sp in specs]
+        paths = [f.path for f in flows]
+        dense = compile_paths(paths, sim.capacities, backend="dense")
+        sparse = compile_paths(paths, sim.capacities, backend="sparse")
+        assert sparse.backend == "sparse"
+        mask = np.zeros(len(flows), dtype=bool)
+        mask[::2] = True
+        for active in (None, mask):
+            got = progressive_fill(sparse, active)
+            want = progressive_fill(dense, active)
+            # Documented contract: rtol 1e-12.  In practice the 0/1
+            # incidence keeps every count integer-exact, so the
+            # backends agree bit-for-bit — pin the stronger property.
+            assert np.array_equal(got, want)
+
+    @needs_scipy
+    @given(topology_and_flows())
+    @settings(max_examples=40, deadline=None)
+    def test_run_matches_dense_and_oracle(self, inst):
+        topo, specs = inst
+        sp_sim = FluidNetworkSimulator(topo, backend="sparse")
+        ref = ReferenceFluidSimulator(topo)
+        got = sp_sim.run([sp_sim.make_flow(*sp) for sp in specs])
+        want = ref.run([ref.make_flow(*sp) for sp in specs])
+        assert [_result_tuple(r) for r in got] == want
+
+    @needs_scipy
+    @given(topology_and_flows())
+    @settings(max_examples=40, deadline=None)
+    def test_warm_start_under_sparse_backend(self, inst):
+        topo, specs = inst
+        sim = FluidNetworkSimulator(topo)
+        flows = [sim.make_flow(*sp) for sp in specs]
+        paths = [f.path for f in flows]
+        sparse = compile_paths(paths, sim.capacities, backend="sparse")
+        dense = compile_paths(paths, sim.capacities, backend="dense")
+        n = len(flows)
+        _, state = progressive_fill(sparse, np.ones(n, bool), record=True)
+        mask = np.ones(n, dtype=bool)
+        mask[::2] = False
+        if not mask.any():
+            mask[0] = True
+        got = progressive_fill(sparse, mask, warm=state)
+        assert np.array_equal(got, progressive_fill(dense, mask))
+
+    def test_auto_threshold_selects_backend(self):
+        assert resolve_backend(None, 1) == "dense"
+        assert resolve_backend("dense", 10 ** 6) == "dense"
+        if have_sparse():
+            thr = flows_mod.SPARSE_FLOW_THRESHOLD
+            assert resolve_backend("auto", thr) == "sparse"
+            assert resolve_backend("auto", thr - 1) == "dense"
+            assert resolve_backend("sparse", 1) == "sparse"
+        with pytest.raises(SimulationError, match="unknown incidence"):
+            resolve_backend("bogus", 4)
+
+    def test_no_scipy_falls_back_to_dense(self, monkeypatch):
+        """Environments without scipy run everything on the dense
+        backend — same results, no errors — even when sparse is
+        requested explicitly or implied by 'auto' at scale."""
+        monkeypatch.setattr(flows_mod, "_scipy_sparse", None)
+        assert not have_sparse()
+        star = SwitchedStar(6, 10.0)
+        sim = FluidNetworkSimulator(star, backend="sparse")
+        flows = [sim.make_flow(i, (i + 1) % 6, 1.0 + i) for i in range(6)]
+        paths = [f.path for f in flows]
+        for requested in ("auto", "sparse", None):
+            batch = compile_paths(paths, sim.capacities,
+                                  backend=requested)
+            assert batch.backend == "dense"
+        ref = ReferenceFluidSimulator(star)
+        got = sim.run_pairs([(i, (i + 1) % 6, 1.0 + i) for i in range(6)])
+        want = ref.run_pairs([(i, (i + 1) % 6, 1.0 + i) for i in range(6)])
+        assert [_result_tuple(r) for r in got] == want
 
 
 class TestEngineBehaviour:

@@ -137,6 +137,95 @@ class TestStepCache:
         assert a.cache_namespace() != c.cache_namespace()
 
 
+class TestCacheAdmission:
+    def test_oversized_step_solved_but_not_cached(self):
+        bounded = FluidNetworkSimulator(SwitchedStar(8, GB100),
+                                        pattern_cache_max_flows=2)
+        free = FluidNetworkSimulator(SwitchedStar(8, GB100))
+        big = [(i, (i + 1) % 8, 1.0 * units.MB) for i in range(6)]
+        t1 = bounded.step_time(big)
+        t2 = bounded.step_time(big)
+        assert t1 == t2 == free.step_time(big)
+        info = bounded.pattern_cache_info()
+        assert info.size == 0 and info.skipped == 2
+        assert info.hits == 0 and info.misses == 2
+
+    def test_small_steps_still_admitted(self):
+        sim = FluidNetworkSimulator(SwitchedStar(8, GB100),
+                                    pattern_cache_max_flows=2)
+        small = [(0, 1, 1.0 * units.MB), (2, 3, 1.0 * units.MB)]
+        sim.step_time(small)
+        sim.step_time(small)
+        info = sim.pattern_cache_info()
+        assert info.size == 1 and info.skipped == 0
+        assert info.hits == 1 and info.misses == 1
+
+    def test_fused_schedule_solves_oversized_step_once(self):
+        """The per-step path re-solves an inadmissible step on every
+        repeat; the fused path shares the solve within the schedule."""
+        sim = FluidNetworkSimulator(SwitchedStar(8, GB100),
+                                    pattern_cache_max_flows=2)
+        big = [(i, (i + 1) % 8, 1.0 * units.MB) for i in range(6)]
+        loop = FluidNetworkSimulator(SwitchedStar(8, GB100),
+                                     pattern_cache_max_flows=2)
+        assert sim.step_time_many([big] * 4) == \
+            [loop.step_time(big) for _ in range(4)]
+        # fused: one solve (one skip); the repeats reuse the profile
+        assert sim.pattern_cache_info().skipped == 1
+        assert loop.pattern_cache_info().skipped == 4
+
+
+class TestRunSchedule:
+    def test_profiles_match_per_step_path(self):
+        fused = FluidNetworkSimulator(
+            RingTopology(8, GB100, latency=1 * units.USEC))
+        single = FluidNetworkSimulator(
+            RingTopology(8, GB100, latency=1 * units.USEC))
+        steps = ([[(i, (i + 1) % 8, 1.0 * units.MB) for i in range(8)]] * 3
+                 + [[], [(0, 3, 2.0 * units.MB), (1, 3, 1.0 * units.MB)],
+                    [(0, 3, 4.0 * units.MB), (1, 3, 2.0 * units.MB)]])
+        profiles = fused.run_schedule(steps)
+        for step, prof in zip(steps, profiles):
+            want = single.step_profile(step)
+            assert prof.pairs == want.pairs
+            assert np.array_equal(prof.finish_times, want.finish_times)
+            assert np.array_equal(prof.latencies, want.latencies)
+
+    def test_counters_match_per_step_path(self):
+        """Fused execution advances the cache counters exactly as the
+        per-step loop does (warm/cold observability is unchanged)."""
+        fused = FluidNetworkSimulator(RingTopology(8, GB100))
+        loop = FluidNetworkSimulator(RingTopology(8, GB100))
+        steps = ([[(i, (i + 1) % 8, 1.0) for i in range(8)]] * 4
+                 + [[(0, 2, 1.0)], [(i, (i + 1) % 8, 1.0)
+                                    for i in range(8)]])
+        assert fused.step_time_many(steps) == \
+            [loop.step_time(s) for s in steps]
+        fi, li = fused.pattern_cache_info(), loop.pattern_cache_info()
+        assert (fi.hits, fi.misses) == (li.hits, li.misses)
+
+    def test_scaled_repeats_share_the_solve(self):
+        """Same pattern at a different absolute size is a cache hit and
+        a fresh rescale, exactly as on the per-step path."""
+        sim = FluidNetworkSimulator(SwitchedStar(8, GB100))
+        base = [(0, 1, 2.0 * units.MB), (2, 3, 1.0 * units.MB)]
+        scaled = [(s, d, 10 * z) for s, d, z in base]
+        t = sim.step_time_many([base, scaled])
+        assert t[1] == pytest.approx(10 * t[0], rel=1e-12)
+        info = sim.pattern_cache_info()
+        assert info.misses == 1 and info.hits == 1
+
+    def test_traced_simulator_uses_raw_engine(self):
+        sim = FluidNetworkSimulator(SwitchedStar(4, GB100),
+                                    keep_trace=True)
+        steps = [[(0, 1, 125 * units.MB)], [(0, 1, 125 * units.MB)]]
+        times = sim.step_time_many(steps)
+        assert times[0] == times[1]
+        assert sim.pattern_cache_info().lookups == 0
+        assert sim.trace.total_bytes() == pytest.approx(
+            2 * 2 * 125 * units.MB, rel=1e-6)
+
+
 class TestSubstrateCounters:
     @pytest.mark.parametrize("name", FLUID_SUBSTRATES)
     def test_describe_reports_fluid_cache(self, name):
@@ -148,7 +237,9 @@ class TestSubstrateCounters:
         assert "fluid_cache_hits" in params
         assert "fluid_cache_misses" in params
         assert "fluid_cache_hit_rate" in params
+        assert "fluid_cache_skipped" in params
         assert params["fluid_cache_misses"] >= 1
+        assert params["fluid_cache_skipped"] == 0
 
     @pytest.mark.parametrize("name", FLUID_SUBSTRATES)
     def test_ring_allreduce_hits_pattern_cache(self, name):
@@ -180,7 +271,12 @@ class TestSubstrateCounters:
         # second system's steps all hit the shared cache
         assert second.misses == first.misses
         assert second.hits > first.hits
-        assert len(sub.persistent_caches()) == 1
+        # one shared namespace each for the pattern and path caches
+        namespaces = sub.persistent_caches()
+        assert len([ns for ns in namespaces
+                    if ns.startswith("fluid-pattern/")]) == 1
+        assert len([ns for ns in namespaces
+                    if ns.startswith("topo-paths/")]) == 1
 
     def test_ocs_stay_time_unchanged_by_profile_path(self):
         """The OCS substrate's stay/reconfigure balance is unchanged."""

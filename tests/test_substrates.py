@@ -194,6 +194,20 @@ class TestRwaCache:
         assert with_cache.group_size == without.group_size
         assert with_cache.variant == without.variant
 
+    def test_admission_policy_skips_oversized_steps(self):
+        """Steps over the transfer bound are solved, not memoized."""
+        system = opt()
+        bounded = OpticalRingSubstrate(system, cache_max_transfers=2)
+        free = OpticalRingSubstrate(system)
+        report = bounded.execute(SCHED, WL)       # ring steps: N transfers
+        assert report == free.execute(SCHED, WL)  # identical results
+        info = bounded.rwa_cache_info()
+        assert info.size == 0 and info.skipped > 0
+        assert bounded.execute(SCHED, WL) == report  # repeats re-solve
+        params = dict(bounded.describe().parameters)
+        assert params["rwa_cache_skipped"] == info.skipped * 2
+        assert dict(free.describe().parameters)["rwa_cache_skipped"] == 0
+
     def test_clear_cache_resets_counters(self):
         sub = OpticalRingSubstrate(opt())
         sub.execute(SCHED, WL)
