@@ -24,7 +24,8 @@ FACTOR = 2.0
 #: Sections that must be present in both files and are gated.
 GATED_SECTIONS = ("solver_micro_cold", "step_cache_hit",
                   "sweep_cell_end_to_end", "solver_warm_start",
-                  "sparse_large_batch", "schedule_fused")
+                  "sparse_large_batch", "schedule_fused",
+                  "hier_rack_warm_reuse")
 
 
 def main(argv: list[str]) -> int:

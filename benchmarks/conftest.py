@@ -1,11 +1,48 @@
-"""Shared fixtures for the benchmark harness.
+"""Shared fixtures and helpers for the benchmark harness.
 
 Every bench prints the series it reproduces (the paper's rows), so the
 ``pytest benchmarks/ --benchmark-only`` log doubles as the experiment
 record copied into ``EXPERIMENTS.md``.
+
+The perf benches (``test_bench_fluid.py``, ``test_bench_hier.py``)
+share one machine-readable summary — ``BENCH_fluid.json`` at the repo
+root, the artifact CI uploads and gates via
+``check_bench_regression.py`` — so the path constant and the
+record/measure helpers live here.
 """
 
+import json
+import time
+from pathlib import Path
+
 import pytest
+
+#: Where the machine-readable speedup summary accumulates (repo root).
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fluid.json"
+
+
+def best_time(fn, repeats):
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def record_bench(section, payload):
+    """Merge one section into ``BENCH_JSON`` (creating it if needed)."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data.setdefault("benchmark", "fluid-engine")
+    data.setdefault("unit", "seconds")
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture

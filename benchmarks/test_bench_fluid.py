@@ -30,11 +30,9 @@ and gates against the committed baseline
 (``benchmarks/BENCH_fluid.json``, see ``check_bench_regression.py``).
 """
 
-import json
-import time
-from pathlib import Path
-
 import pytest
+
+from conftest import best_time as _time, record_bench as _record
 
 from repro import units
 from repro.simulation._reference import ReferenceFluidSimulator
@@ -42,9 +40,6 @@ from repro.simulation.flows import have_sparse
 from repro.simulation.fluid import FluidNetworkSimulator
 from repro.topology.ring import RingTopology
 from repro.topology.switched import SwitchedStar
-
-#: Where the machine-readable summary accumulates (repo root).
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fluid.json"
 
 #: The canonical micro-benchmark instance: a 64-flow synchronous step
 #: (distance-8 exchange on a 64-node bidirectional ring; distinct sizes
@@ -85,28 +80,6 @@ def _star_for(pairs):
     hosts = max(max(s for s, _, _ in pairs),
                 max(d for _, d, _ in pairs)) + 1
     return SwitchedStar(hosts, 100 * units.GBPS)
-
-
-def _time(fn, repeats):
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
-def _record(section, payload):
-    data = {}
-    if BENCH_JSON.exists():
-        try:
-            data = json.loads(BENCH_JSON.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data.setdefault("benchmark", "fluid-engine")
-    data.setdefault("unit", "seconds")
-    data[section] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def test_bench_solver_micro(once):

@@ -38,8 +38,9 @@ See ``DESIGN.md`` for details and ``EXPERIMENTS.md`` for the
 paper-vs-measured record.
 """
 
-from .config import (ElectricalSystem, OpticalRingSystem,
-                     OpticalTorusSystem, Workload, default_electrical,
+from .config import (ElectricalSystem, HierarchicalSystem,
+                     OpticalRingSystem, OpticalTorusSystem, Workload,
+                     default_electrical, default_hierarchical,
                      default_optical, default_torus)
 from .errors import (ConfigurationError, PlanningError, ReproError,
                      ScheduleError, SimulationError, TopologyError,
@@ -51,10 +52,12 @@ __all__ = [
     "OpticalRingSystem",
     "ElectricalSystem",
     "OpticalTorusSystem",
+    "HierarchicalSystem",
     "Workload",
     "default_optical",
     "default_electrical",
     "default_torus",
+    "default_hierarchical",
     "ReproError",
     "ConfigurationError",
     "TopologyError",

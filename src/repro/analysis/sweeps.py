@@ -9,7 +9,9 @@
   striped-ring thought experiment;
 * :func:`substrate_sweep` — EXT-S1: one pinned ring all-reduce executed
   on every registered substrate (dispatched through the registry, so
-  third-party substrates show up automatically).
+  third-party substrates show up automatically);
+* :func:`hier_group_sweep` — EXT-H1: the multi-rack fabric's rack-size
+  knob, against the flat O-Ring and Wrht references.
 """
 
 from __future__ import annotations
@@ -17,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..config import OpticalRingSystem, Workload, default_optical
+from ..config import (OpticalRingSystem, Workload, default_hierarchical,
+                      default_optical, hier_group_candidates)
 from ..core import cost_model
 from ..core.comparison import compare_algorithms
 from ..core.planner import plan_wrht
@@ -164,6 +167,67 @@ def striping_sweep(num_nodes: int, workload: Workload,
         cost_model.ring_allreduce_time_optical(
             base, workload, striping=num_wavelengths),
         2 * (num_nodes - 1)))
+    return rows
+
+
+@dataclass(frozen=True)
+class HierGroupRow:
+    """EXT-H1: one rack-size point of the hierarchical-fabric sweep."""
+
+    group_size: int
+    num_groups: int
+    steps: int
+    hier_time: float
+    oring_time: float
+    wrht_time: float
+
+    @property
+    def speedup_vs_oring(self) -> float:
+        """``T_O-Ring / T_hier`` at this rack size."""
+        return self.oring_time / self.hier_time
+
+
+def hier_group_sweep(num_nodes: int, workload: Workload,
+                     group_sizes: Optional[Sequence[int]] = None,
+                     fidelity: str = "analytic",
+                     ) -> List[HierGroupRow]:
+    """Hierarchical-fabric time vs rack size (EXT-H1).
+
+    Sweeps ``group_size`` (default: every divisor of ``num_nodes``)
+    over the multi-rack fabric — the two degenerate endpoints are the
+    purely electrical rack (``g == N``) and the flat optical ring
+    (``g == 1``) — and reports the flat O-Ring and Wrht times on a
+    same-scale single optical ring for reference.  ``fidelity`` picks
+    the closed-form :func:`~repro.core.cost_model.hier_rack_time`
+    (``"analytic"``, pinned to simulation) or full substrate execution
+    (``"simulate"``).
+    """
+    from ..collectives.hierarchical_ring import (
+        generate_hierarchical_ring, hierarchical_ring_step_count)
+    from ..core.substrates import pooled_substrate
+    from ..errors import ConfigurationError as _CfgErr
+
+    if fidelity not in ("analytic", "simulate"):
+        raise _CfgErr(
+            f"fidelity must be 'analytic' or 'simulate', got {fidelity!r}")
+    sizes = (tuple(group_sizes) if group_sizes is not None
+             else hier_group_candidates(num_nodes))
+    flat = default_optical(num_nodes)
+    oring = cost_model.oring_time(flat, workload)
+    wrht = plan_wrht(flat, workload).predicted_time
+    rows: List[HierGroupRow] = []
+    for g in sizes:
+        system = default_hierarchical(num_nodes, group_size=g)
+        if fidelity == "simulate":
+            t = pooled_substrate("hier-rack", system).execute(
+                generate_hierarchical_ring(num_nodes, g),
+                workload).total_time
+        else:
+            t = cost_model.hier_rack_time(system, workload)
+        rows.append(HierGroupRow(
+            group_size=g, num_groups=system.num_groups,
+            steps=hierarchical_ring_step_count(num_nodes, g),
+            hier_time=t, oring_time=oring, wrht_time=wrht))
     return rows
 
 

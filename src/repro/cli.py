@@ -9,7 +9,7 @@ Commands
   (``--substrate`` additionally executes the plan on any registered
   substrate);
 * ``sweep``    — ablation sweeps (wavelengths / payload / striping /
-  substrates).
+  substrates / hier-groups).
 """
 
 from __future__ import annotations
@@ -26,8 +26,9 @@ from .analysis import (figure2, headline_reductions, panels_to_csv,
                        wavelength_requirement_table)
 from .analysis.ascii_plot import simple_table
 from .analysis.figure2 import PAPER_MODELS, PAPER_SCALES
-from .analysis.sweeps import (crossover_sweep, striping_sweep,
-                              substrate_sweep, wavelength_sweep)
+from .analysis.sweeps import (crossover_sweep, hier_group_sweep,
+                              striping_sweep, substrate_sweep,
+                              wavelength_sweep)
 from .collectives.analysis import describe_schedule
 from .config import Workload, default_optical
 from .core.planner import plan_wrht
@@ -168,6 +169,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
              for r in rows],
             title=f"EXT-A3 striping ablation (N={args.nodes}, "
                   f"{wl.name})"))
+    elif args.kind == "hier-groups":
+        rows = hier_group_sweep(args.nodes, wl)
+        print(simple_table(
+            ["g", "racks", "steps", "hier", "o-ring", "wrht"],
+            [(r.group_size, r.num_groups, r.steps,
+              units.fmt_time(r.hier_time), units.fmt_time(r.oring_time),
+              units.fmt_time(r.wrht_time)) for r in rows],
+            title=f"EXT-H1 hierarchical-fabric rack-size sweep "
+                  f"(N={args.nodes}, {wl.name})"))
     elif args.kind == "substrates":
         rows = substrate_sweep(args.nodes, wl, cache_dir=args.cache_dir)
         print(simple_table(
@@ -221,7 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sw = sub.add_parser("sweep", help="ablation sweeps")
     sw.add_argument("kind", choices=("wavelengths", "payload", "striping",
-                                     "substrates"))
+                                     "substrates", "hier-groups"))
     sw.add_argument("--nodes", type=int, default=256)
     sw.add_argument("--model", choices=PAPER_MODELS)
     sw.add_argument("--bytes", type=float, default=100 * units.MB)

@@ -294,6 +294,138 @@ class ReconfigurableOCSSystem:
 
 
 @dataclass(frozen=True)
+class HierarchicalSystem:
+    """A multi-rack hierarchical fabric (extension substrate).
+
+    ``num_groups`` racks of ``group_size`` hosts each: inside a rack,
+    hosts hang off a non-blocking electrical switch (SimGrid-style
+    fluid model, like :class:`ElectricalSystem`); the racks' *leader*
+    nodes (each rack's last host, matching
+    :func:`~repro.collectives.hierarchical_ring.
+    generate_hierarchical_ring`) sit on a bidirectional WDM ring with
+    conflict-exact RWA, like :class:`OpticalRingSystem`.  The two
+    levels have independent bandwidth/latency parameters — the point
+    of the fabric is exactly that their contention physics differ.
+
+    Parameters
+    ----------
+    num_nodes:
+        Total host count (``G x g``).
+    group_size:
+        Hosts per rack (``g``); must divide ``num_nodes``.
+        ``group_size == num_nodes`` degenerates to one purely
+        electrical rack; ``group_size == 1`` to the flat optical ring.
+    local_link_rate:
+        Host NIC / switch port rate inside a rack, bytes/s.
+    local_step_latency:
+        Per-step software + switching latency charged on every step
+        with intra-rack traffic (the electrical α).
+    num_wavelengths / wavelength_rate / bidirectional / tuning_time:
+        The inter-rack WDM ring, with the same semantics as
+        :class:`OpticalRingSystem`.
+    rack_spacing:
+        Physical distance between adjacent racks (metres) — drives
+        inter-rack propagation delay.
+    optical_step_overhead:
+        Fixed synchronisation overhead charged on every step with
+        inter-rack traffic.
+    allow_striping:
+        Whether inter-rack flows may stripe over free wavelengths.
+    """
+
+    num_nodes: int
+    group_size: int
+    local_link_rate: float = 100 * units.GBPS
+    local_step_latency: float = 10 * units.USEC
+    num_wavelengths: int = 64
+    wavelength_rate: float = 25 * units.GBPS
+    bidirectional: bool = True
+    tuning_time: float = 25 * units.USEC
+    rack_spacing: float = 2 * units.METER
+    propagation_delay_per_meter: float = units.PROPAGATION_DELAY_PER_METER
+    optical_step_overhead: float = 1 * units.USEC
+    allow_striping: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.num_nodes >= 2, f"need >=2 nodes, got {self.num_nodes}")
+        _require(self.group_size >= 1
+                 and self.num_nodes % self.group_size == 0,
+                 f"group_size {self.group_size} must divide num_nodes "
+                 f"{self.num_nodes}")
+        _require(self.local_link_rate > 0, "local_link_rate must be > 0")
+        _require(self.local_step_latency >= 0,
+                 "local_step_latency must be >= 0")
+        _require(self.num_wavelengths >= 1,
+                 f"need >=1 wavelength, got {self.num_wavelengths}")
+        _require(self.wavelength_rate > 0, "wavelength_rate must be > 0")
+        _require(self.tuning_time >= 0, "tuning_time must be >= 0")
+        _require(self.rack_spacing >= 0, "rack_spacing must be >= 0")
+        _require(self.propagation_delay_per_meter >= 0,
+                 "propagation_delay_per_meter must be >= 0")
+        _require(self.optical_step_overhead >= 0,
+                 "optical_step_overhead must be >= 0")
+
+    # -- rack structure -------------------------------------------------------
+
+    @property
+    def num_groups(self) -> int:
+        """Number of racks (``G``)."""
+        return self.num_nodes // self.group_size
+
+    @property
+    def leaders(self) -> tuple:
+        """The rack leaders (each rack's last host), in rack order."""
+        g = self.group_size
+        return tuple(k * g + g - 1 for k in range(self.num_groups))
+
+    def rack_of(self, rank: int) -> int:
+        """Rack index of ``rank``."""
+        _require(0 <= rank < self.num_nodes,
+                 f"rank {rank} out of range [0, {self.num_nodes})")
+        return rank // self.group_size
+
+    def leader_of(self, rank: int) -> int:
+        """The leader of ``rank``'s rack."""
+        return self.rack_of(rank) * self.group_size + self.group_size - 1
+
+    # -- per-level system views ----------------------------------------------
+
+    def optical_system(self) -> OpticalRingSystem:
+        """The leader-level WDM ring as an :class:`OpticalRingSystem`
+        over ``num_groups`` rack indices (raises when there is only one
+        rack — a one-rack fabric has no optical level)."""
+        _require(self.num_groups >= 2,
+                 "a one-rack fabric has no optical level")
+        return OpticalRingSystem(
+            num_nodes=self.num_groups,
+            num_wavelengths=self.num_wavelengths,
+            wavelength_rate=self.wavelength_rate,
+            bidirectional=self.bidirectional,
+            tuning_time=self.tuning_time,
+            node_spacing=self.rack_spacing,
+            propagation_delay_per_meter=self.propagation_delay_per_meter,
+            allow_striping=self.allow_striping,
+            step_overhead=self.optical_step_overhead)
+
+    def electrical_system(self) -> ElectricalSystem:
+        """The intra-rack electrical level as an
+        :class:`ElectricalSystem` — one rack's worth of hosts behind a
+        non-blocking switch, mirroring how :meth:`optical_system`
+        projects to the leader level (raises for singleton racks,
+        which have no electrical level)."""
+        _require(self.group_size >= 2,
+                 "singleton racks have no electrical level")
+        return ElectricalSystem(num_nodes=self.group_size,
+                                link_rate=self.local_link_rate,
+                                step_latency=self.local_step_latency,
+                                topology="switch")
+
+    def with_(self, **changes) -> "HierarchicalSystem":
+        """Return a copy with ``changes`` applied (sweep helper)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class Workload:
     """An all-reduce workload: a payload of ``data_bytes`` across all nodes.
 
@@ -343,3 +475,39 @@ def default_torus(num_nodes: int, **overrides) -> OpticalTorusSystem:
 def default_ocs(num_nodes: int, **overrides) -> ReconfigurableOCSSystem:
     """A reconfigurable OCS fabric at ``num_nodes`` (fast-switch defaults)."""
     return ReconfigurableOCSSystem(num_nodes=num_nodes, **overrides)
+
+
+def hier_group_candidates(num_nodes: int) -> tuple:
+    """Every feasible rack size at ``num_nodes``: the divisors,
+    ascending — from the flat optical ring (1) to one purely
+    electrical rack (``num_nodes``).  The one enumeration the
+    ``"hier"`` comparison scenario and the rack-size sweep share."""
+    _require(num_nodes >= 1, f"need >=1 node, got {num_nodes}")
+    return tuple(g for g in range(1, num_nodes + 1)
+                 if num_nodes % g == 0)
+
+
+def default_group_size(num_nodes: int) -> int:
+    """The default rack size at ``num_nodes``: the largest divisor not
+    exceeding ``sqrt(num_nodes)`` (most-square racks-by-hosts split;
+    1 for primes — every host its own rack)."""
+    _require(num_nodes >= 1, f"need >=1 node, got {num_nodes}")
+    best = 1
+    d = 2
+    while d * d <= num_nodes:
+        if num_nodes % d == 0:
+            best = d
+        d += 1
+    return best
+
+
+def default_hierarchical(num_nodes: int, group_size: int | None = None,
+                         **overrides) -> HierarchicalSystem:
+    """A multi-rack hierarchical fabric at ``num_nodes``.
+
+    ``group_size=None`` derives the most-square rack split via
+    :func:`default_group_size`.
+    """
+    g = default_group_size(num_nodes) if group_size is None else group_size
+    return HierarchicalSystem(num_nodes=num_nodes, group_size=g,
+                              **overrides)

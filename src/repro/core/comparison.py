@@ -18,10 +18,16 @@ plus two extension scenarios enabled by the substrate registry:
 * ``"ocs"``     — the topology/schedule co-planner's best
   (algorithm, reconfiguration policy) pair on a reconfigurable OCS
   fabric (simulation-only: the per-step stay-vs-switch choices have no
-  closed form, so both fidelities execute on the substrate).
+  closed form, so both fidelities execute on the substrate);
+* ``"hier"``    — the best rack size for a hierarchical ring
+  all-reduce on the multi-rack fabric (electrical racks on a WDM
+  leader ring): every divisor of ``N`` is swept with the closed-form
+  :func:`repro.core.cost_model.hier_rack_time` (pinned to the
+  ``"hier-rack"`` substrate) and the winner reported — the TopoOpt-ish
+  foil to the flat O-Ring/Wrht contenders.
 
-Neither is in the default ``ALGORITHMS`` (the figures stay the paper's
-four); request them via ``algorithms=EXTENDED_ALGORITHMS``.
+None of these is in the default ``ALGORITHMS`` (the figures stay the
+paper's four); request them via ``algorithms=EXTENDED_ALGORITHMS``.
 
 ``fidelity="analytic"`` uses the closed-form cost models (default — the
 tests pin them to simulation); ``fidelity="simulate"`` generates and
@@ -36,13 +42,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
+from ..collectives.hierarchical_ring import (generate_hierarchical_ring,
+                                             hierarchical_ring_step_count)
 from ..collectives.recursive_doubling import (
     generate_recursive_doubling, recursive_doubling_step_count)
 from ..collectives.ring_allreduce import (generate_ring_allreduce,
                                           ring_step_count)
 from ..config import (ElectricalSystem, OpticalRingSystem, Workload,
-                      default_electrical, default_ocs, default_optical,
-                      default_torus)
+                      default_electrical, default_hierarchical,
+                      default_ocs, default_optical, default_torus,
+                      hier_group_candidates)
 from ..errors import ConfigurationError
 from . import cost_model
 from .planner import plan_wrht
@@ -50,8 +59,10 @@ from .substrates import pooled_substrate
 from .topoplan import plan_topology
 
 ALGORITHMS: Tuple[str, ...] = ("e-ring", "rd", "o-ring", "wrht")
-#: The paper's four plus the torus and reconfigurable-OCS scenarios.
-EXTENDED_ALGORITHMS: Tuple[str, ...] = ALGORITHMS + ("o-torus", "ocs")
+#: The paper's four plus the torus, reconfigurable-OCS, and multi-rack
+#: hierarchy scenarios.
+EXTENDED_ALGORITHMS: Tuple[str, ...] = ALGORITHMS + ("o-torus", "ocs",
+                                                     "hier")
 
 
 @dataclass(frozen=True)
@@ -171,6 +182,27 @@ def _evaluate(algo: str, n: int, workload: Workload,
         return AlgorithmResult(
             algo, cost_model.otorus_ring_time(default_torus(n), workload),
             ring_step_count(n), "optical-torus")
+    if algo == "hier":
+        # Sweep the rack size (every divisor of N) with the closed form
+        # and report the winner; mirrors the Wrht pattern of planning
+        # analytically, then (under fidelity="simulate") executing the
+        # planned schedule on the real substrate.
+        best_system = min(
+            (default_hierarchical(n, group_size=g)
+             for g in hier_group_candidates(n)),
+            key=lambda hs: cost_model.hier_rack_time(hs, workload))
+        detail = {"group_size": best_system.group_size,
+                  "num_groups": best_system.num_groups}
+        if fidelity == "simulate":
+            rep = pooled_substrate("hier-rack", best_system).execute(
+                generate_hierarchical_ring(n, best_system.group_size),
+                workload)
+            return AlgorithmResult(algo, rep.total_time, rep.num_steps,
+                                   rep.substrate, detail)
+        return AlgorithmResult(
+            algo, cost_model.hier_rack_time(best_system, workload),
+            hierarchical_ring_step_count(n, best_system.group_size),
+            "hier-rack", detail)
     if algo == "ocs":
         # Simulation-only scenario: the co-planner's per-step
         # stay-vs-reconfigure choices have no closed form, so the

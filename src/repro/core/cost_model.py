@@ -29,8 +29,8 @@ from ..collectives import analysis as can
 from ..collectives.schedule import Schedule
 from ..collectives.wrht import (WrhtParameters, WrhtScheduleInfo,
                                 generate_wrht)
-from ..config import (ElectricalSystem, OpticalRingSystem,
-                      OpticalTorusSystem, Workload)
+from ..config import (ElectricalSystem, HierarchicalSystem,
+                      OpticalRingSystem, OpticalTorusSystem, Workload)
 from ..errors import ConfigurationError
 from ..topology.ring import RingTopology
 
@@ -151,6 +151,51 @@ def otorus_ring_time(system: OpticalTorusSystem,
                 + 2 * system.hop_propagation_delay
                 + system.tuning_time + system.step_overhead)
     return 2 * (n - 1) * per_step
+
+
+def hier_rack_time(system: HierarchicalSystem, workload: Workload) -> float:
+    """Hierarchical ring all-reduce on the multi-rack fabric, closed form.
+
+    The time of :func:`~repro.collectives.hierarchical_ring.
+    generate_hierarchical_ring` (``N`` nodes, rack size ``g``) on the
+    ``"hier-rack"`` substrate:
+
+    * **local phases** — ``2(g−1)`` steps, each moving the full vector
+      one hop inside every rack concurrently; rack stars are disjoint
+      and non-blocking, so each step costs ``α_local + S/B_local``;
+    * **leader phase** — the classic chunked ring among the ``G`` rack
+      leaders: ``2(G−1)`` steps of ``S/G`` bytes one hop around the
+      WDM ring.  Neighbour arcs are link-disjoint (per-segment demand
+      1), so with striping every transfer rides all ``w`` wavelengths:
+      ``S/(G·w·B_λ)`` serialization plus one rack hop of propagation
+      and the optical step overhead; the neighbour circuit never
+      changes, so MRR tuning is paid once.
+
+    Degenerate fabrics recover the flat models: ``G == 1`` is the
+    electrical term only, ``g == 1`` equals
+    :func:`ring_allreduce_time_optical` on the leader system with full
+    striping.  Pinned against
+    :class:`~repro.core.substrates.hier_rack.HierarchicalRackSubstrate`
+    by the test suite, which lets ``"hier"`` join the analytic figures.
+    """
+    n = system.num_nodes
+    if n <= 1:
+        return 0.0
+    g = system.group_size
+    big_g = system.num_groups
+    s = workload.data_bytes
+    total = 0.0
+    if g > 1:
+        per_local = system.local_step_latency + s / system.local_link_rate
+        total += 2 * (g - 1) * per_local
+    if big_g > 1:
+        k = system.num_wavelengths if system.allow_striping else 1
+        per_leader = (s / big_g / (k * system.wavelength_rate)
+                      + system.rack_spacing
+                      * system.propagation_delay_per_meter
+                      + system.optical_step_overhead)
+        total += system.tuning_time + 2 * (big_g - 1) * per_leader
+    return total
 
 
 # ---------------------------------------------------------------------------

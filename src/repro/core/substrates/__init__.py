@@ -20,7 +20,11 @@ Built-ins
   over aggregate-capacity links (:class:`OpticalTorusSubstrate`);
 * ``"ocs-reconfig"``      — reconfigurable OCS fabric executing
   topology programs: per-step stay-vs-reconfigure choice with matched
-  circuit rounds (:class:`OCSReconfigurableSubstrate`).
+  circuit rounds (:class:`OCSReconfigurableSubstrate`);
+* ``"hier-rack"``         — multi-rack hierarchy: electrical rack
+  stars (fluid model) on a WDM leader ring (conflict-exact RWA), with
+  cross-rack transfers relayed through rack leaders
+  (:class:`HierarchicalRackSubstrate`).
 
 Third-party fabrics plug in with :func:`register_substrate`;
 :func:`pooled_substrate` shares warm instances within a process.
@@ -32,7 +36,9 @@ from .base import (CacheStats, ExecutionJob, ExecutionReport,
                    FluidCacheMixin, LruCache, StepReport, Substrate,
                    SubstrateInfo)
 from .electrical import ElectricalSubstrate
-from .optical_ring import OpticalRingSubstrate, RwaCacheStats
+from .hier_rack import HierarchicalRackSubstrate
+from .optical_ring import (OpticalRingSubstrate, OpticalStepOutcome,
+                           RwaCacheStats)
 from .optical_torus import OpticalTorusSubstrate
 from .reconfigurable import OCSReconfigurableSubstrate
 from .registry import (available_substrates, clear_substrate_pool,
@@ -56,6 +62,9 @@ register_substrate(
 register_substrate(
     "ocs-reconfig",
     lambda system=None, **kw: OCSReconfigurableSubstrate(system, **kw))
+register_substrate(
+    "hier-rack",
+    lambda system=None, **kw: HierarchicalRackSubstrate(system, **kw))
 
 __all__ = [
     "Substrate",
@@ -64,9 +73,11 @@ __all__ = [
     "ExecutionReport",
     "StepReport",
     "OpticalRingSubstrate",
+    "OpticalStepOutcome",
     "ElectricalSubstrate",
     "OpticalTorusSubstrate",
     "OCSReconfigurableSubstrate",
+    "HierarchicalRackSubstrate",
     "CacheStats",
     "FluidCacheMixin",
     "LruCache",

@@ -1,0 +1,305 @@
+"""The multi-rack hierarchical fabric substrate (``"hier-rack"``).
+
+The first substrate with *two levels of contention physics*: racks of
+electrically-switched hosts stitched together by a WDM optical ring.
+Intra-rack transfers are fluid max-min flows on
+:class:`~repro.topology.hierarchy.HierarchicalTopology` (disjoint rack
+stars — the SimGrid-style electrical model); inter-rack transfers ride
+the leader ring through the *same* conflict-exact RWA machinery as the
+flat optical ring (striping, MRR tuning, memoized assignments), with
+rack indices as ring positions.
+
+Each synchronous step is mapped level by level and executed as up to
+three sequential relay phases (store-and-forward at rack boundaries,
+Blink/TopoOpt style):
+
+1. **local uplink** — same-rack transfers, plus the ``src -> leader``
+   leg of every cross-rack transfer whose source is not its rack
+   leader; one fused fluid batch, charged ``local_step_latency``;
+2. **optical** — every cross-rack transfer as ``leader -> leader`` on
+   the WDM ring (RWA + striping + retuning), charged tuning and
+   ``optical_step_overhead``;
+3. **local downlink** — the ``leader -> dst`` legs; a second fused
+   fluid batch, charged ``local_step_latency``.
+
+A step's duration is the sum of its non-empty phases, so purely local
+steps time exactly like the electrical substrate and purely
+leader-level steps exactly like the optical ring — the two degenerate
+fabrics (one rack; singleton racks) reproduce those substrates
+bit-for-bit, which the parity tests pin.
+
+Caching reuses both levels' existing machinery: the electrical level
+shares pattern caches through
+:class:`~repro.core.substrates.base.FluidCacheMixin` (keyed by the
+hierarchy topology's signature), and the optical level embeds an
+:class:`~repro.core.substrates.optical_ring.OpticalRingSubstrate`
+whose RWA cache — including the admission bound — and persistent
+``"rwa"`` namespace are shared unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...collectives.primitives import transfer_bytes
+from ...collectives.schedule import Schedule
+from ...config import (HierarchicalSystem, Workload, default_hierarchical)
+from ...errors import ConfigurationError
+from ...optical.rwa import AssignmentPolicy, TransferRequest
+from ...simulation.fluid import FluidNetworkSimulator
+from ...topology.hierarchy import HierarchicalTopology
+from .base import (ExecutionReport, FluidCacheMixin, LruCache, StepReport,
+                   Substrate, SubstrateInfo)
+from .optical_ring import (DEFAULT_RWA_CACHE_MAX_TRANSFERS,
+                           DEFAULT_RWA_CACHE_SIZE, OpticalRingSubstrate,
+                           RwaCacheStats, Striping, _hint_direction)
+
+
+class HierarchicalRackSubstrate(FluidCacheMixin, Substrate):
+    """Two-level schedule execution on a rack hierarchy.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.config.HierarchicalSystem`; ``None`` derives
+        a default per schedule (most-square rack split, see
+        :func:`~repro.config.default_hierarchical`).
+    policy:
+        Leader-ring wavelength-assignment policy (per-call override via
+        ``execute(..., policy=...)``).
+    striping:
+        Leader-ring striping mode (``"auto"``/``"off"``/``int``;
+        per-call override via ``execute(..., striping=...)``).
+    cache / cache_size / cache_max_transfers:
+        The leader-level RWA memoization cache, with the same semantics
+        (and admission bound) as the flat optical ring's.
+    """
+
+    name = "hier-rack"
+
+    def __init__(self, system: Optional[HierarchicalSystem] = None,
+                 policy: AssignmentPolicy = AssignmentPolicy.FIRST_FIT,
+                 striping: Striping = "auto",
+                 cache: bool = True,
+                 cache_size: int = DEFAULT_RWA_CACHE_SIZE,
+                 cache_max_transfers: Optional[int]
+                 = DEFAULT_RWA_CACHE_MAX_TRANSFERS) -> None:
+        if system is not None and not isinstance(system, HierarchicalSystem):
+            raise ConfigurationError(
+                f"hier-rack substrate needs a HierarchicalSystem, "
+                f"got {type(system).__name__}")
+        self._system = system
+        self._striping = striping
+        self._policy = policy
+        # The optical level *is* an optical-ring substrate over rack
+        # indices — its network pool, RWA cache (admission bound
+        # included) and striping fallback are reused verbatim.
+        self._ring = OpticalRingSubstrate(
+            policy=policy, striping=striping, cache=cache,
+            cache_size=cache_size, cache_max_transfers=cache_max_transfers)
+        self._sims: Dict[HierarchicalSystem, FluidNetworkSimulator] = {}
+        # Per-level counters, cumulative across execute() calls.
+        self._local_steps = 0
+        self._leader_steps = 0
+        self._mixed_steps = 0
+        self._relayed_transfers = 0
+
+    # -- cache management ---------------------------------------------------
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether leader-level RWA solutions are being memoized."""
+        return self._ring.cache_enabled
+
+    def rwa_cache_info(self) -> RwaCacheStats:
+        """Leader-level RWA cache counters."""
+        return self._ring.rwa_cache_info()
+
+    def clear_rwa_cache(self) -> None:
+        """Drop every memoized leader-level RWA solution."""
+        self._ring.clear_rwa_cache()
+
+    def persistent_caches(self) -> Dict[str, LruCache]:
+        """Both levels' spillable caches: the leader ring's ``"rwa"``
+        namespace (keys embed the leader :class:`~repro.config.
+        OpticalRingSystem`, so sharing it with flat-ring substrates is
+        safe) plus the fluid pattern / routed-path namespaces of the
+        electrical level."""
+        caches = dict(self._ring.persistent_caches())
+        caches.update(FluidCacheMixin.persistent_caches(self))
+        return caches
+
+    # -- substrate interface ------------------------------------------------
+
+    def describe(self) -> SubstrateInfo:
+        """Metadata: both levels' parameters, the per-level execution
+        counters, and both levels' cache statistics."""
+        stats = self.rwa_cache_info()
+        params: List[Tuple[str, object]] = [
+            ("policy", self._policy.value),
+            ("striping", self._striping),
+            ("local_steps", self._local_steps),
+            ("leader_steps", self._leader_steps),
+            ("mixed_steps", self._mixed_steps),
+            ("relayed_transfers", self._relayed_transfers),
+            ("rwa_cache_hits", stats.hits),
+            ("rwa_cache_misses", stats.misses),
+            ("rwa_cache_hit_rate", round(stats.hit_rate, 4)),
+            ("rwa_cache_skipped", stats.skipped),
+        ]
+        params += self._fluid_cache_params()
+        if self._system is not None:
+            params += [
+                ("num_nodes", self._system.num_nodes),
+                ("group_size", self._system.group_size),
+                ("num_groups", self._system.num_groups),
+                ("local_link_rate", self._system.local_link_rate),
+                ("num_wavelengths", self._system.num_wavelengths),
+            ]
+        return SubstrateInfo(
+            name=self.name, kind="hierarchical",
+            description="electrical racks (max-min fluid stars) on a "
+                        "WDM leader ring (conflict-exact RWA); "
+                        "cross-rack transfers relay through rack "
+                        "leaders",
+            parameters=tuple(params))
+
+    def execute(self, schedule: Schedule, workload: Workload,
+                striping: Optional[Striping] = None,
+                policy: Optional[AssignmentPolicy] = None,
+                ) -> ExecutionReport:
+        """Execute ``schedule`` on the hierarchy (see module docstring)."""
+        striping = self._striping if striping is None else striping
+        policy = self._policy if policy is None else policy
+        system = self._resolve_system(schedule)
+
+        # -- map every step's transfers to levels ------------------------
+        up_steps: List[List[Tuple[int, int, float]]] = []
+        down_steps: List[List[Tuple[int, int, float]]] = []
+        leader_steps: List[List[TransferRequest]] = []
+        relayed_per_step: List[int] = []
+        for step in schedule.steps:
+            up: List[Tuple[int, int, float]] = []
+            down: List[Tuple[int, int, float]] = []
+            lead: List[TransferRequest] = []
+            relayed = 0
+            for t in step:
+                b = transfer_bytes(t, workload.data_bytes,
+                                   schedule.num_chunks)
+                src_rack = system.rack_of(t.src)
+                dst_rack = system.rack_of(t.dst)
+                if src_rack == dst_rack:
+                    up.append((t.src, t.dst, b))
+                    continue
+                src_leader = system.leader_of(t.src)
+                dst_leader = system.leader_of(t.dst)
+                if t.src != src_leader:
+                    up.append((t.src, src_leader, b))
+                if t.dst != dst_leader:
+                    down.append((dst_leader, t.dst, b))
+                if t.src != src_leader or t.dst != dst_leader:
+                    relayed += 1
+                lead.append(TransferRequest(
+                    src=src_rack, dst=dst_rack, size=b,
+                    direction=_hint_direction(t.direction_hint)))
+            up_steps.append(up)
+            down_steps.append(down)
+            leader_steps.append(lead)
+            relayed_per_step.append(relayed)
+
+        # -- solve both local phases in two fused fluid batches ----------
+        sim = self._simulator(system)
+        up_times = sim.step_time_many(up_steps)
+        down_times = sim.step_time_many(down_steps)
+
+        net = opt_system = None
+        if any(leader_steps):
+            opt_system = system.optical_system()
+            net = self._ring._network(opt_system)
+            net.reset()
+
+        # -- compose the per-step relay timing ---------------------------
+        report = ExecutionReport(schedule_name=schedule.name,
+                                 substrate=self.name)
+        now = 0.0
+        alpha = system.local_step_latency
+        for idx, step in enumerate(schedule.steps):
+            serialization = 0.0
+            overhead = 0.0
+            propagation = 0.0
+            tuning = 0.0
+            k = 1
+            demand = 0
+            span = 0
+            # Phase durations are composed whole (not re-summed from
+            # the decomposition below) so the degenerate fabrics stay
+            # bit-for-bit equal to the flat substrates.
+            up_dur = down_dur = opt_dur = 0.0
+            has_local = bool(up_steps[idx]) or bool(down_steps[idx])
+            has_leader = bool(leader_steps[idx])
+            if up_steps[idx]:
+                up_dur = alpha + up_times[idx]
+                serialization += up_times[idx]
+                overhead += alpha
+            if has_leader:
+                out = self._ring.run_step(net, opt_system, policy,
+                                          striping, leader_steps[idx])
+                opt_dur = out.duration
+                serialization += out.serialization
+                propagation = out.propagation
+                tuning = out.tuning
+                overhead += out.overhead
+                k = out.striping
+                demand = out.wavelength_demand
+                span = out.spectrum_span
+            if down_steps[idx]:
+                down_dur = alpha + down_times[idx]
+                serialization += down_times[idx]
+                overhead += alpha
+            # Counters advance only once the step has actually executed
+            # (both levels solved), so a mid-schedule failure leaves
+            # describe() consistent with the work done.
+            if has_leader and has_local:
+                self._mixed_steps += 1
+            elif has_leader:
+                self._leader_steps += 1
+            else:
+                self._local_steps += 1
+            self._relayed_transfers += relayed_per_step[idx]
+            duration = up_dur + opt_dur + down_dur
+            now += duration
+            report.steps.append(StepReport(
+                index=idx, duration=duration,
+                serialization_time=serialization,
+                propagation_time=propagation,
+                tuning_time=tuning,
+                overhead_time=overhead,
+                num_transfers=len(step),
+                striping=k,
+                wavelength_demand=demand,
+                spectrum_span=span))
+        report.total_time = now
+        return report
+
+    # -- internals ----------------------------------------------------------
+
+    def _resolve_system(self, schedule: Schedule) -> HierarchicalSystem:
+        if self._system is not None:
+            if schedule.num_nodes > self._system.num_nodes:
+                raise ConfigurationError(
+                    f"schedule spans {schedule.num_nodes} nodes; system "
+                    f"has {self._system.num_nodes}")
+            return self._system
+        return default_hierarchical(schedule.num_nodes)
+
+    def _simulator(self, system: HierarchicalSystem,
+                   ) -> FluidNetworkSimulator:
+        sim = self._sims.get(system)
+        if sim is None:
+            topo = HierarchicalTopology(system.num_nodes,
+                                        system.group_size,
+                                        capacity=system.local_link_rate)
+            sim = FluidNetworkSimulator(topo)
+            self._register_fluid_simulator(sim)
+            self._sims[system] = sim
+        return sim

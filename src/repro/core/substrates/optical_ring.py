@@ -68,6 +68,27 @@ def _hint_direction(hint: Optional[str]) -> Optional[Direction]:
     return None
 
 
+@dataclass(frozen=True)
+class OpticalStepOutcome:
+    """Timing decomposition of one RWA-executed synchronous step.
+
+    The per-step result of :meth:`OpticalRingSubstrate.run_step` —
+    shared by the ring substrate's own ``execute`` loop and the
+    hierarchical rack fabric, whose leader level runs the *same* RWA
+    machinery over rack indices.  ``duration`` already includes
+    tuning and the system's per-step overhead.
+    """
+
+    duration: float
+    serialization: float
+    propagation: float
+    tuning: float
+    overhead: float
+    striping: int
+    wavelength_demand: int
+    spectrum_span: int
+
+
 class OpticalRingSubstrate(Substrate):
     """Conflict-exact schedule execution on the WDM optical ring.
 
@@ -181,13 +202,11 @@ class OpticalRingSubstrate(Substrate):
         system = self._resolve_system(schedule)
         net = self._network(system)
         net.reset()
-        ring = net.topology
         report = ExecutionReport(schedule_name=schedule.name,
                                  substrate=self.name)
         now = 0.0
 
         for idx, step in enumerate(schedule.steps):
-            # -- route + decide striping ---------------------------------
             base_requests = [
                 TransferRequest(
                     src=t.src, dst=t.dst,
@@ -195,73 +214,100 @@ class OpticalRingSubstrate(Substrate):
                                         schedule.num_chunks),
                     direction=_hint_direction(t.direction_hint))
                 for t in step]
-            if striping == "off" or not system.allow_striping:
-                k = 1
-            elif striping == "auto":
-                k = compute_striping_factor(base_requests, ring,
-                                            system.num_wavelengths)
-            else:
-                k = int(striping)
-                if k < 1:
-                    raise ConfigurationError(f"striping factor {k} < 1")
-
-            # -- wavelength assignment (conflict-exact, memoized) --------
-            # Longest arcs are placed first (the classic circular-arc
-            # colouring heuristic); even so First-Fit can occasionally
-            # need more than demand*k channels, so on failure fall back
-            # to thinner striping before giving up at k=1.
-            def arc_len(r: TransferRequest) -> int:
-                d = r.direction if r.direction is not None \
-                    else ring.shortest_direction(r.src, r.dst)
-                return ring.distance(r.src, r.dst, d)
-
-            base_requests.sort(key=lambda r: (-arc_len(r), r.src, r.dst))
-            k, requests, rwa = self._assign(net, system, policy,
-                                            base_requests, k)
-
-            # -- retuning: each node's new channel selection -------------
-            tx: Dict[int, Dict[str, Set[int]]] = {}
-            rx: Dict[int, Dict[str, Set[int]]] = {}
-            for req_idx, (direction, chans) in rwa.assignments.items():
-                req = requests[req_idx]
-                dkey = direction.value
-                tx.setdefault(req.src, {}).setdefault(dkey,
-                                                      set()).update(chans)
-                rx.setdefault(req.dst, {}).setdefault(dkey,
-                                                      set()).update(chans)
-            tuning = 0.0
-            for node in net.nodes:
-                tuning = max(tuning, node.retune_for_step(
-                    tx.get(node.node_id, {}), rx.get(node.node_id, {})))
-
-            # -- timing: slowest transfer bounds the step ----------------
-            serialization = 0.0
-            propagation = 0.0
-            slowest = 0.0
-            for req_idx, (direction, chans) in rwa.assignments.items():
-                req = requests[req_idx]
-                hops = ring.distance(req.src, req.dst, direction)
-                ser = req.size / (len(chans) * system.wavelength_rate)
-                prop = system.propagation_delay(hops)
-                if ser + prop > slowest:
-                    slowest = ser + prop
-                    serialization = ser
-                    propagation = prop
-            duration = tuning + system.step_overhead + slowest
-            now += duration
+            out = self.run_step(net, system, policy, striping,
+                                base_requests)
+            now += out.duration
             report.steps.append(StepReport(
-                index=idx, duration=duration,
-                serialization_time=serialization,
-                propagation_time=propagation,
-                tuning_time=tuning,
-                overhead_time=system.step_overhead,
+                index=idx, duration=out.duration,
+                serialization_time=out.serialization,
+                propagation_time=out.propagation,
+                tuning_time=out.tuning,
+                overhead_time=out.overhead,
                 num_transfers=len(step),
-                striping=k,
-                wavelength_demand=rwa.max_link_load,
-                spectrum_span=rwa.spectrum_span))
+                striping=out.striping,
+                wavelength_demand=out.wavelength_demand,
+                spectrum_span=out.spectrum_span))
 
         report.total_time = now
         return report
+
+    def run_step(self, net: OpticalRingNetwork, system: OpticalRingSystem,
+                 policy: AssignmentPolicy, striping: Striping,
+                 base_requests: List[TransferRequest],
+                 ) -> OpticalStepOutcome:
+        """Route, stripe, assign and time one synchronous step on ``net``.
+
+        The per-step core of :meth:`execute`, exposed so substrates
+        that embed an optical ring level (the hierarchical rack fabric)
+        run *exactly* this code path — striping decision, memoized RWA
+        with thinner-striping fallback, MRR retuning against the
+        network's carried tuning state, slowest-transfer timing — and
+        stay bit-for-bit comparable with the flat ring.  ``net`` must
+        belong to ``system`` (see :meth:`_network`) and carries channel
+        state across consecutive calls; ``base_requests`` may be
+        reordered in place (longest arcs first).
+        """
+        ring = net.topology
+        # -- decide striping -------------------------------------------
+        if striping == "off" or not system.allow_striping:
+            k = 1
+        elif striping == "auto":
+            k = compute_striping_factor(base_requests, ring,
+                                        system.num_wavelengths)
+        else:
+            k = int(striping)
+            if k < 1:
+                raise ConfigurationError(f"striping factor {k} < 1")
+
+        # -- wavelength assignment (conflict-exact, memoized) --------
+        # Longest arcs are placed first (the classic circular-arc
+        # colouring heuristic); even so First-Fit can occasionally
+        # need more than demand*k channels, so on failure fall back
+        # to thinner striping before giving up at k=1.
+        def arc_len(r: TransferRequest) -> int:
+            d = r.direction if r.direction is not None \
+                else ring.shortest_direction(r.src, r.dst)
+            return ring.distance(r.src, r.dst, d)
+
+        base_requests.sort(key=lambda r: (-arc_len(r), r.src, r.dst))
+        k, requests, rwa = self._assign(net, system, policy,
+                                        base_requests, k)
+
+        # -- retuning: each node's new channel selection -------------
+        tx: Dict[int, Dict[str, Set[int]]] = {}
+        rx: Dict[int, Dict[str, Set[int]]] = {}
+        for req_idx, (direction, chans) in rwa.assignments.items():
+            req = requests[req_idx]
+            dkey = direction.value
+            tx.setdefault(req.src, {}).setdefault(dkey,
+                                                  set()).update(chans)
+            rx.setdefault(req.dst, {}).setdefault(dkey,
+                                                  set()).update(chans)
+        tuning = 0.0
+        for node in net.nodes:
+            tuning = max(tuning, node.retune_for_step(
+                tx.get(node.node_id, {}), rx.get(node.node_id, {})))
+
+        # -- timing: slowest transfer bounds the step ----------------
+        serialization = 0.0
+        propagation = 0.0
+        slowest = 0.0
+        for req_idx, (direction, chans) in rwa.assignments.items():
+            req = requests[req_idx]
+            hops = ring.distance(req.src, req.dst, direction)
+            ser = req.size / (len(chans) * system.wavelength_rate)
+            prop = system.propagation_delay(hops)
+            if ser + prop > slowest:
+                slowest = ser + prop
+                serialization = ser
+                propagation = prop
+        duration = tuning + system.step_overhead + slowest
+        return OpticalStepOutcome(
+            duration=duration, serialization=serialization,
+            propagation=propagation, tuning=tuning,
+            overhead=system.step_overhead, striping=k,
+            wavelength_demand=rwa.max_link_load,
+            spectrum_span=rwa.spectrum_span)
 
     # -- internals ----------------------------------------------------------
 

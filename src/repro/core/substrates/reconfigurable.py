@@ -48,6 +48,12 @@ Initial = Union[str, CircuitConfig]
 #: Default bound on memoized demand decompositions per instance.
 DEFAULT_STEP_CACHE_SIZE = 4096
 
+#: Default admission bound: steps with more distinct transfer pairs
+#: than this are decomposed but not memoized (their keys and round
+#: lists are large, and steps that size rarely repeat) — the same
+#: policy the RWA and fluid pattern caches apply.
+DEFAULT_STEP_CACHE_MAX_PAIRS = 1024
+
 #: Bound on cached per-configuration fluid simulators.
 _SIM_CACHE_MAX = 64
 
@@ -75,6 +81,11 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
         way).
     cache_size:
         Bound on memoized decompositions (LRU eviction).
+    cache_max_pairs:
+        Admission bound: steps with more distinct transfer pairs than
+        this are decomposed but not memoized (``None`` admits
+        everything); skipped solves surface as ``step_cache_skipped``
+        in :meth:`describe`.
     """
 
     name = "ocs-reconfig"
@@ -83,7 +94,9 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
                  initial: Initial = "ring",
                  decomposition: str = "auto",
                  cache: bool = True,
-                 cache_size: int = DEFAULT_STEP_CACHE_SIZE) -> None:
+                 cache_size: int = DEFAULT_STEP_CACHE_SIZE,
+                 cache_max_pairs: Optional[int]
+                 = DEFAULT_STEP_CACHE_MAX_PAIRS) -> None:
         if system is not None \
                 and not isinstance(system, ReconfigurableOCSSystem):
             raise ConfigurationError(
@@ -101,7 +114,7 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
         self._initial = initial
         self._decomposition = decomposition
         self._cache_enabled = cache
-        self._cache = LruCache(cache_size)
+        self._cache = LruCache(cache_size, admit_cost_bound=cache_max_pairs)
         self._sims = LruCache(_SIM_CACHE_MAX)
         self._last_program: Optional[TopologyProgram] = None
 
@@ -117,7 +130,8 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
         return CacheStats(hits=self._cache.hits,
                           misses=self._cache.misses,
                           size=len(self._cache),
-                          max_size=self._cache.max_size)
+                          max_size=self._cache.max_size,
+                          skipped=self._cache.skipped)
 
     def clear_step_cache(self) -> None:
         """Drop every memoized decomposition (counters reset too)."""
@@ -141,6 +155,7 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
             ("step_cache_hits", stats.hits),
             ("step_cache_misses", stats.misses),
             ("step_cache_hit_rate", round(stats.hit_rate, 4)),
+            ("step_cache_skipped", stats.skipped),
         ]
         params += self._fluid_cache_params()
         if self._system is not None:
@@ -330,7 +345,9 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
         rounds = self._cache.get(key)
         if rounds is None:
             rounds = decompose_demand(ordered, ports, mode)
-            self._cache.put(key, rounds)
+            # Admission policy: very large steps are decomposed but not
+            # memoized (`step_cache_skipped` counts them).
+            self._cache.put(key, rounds, cost=len(ordered))
         return rounds
 
     def persistent_caches(self) -> Dict[str, LruCache]:

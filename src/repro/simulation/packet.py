@@ -15,8 +15,9 @@ granularity.  Built directly on :class:`~repro.simulation.engine.Simulator`.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Sequence, Tuple
 
 from ..errors import SimulationError
 from ..topology.base import Link, Topology
@@ -39,13 +40,20 @@ class PacketFlow:
 
 
 class _LinkQueue:
-    """FIFO transmission queue of one directed link."""
+    """FIFO transmission queue of one directed link.
+
+    Backed by a :class:`~collections.deque`: the head-of-line pop is
+    O(1), where a ``list.pop(0)`` would shift the whole backlog and
+    make draining a queue of ``n`` packets quadratic — ruinous for the
+    long queues a large message segmented at MTU granularity builds up
+    behind one bottleneck link.
+    """
 
     def __init__(self, sim: Simulator, link: Link) -> None:
         self.sim = sim
         self.link = link
         self.busy = False
-        self.queue: List[Tuple[float, object]] = []  # (size, context)
+        self.queue: Deque[Tuple[float, object]] = deque()  # (size, context)
 
     def enqueue(self, size: float, on_delivered) -> None:
         self.queue.append((size, on_delivered))
@@ -57,7 +65,7 @@ class _LinkQueue:
             self.busy = False
             return
         self.busy = True
-        size, on_delivered = self.queue.pop(0)
+        size, on_delivered = self.queue.popleft()
         serialize = size / self.link.capacity
 
         def done_serializing() -> None:

@@ -15,9 +15,15 @@ experiments.
 :class:`~repro.topology.program.TopologyProgram` IR (circuit
 configurations + reconfiguration cost model) and demand decomposition
 used by the ``"ocs-reconfig"`` substrate.
+
+:class:`~repro.topology.hierarchy.HierarchicalTopology` models the
+electrical level of a multi-rack fabric (disjoint rack stars) for the
+``"hier-rack"`` substrate, whose optical level rides the ring RWA
+machinery.
 """
 
 from .base import Link, Topology
+from .hierarchy import HierarchicalTopology
 from .program import (CircuitConfig, CircuitTopology, TopologyProgram,
                       decompose_demand, ring_circuit_config)
 from .ring import Direction, RingTopology
@@ -32,6 +38,7 @@ __all__ = [
     "SwitchedStar",
     "FatTree",
     "Torus2D",
+    "HierarchicalTopology",
     "CircuitConfig",
     "CircuitTopology",
     "TopologyProgram",

@@ -18,7 +18,7 @@ class TestParser:
         assert args.csv
 
     def test_sweep_kinds(self):
-        for kind in ("wavelengths", "payload", "striping"):
+        for kind in ("wavelengths", "payload", "striping", "hier-groups"):
             args = build_parser().parse_args(["sweep", kind])
             assert args.kind == kind
 
@@ -82,6 +82,25 @@ class TestCommands:
         for name in available_substrates():
             assert name in out
         assert "ocs-reconfig" in out
+
+    def test_sweep_hier_groups(self, capsys):
+        rc = main(["sweep", "hier-groups", "--nodes", "16",
+                   "--bytes", "1000000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "EXT-H1" in out
+        # every divisor of 16 appears as a rack-size row
+        for g in (1, 2, 4, 8, 16):
+            assert f"\n{g} " in out or out.startswith(f"{g} ")
+
+    def test_plan_substrate_hier_rack(self, capsys):
+        rc = main(["plan", "--nodes", "16", "--wavelengths", "8",
+                   "--substrate", "hier-rack"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated on hier-rack" in out
+        assert "rwa_cache_misses" in out
+        assert "fluid_cache_misses" in out
 
     def test_plan_substrate_prints_cache_statistics(self, capsys):
         rc = main(["plan", "--nodes", "16", "--wavelengths", "8",

@@ -36,6 +36,40 @@ class TestHierarchicalRing:
         with pytest.raises(ScheduleError):
             generate_hierarchical_ring(10, 4)
 
+    @pytest.mark.parametrize("n", [2, 4, 8, 12])
+    def test_degenerate_flat_ring_claim(self, n):
+        """``group_size == 1`` must be *the* flat ring: semantically an
+        all-reduce, and transfer-identical to ``generate_ring_allreduce``
+        step by step (the docstring's claim, pinned)."""
+        from repro.collectives.ring_allreduce import generate_ring_allreduce
+
+        sched = generate_hierarchical_ring(n, 1)
+        verify_allreduce(sched, elements_per_chunk=1)
+        flat = generate_ring_allreduce(n)
+        assert sched.num_steps == flat.num_steps == 2 * (n - 1)
+        assert sched.num_chunks == flat.num_chunks == n
+        for hier_step, flat_step in zip(sched.steps, flat.steps):
+            hier_t = sorted((t.src, t.dst, tuple(t.chunks), t.op)
+                            for t in hier_step)
+            flat_t = sorted((t.src, t.dst, tuple(t.chunks), t.op)
+                            for t in flat_step)
+            assert hier_t == flat_t
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 12])
+    def test_degenerate_local_only_claim(self, n):
+        """``group_size == num_nodes`` must be local-only: one group,
+        ``2(n-1)`` single-transfer pipeline steps, no leader ring, and
+        still a correct all-reduce (the docstring's claim, pinned)."""
+        sched = generate_hierarchical_ring(n, n)
+        verify_allreduce(sched, elements_per_chunk=1)
+        assert sched.num_steps == 2 * (n - 1)
+        assert sched.num_chunks == 1
+        for step in sched.steps:
+            # One pipelined hop, never crossing the (single) group.
+            assert len(step) == 1
+            (t,) = step
+            assert abs(t.src - t.dst) == 1
+
     def test_local_phases_use_ring_hints(self):
         sched = generate_hierarchical_ring(8, 4)
         first = sched.steps[0]

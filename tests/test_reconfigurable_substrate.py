@@ -231,9 +231,37 @@ class TestStepCache:
         info = sub.describe()
         assert info.kind == "optical"
         assert info.parameter("step_cache_hits") == 0
+        assert info.parameter("step_cache_skipped") == 0
         sub.execute(RD, WL)
         sub.execute(RD, WL)
         info = sub.describe()
         assert info.parameter("step_cache_hits") > 0
         assert info.parameter("step_cache_hit_rate") > 0
         assert info.parameter("ports_per_node") == 2
+
+    def test_admission_bound_skips_large_steps(self):
+        """The ROADMAP gap: steps above ``cache_max_pairs`` distinct
+        transfer pairs are decomposed but not memoized — identical
+        results, nothing stored, ``step_cache_skipped`` counts them."""
+        # Every RD step of N=8 exchanges 8 pairs; a bound of 4 rejects
+        # them all, a bound of 8 admits them all.
+        bounded = OCSReconfigurableSubstrate(ocs(), cache_max_pairs=4)
+        admitting = OCSReconfigurableSubstrate(ocs(), cache_max_pairs=8)
+        rep_b = bounded.execute(RD, WL)
+        rep_a = admitting.execute(RD, WL)
+        assert rep_b == rep_a
+        info_b = bounded.step_cache_info()
+        assert info_b.skipped > 0
+        assert info_b.size == 0
+        assert info_b.hits == 0  # nothing stored, so repeats re-solve
+        info_a = admitting.step_cache_info()
+        assert info_a.skipped == 0
+        assert info_a.size > 0
+        # Repeats still hit when admitted, still skip when bounded.
+        bounded.execute(RD, WL)
+        admitting.execute(RD, WL)
+        assert bounded.step_cache_info().hits == 0
+        assert bounded.step_cache_info().skipped > info_b.skipped
+        assert admitting.step_cache_info().hits > 0
+        assert bounded.describe().parameter("step_cache_skipped") \
+            == bounded.step_cache_info().skipped

@@ -307,7 +307,7 @@ class TestComparisonIntegration:
         comp = compare_algorithms(8, Workload(data_bytes=1 * units.MB),
                                   algorithms=EXTENDED_ALGORITHMS)
         assert set(comp.results) == {"e-ring", "rd", "o-ring", "wrht",
-                                     "o-torus", "ocs"}
+                                     "o-torus", "ocs", "hier"}
         assert comp.results["o-torus"].substrate == "optical-torus"
         assert comp.time("o-torus") > 0
         assert comp.results["ocs"].substrate == "ocs-reconfig"
