@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
-"""Gate the fluid micro-benchmark against the committed baseline.
+"""Gate the perf micro-benchmarks against their committed baselines.
 
 Usage::
 
-    python benchmarks/check_bench_regression.py CURRENT.json BASELINE.json
+    python benchmarks/check_bench_regression.py \
+        CURRENT.json BASELINE.json [CURRENT2.json BASELINE2.json ...] \
+        [--summary OUT.json]
 
 Compares the *speedup ratios* (engine vs the in-tree frozen reference
 implementation, measured on the same host in the same run), which makes
 the gate machine-independent: CI hosts are slower than dev laptops, but
 the engine and the reference slow down together.  The job fails when
-any section's speedup drops below half of the committed baseline's
-(i.e. a >2x relative regression).
+any gated section's speedup drops below half of the committed
+baseline's (i.e. a >2x relative regression).
+
+Every gated section is always checked — a bad or missing entry is
+recorded as a failure and the scan continues, so one CI run reports the
+complete set of regressions side by side instead of the first one.
+``--summary`` additionally writes one combined machine-readable JSON
+(all sections from all CURRENT files plus the per-section verdicts),
+the artifact CI uploads.
 """
 
 from __future__ import annotations
@@ -21,45 +30,112 @@ import sys
 #: A section regresses when its speedup falls below baseline / FACTOR.
 FACTOR = 2.0
 
-#: Sections that must be present in both files and are gated.
+#: Sections that must be present in their baseline file and are gated.
 GATED_SECTIONS = ("solver_micro_cold", "step_cache_hit",
                   "sweep_cell_end_to_end", "solver_warm_start",
                   "sparse_large_batch", "schedule_fused",
-                  "hier_rack_warm_reuse")
+                  "hier_rack_warm_reuse", "sweep_shared_compile",
+                  "solver_warm_admission", "rwa_incremental_step")
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 3:
-        print(__doc__)
-        return 2
-    current = json.loads(open(argv[1]).read())
-    baseline = json.loads(open(argv[2]).read())
+def _load(path):
+    with open(path) as fh:
+        return json.load(fh)
 
-    failures = []
+
+def _check_pair(current, baseline, rows, failures):
+    """Gate one (CURRENT, BASELINE) file pair; returns sections seen."""
+    seen = set()
     for section in GATED_SECTIONS:
         if section not in baseline:
-            print(f"[skip] {section}: not in baseline")
             continue
-        if section not in current:
-            failures.append(f"{section}: missing from current results")
+        seen.add(section)
+        try:
+            base = float(baseline[section]["speedup"])
+        except (KeyError, TypeError, ValueError) as exc:
+            failures.append(f"{section}: unreadable baseline entry ({exc})")
+            rows.append((section, "?", "?", "?", "BAD-BASELINE"))
             continue
-        cur = float(current[section]["speedup"])
-        base = float(baseline[section]["speedup"])
         floor = base / FACTOR
-        status = "ok" if cur >= floor else "REGRESSED"
-        print(f"[{status}] {section}: speedup {cur:.2f}x "
-              f"(baseline {base:.2f}x, floor {floor:.2f}x)")
-        if cur < floor:
+        try:
+            cur = float(current[section]["speedup"])
+        except (KeyError, TypeError, ValueError):
+            failures.append(f"{section}: missing from current results")
+            rows.append((section, f"{base:.2f}x", "-", f"{floor:.2f}x",
+                         "MISSING"))
+            continue
+        ok = cur >= floor
+        rows.append((section, f"{base:.2f}x", f"{cur:.2f}x",
+                     f"{floor:.2f}x", "ok" if ok else "REGRESSED"))
+        if not ok:
             failures.append(
                 f"{section}: speedup {cur:.2f}x < floor {floor:.2f}x "
                 f"(baseline {base:.2f}x)")
+    return seen
+
+
+def _print_table(rows):
+    headers = ("section", "baseline", "current", "floor", "status")
+    widths = [max(len(h), *(len(str(r[i])) for r in rows)) if rows
+              else len(h) for i, h in enumerate(headers)]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def main(argv: list[str]) -> int:
+    args = list(argv[1:])
+    summary_path = None
+    if "--summary" in args:
+        i = args.index("--summary")
+        try:
+            summary_path = args[i + 1]
+        except IndexError:
+            print(__doc__)
+            return 2
+        del args[i:i + 2]
+    if not args or len(args) % 2:
+        print(__doc__)
+        return 2
+    pairs = list(zip(args[::2], args[1::2]))
+
+    rows, failures, seen = [], [], set()
+    combined = {"factor": FACTOR, "files": [], "sections": {}}
+    for cur_path, base_path in pairs:
+        try:
+            current, baseline = _load(cur_path), _load(base_path)
+        except (OSError, json.JSONDecodeError) as exc:
+            failures.append(f"{cur_path} vs {base_path}: unreadable ({exc})")
+            continue
+        combined["files"].append(cur_path)
+        for key, value in current.items():
+            if isinstance(value, dict):
+                combined["sections"].setdefault(key, {}).update(value)
+        seen |= _check_pair(current, baseline, rows, failures)
+
+    for section in GATED_SECTIONS:
+        if section not in seen:
+            print(f"[skip] {section}: not in any baseline")
+    _print_table(rows)
+
+    for section, base, cur, floor, status in rows:
+        combined["sections"].setdefault(section, {})
+        combined["sections"][section]["gate"] = {
+            "baseline": base, "floor": floor, "status": status}
+    combined["failures"] = failures
+    if summary_path is not None:
+        with open(summary_path, "w") as fh:
+            json.dump(combined, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\ncombined summary written to {summary_path}")
 
     if failures:
-        print("\nfluid benchmark regression detected:")
+        print("\nbenchmark regression detected:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("\nfluid benchmarks within budget")
+    print("\nbenchmarks within budget")
     return 0
 
 

@@ -17,8 +17,9 @@ from pathlib import Path
 
 import pytest
 
-#: Where the machine-readable speedup summary accumulates (repo root).
+#: Where the machine-readable speedup summaries accumulate (repo root).
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fluid.json"
+BENCH_RWA_JSON = Path(__file__).resolve().parent.parent / "BENCH_rwa.json"
 
 
 def best_time(fn, repeats):
@@ -31,18 +32,19 @@ def best_time(fn, repeats):
     return best
 
 
-def record_bench(section, payload):
-    """Merge one section into ``BENCH_JSON`` (creating it if needed)."""
+def record_bench(section, payload, path=BENCH_JSON, benchmark="fluid-engine"):
+    """Merge one section into the summary at ``path`` (creating it if
+    needed).  ``benchmark`` names the suite on first write only."""
     data = {}
-    if BENCH_JSON.exists():
+    if path.exists():
         try:
-            data = json.loads(BENCH_JSON.read_text())
+            data = json.loads(path.read_text())
         except json.JSONDecodeError:
             data = {}
-    data.setdefault("benchmark", "fluid-engine")
+    data.setdefault("benchmark", benchmark)
     data.setdefault("unit", "seconds")
     data[section] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture

@@ -24,6 +24,15 @@ generation (the PR 3 paths, reachable via constructor flags):
 * **fused schedule** — a whole ring all-reduce schedule through
   ``step_time_many``'s fused path vs the per-step ``step_time`` loop.
 
+Two compare this PR's delta-aware hot paths against the PR 5 shapes:
+
+* **shared-compile sweep** — a link-rate sweep on one substrate (the
+  shape-keyed compile cache shares flow-batch structures across cells)
+  vs a fresh substrate per cell;
+* **admission warm start** — an admission-heavy staircase run, where
+  warm starts now survive mid-flight admissions instead of refilling
+  from zero.
+
 Every test folds its measurement into ``BENCH_fluid.json`` at the repo
 root — the machine-readable speedup summary CI uploads as an artifact
 and gates against the committed baseline
@@ -253,6 +262,102 @@ def test_bench_sparse_large_batch(once):
         "flows": 1024, "reference_s": t_dense, "engine_s": t_sparse,
         "speedup": speedup})
     assert speedup >= 3.0
+
+
+def test_bench_sweep_shared_compile(once):
+    """A link-rate sweep on one shared substrate vs a fresh substrate
+    per cell (the PR 5 sweep shape).
+
+    Cells differ only in capacities, so the shared substrate compiles
+    each of the schedule's distinct step patterns once and later cells
+    rebind capacities onto the cached structures; the per-cell side
+    recompiles everything at every rate.  The electrical ring is the
+    compile-heavy fabric (recursive doubling's distance-2^k exchanges
+    route over O(N)-hop arcs), i.e. exactly where per-cell compilation
+    hurt sweeps.  Results are identical (asserted)."""
+    from repro.collectives.recursive_doubling import \
+        generate_recursive_doubling
+    from repro.config import Workload, default_electrical
+    from repro.core.substrates import ElectricalSubstrate
+
+    n = 128
+    wl = Workload(data_bytes=4 * units.MB)
+    sched = generate_recursive_doubling(n)
+    base = default_electrical(n).with_(topology="ring")
+    rates = tuple((25 + 25 * i) * units.GBPS for i in range(8))
+
+    def per_cell():
+        return [ElectricalSubstrate(topology="ring")
+                .execute(sched, wl, system=base.with_(link_rate=r))
+                .total_time
+                for r in rates]
+
+    def shared():
+        sub = ElectricalSubstrate(topology="ring")
+        return [sub.execute(sched, wl, system=base.with_(link_rate=r))
+                .total_time
+                for r in rates]
+
+    def run():
+        assert per_cell() == shared()
+        t_cell = _time(per_cell, 5)
+        t_shared = _time(shared, 5)
+        return t_cell, t_shared
+
+    t_cell, t_shared = once(run)
+    speedup = t_cell / t_shared
+    print(f"\nshared-compile sweep (N={n}, {len(rates)} rate cells): "
+          f"per-cell {t_cell*1e3:.1f} ms, shared {t_shared*1e3:.1f} ms "
+          f"-> {speedup:.1f}x")
+    _record("sweep_shared_compile", {
+        "nodes": n, "cells": len(rates), "steps": sched.num_steps,
+        "reference_s": t_cell, "engine_s": t_shared, "speedup": speedup})
+    assert speedup >= 2.0
+
+
+def test_bench_solver_warm_admission(once):
+    """An admission-heavy staircase run: warm starts that survive
+    mid-flight admissions vs from-zero refills at every event.
+
+    Until this PR the solver reset its fill state whenever a flow was
+    admitted mid-flight, so admission-heavy workloads (pipelined
+    schedules, staggered tenants) got no replay at all; now each
+    admission replays the recorded rounds below the newcomer's first
+    bottleneck.  The late arrivals here land on uncontended links, the
+    deepest-replay case.  Identical finish times are asserted."""
+    import numpy as np
+
+    total, nadm = 256, 64
+    base = _staircase(total, 32)
+    late = [(4 * total + i, 2000 + i, 1.0 * units.MB) for i in range(nadm)]
+
+    def flows_for(sim):
+        flows = [sim.make_flow(s, d, z) for s, d, z in base]
+        flows += [sim.make_flow(s, d, z, start_time=(i + 1) * 1e-6)
+                  for i, (s, d, z) in enumerate(late)]
+        return flows
+
+    def run():
+        warm = FluidNetworkSimulator(_star_for(base + late),
+                                     warm_start=True, pattern_cache=False)
+        cold = FluidNetworkSimulator(_star_for(base + late),
+                                     warm_start=False, pattern_cache=False)
+        assert np.array_equal(
+            [r.finish_time for r in warm.run(flows_for(warm))],
+            [r.finish_time for r in cold.run(flows_for(cold))])
+        t_cold = _time(lambda: cold.run(flows_for(cold)), 5)
+        t_warm = _time(lambda: warm.run(flows_for(warm)), 5)
+        return t_cold, t_warm
+
+    t_cold, t_warm = once(run)
+    speedup = t_cold / t_warm
+    print(f"\nadmission warm start ({total}+{nadm} flows, {nadm} "
+          f"admissions): from-zero {t_cold*1e3:.2f} ms, warm "
+          f"{t_warm*1e3:.2f} ms -> {speedup:.1f}x")
+    _record("solver_warm_admission", {
+        "flows": total + nadm, "admissions": nadm,
+        "reference_s": t_cold, "engine_s": t_warm, "speedup": speedup})
+    assert speedup >= 2.0
 
 
 def test_bench_schedule_fused(once):

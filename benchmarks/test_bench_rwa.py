@@ -15,11 +15,14 @@ feasibility checks already absorb the +p/4.
 
 import pytest
 
+from conftest import BENCH_RWA_JSON, best_time as _time, record_bench
+
 from repro.analysis.ascii_plot import simple_table
 from repro.collectives.alltoall_wdm import alltoall_wavelength_requirement
 from repro.config import OpticalRingSystem
 from repro.optical import (AssignmentPolicy, OpticalRingNetwork,
                            TransferRequest, assign_wavelengths)
+from repro.optical.rwa import RwaDelta, assign_wavelengths_delta
 
 
 def _alltoall_requests(p: int, n: int):
@@ -70,6 +73,83 @@ def test_rwa_assignment_speed(benchmark, policy):
 
     result = benchmark(run)
     assert result.spectrum_span >= result.max_link_load
+
+
+def _churn_instance():
+    """A step sequence with a stable hot prefix and a churning tail.
+
+    The prefix is an all-to-all among 12 clustered nodes — it pins the
+    max link demand, so tail churn never trips the delta path's
+    demand-change fallback.  The tail is 12 short sparse arcs far from
+    the cluster that shift by one node per step: exactly the
+    add/remove deltas consecutive schedule steps produce.
+    """
+    n = 96
+    cluster = [TransferRequest(a, b) for a in range(12) for b in range(12)
+               if a != b]
+
+    def step(t):
+        return cluster + [TransferRequest(40 + 4 * i + t, 42 + 4 * i + t)
+                          for i in range(12)]
+
+    return n, [step(t) for t in range(9)]
+
+
+def test_bench_rwa_incremental_step(once):
+    """Delta-patched RWA across a churning step sequence vs a full
+    re-solve per step.
+
+    Both sides produce bit-for-bit identical assignments (asserted);
+    the incremental side keeps the previous step's occupancy and only
+    releases/re-places the changed suffix.  Folds the
+    ``rwa_incremental_step`` section into ``BENCH_rwa.json`` — the
+    second CI-gated summary (see ``check_bench_regression.py``).
+    """
+    n, steps = _churn_instance()
+    policy = AssignmentPolicy.FIRST_FIT
+
+    def fresh():
+        return OpticalRingNetwork(OpticalRingSystem(
+            num_nodes=n, num_wavelengths=256))
+
+    def full():
+        net = fresh()
+        out = []
+        for reqs in steps:
+            net.clear()
+            out.append(assign_wavelengths(net, reqs, policy))
+        return out
+
+    def incremental():
+        net = fresh()
+        base = assign_wavelengths(net, steps[0], policy)
+        prev = RwaDelta.from_solution(policy, 1, steps[0], base)
+        out = [base]
+        for reqs in steps[1:]:
+            rwa = assign_wavelengths_delta(net, reqs, policy, prev)
+            assert rwa is not None  # churn must stay on the patch path
+            prev = RwaDelta.from_solution(policy, 1, reqs, rwa)
+            out.append(rwa)
+        return out
+
+    def run():
+        want, got = full(), incremental()
+        assert [w.assignments for w in want] == [g.assignments for g in got]
+        t_full = _time(full, 5)
+        t_inc = _time(incremental, 5)
+        return t_full, t_inc
+
+    t_full, t_inc = once(run)
+    speedup = t_full / t_inc
+    print(f"\nincremental RWA ({len(steps)} steps, N={n}): full re-solve "
+          f"{t_full*1e3:.2f} ms, delta-patched {t_inc*1e3:.2f} ms "
+          f"-> {speedup:.1f}x")
+    record_bench("rwa_incremental_step", {
+        "nodes": n, "steps": len(steps),
+        "requests_per_step": len(steps[0]),
+        "reference_s": t_full, "engine_s": t_inc, "speedup": speedup},
+        path=BENCH_RWA_JSON, benchmark="rwa")
+    assert speedup >= 2.0
 
 
 @pytest.mark.parametrize("cache", [False, True],

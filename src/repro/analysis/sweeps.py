@@ -11,7 +11,11 @@
   on every registered substrate (dispatched through the registry, so
   third-party substrates show up automatically);
 * :func:`hier_group_sweep` — EXT-H1: the multi-rack fabric's rack-size
-  knob, against the flat O-Ring and Wrht references.
+  knob, against the flat O-Ring and Wrht references;
+* :func:`bandwidth_sweep` — EXT-A9: the electrical substrate's
+  link-rate knob, executed on *one* substrate so all cells share the
+  shape-keyed compiled-structure cache (each cell only rebinds
+  capacities).
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ from ..config import (OpticalRingSystem, Workload, default_hierarchical,
 from ..core import cost_model
 from ..core.comparison import compare_algorithms
 from ..core.planner import plan_wrht
-from ..core.substrates import available_substrates, get_substrate
+from ..core.substrates import available_substrates, pooled_substrate
 from ..errors import ConfigurationError
 
 
@@ -232,6 +236,83 @@ def hier_group_sweep(num_nodes: int, workload: Workload,
 
 
 @dataclass(frozen=True)
+class BandwidthRow:
+    """EXT-A9: one link-rate cell of the electrical bandwidth sweep."""
+
+    link_rate: float
+    time: float
+    steps: int
+    compile_hits: int
+    compile_misses: int
+
+
+def bandwidth_sweep(num_nodes: int, workload: Workload,
+                    link_rates: Optional[Sequence[float]] = None,
+                    topology: str = "switch",
+                    cache_dir: Optional[str] = None,
+                    ) -> List[BandwidthRow]:
+    """Electrical all-reduce time vs link rate (EXT-A9).
+
+    Every cell runs the same schedule (recursive doubling where
+    ``num_nodes`` is a power of two — its log2(N) *distinct* step
+    patterns make compilation reuse meaningful — else ring all-reduce)
+    on a single :class:`~repro.core.substrates.ElectricalSubstrate`
+    instance, overriding the system per call.  Cells differ only in
+    capacities, so their topologies share a shape signature and the
+    whole sweep compiles each pattern's flow-batch structure exactly
+    once; later cells rebind capacities onto the cached structures.
+    The per-row cumulative compile counters make the reuse visible:
+    misses stop growing after the first cell.
+
+    ``cache_dir`` optionally warms/spills the substrate's caches
+    through a persistent :class:`~repro.core.cache_store.CacheStore`,
+    so a repeated sweep (or another process at the same shape) starts
+    with zero compile misses.
+    """
+    from ..collectives.recursive_doubling import generate_recursive_doubling
+    from ..collectives.ring_allreduce import generate_ring_allreduce
+    from ..config import default_electrical
+
+    if topology not in ("switch", "ring"):
+        raise ConfigurationError(
+            f"topology must be 'switch' or 'ring', got {topology!r}")
+    if link_rates is None:
+        from ..config import units
+
+        link_rates = tuple(g * units.GBPS for g in (25, 50, 100, 200, 400))
+    store = None
+    if cache_dir is not None:
+        from ..core.cache_store import CacheStore
+
+        store = CacheStore(cache_dir)
+    if num_nodes >= 2 and num_nodes & (num_nodes - 1) == 0:
+        sched = generate_recursive_doubling(num_nodes)
+    else:
+        sched = generate_ring_allreduce(num_nodes)
+    # Pooled (like substrate_sweep) so repeats reuse warm compiles and
+    # cache_stats() sees this sweep; one instance across all cells is
+    # what makes the cross-cell structure sharing happen at all.
+    sub = pooled_substrate(f"electrical-{topology}")
+    if store is not None:
+        sub.warm_from(store)
+    base = default_electrical(num_nodes).with_(topology=topology)
+    rows: List[BandwidthRow] = []
+    try:
+        for rate in link_rates:
+            rep = sub.execute(sched, workload,
+                              system=base.with_(link_rate=float(rate)))
+            cstats = sub.compile_cache_info()
+            rows.append(BandwidthRow(
+                link_rate=float(rate), time=rep.total_time,
+                steps=rep.num_steps,
+                compile_hits=cstats.hits, compile_misses=cstats.misses))
+    finally:
+        if store is not None:
+            sub.spill_to(store)
+    return rows
+
+
+@dataclass(frozen=True)
 class SubstrateRow:
     """EXT-S1: one substrate's execution of the pinned schedule."""
 
@@ -273,7 +354,9 @@ def substrate_sweep(num_nodes: int, workload: Workload,
     sched = generate_ring_allreduce(num_nodes)
     rows: List[SubstrateRow] = []
     for name in names:
-        sub = get_substrate(name)
+        # Pooled so repeated sweeps reuse warm instances and the
+        # registry's cache_stats() aggregation sees this sweep's work.
+        sub = pooled_substrate(name)
         if store is not None:
             sub.warm_from(store)
         info = sub.describe()

@@ -9,7 +9,7 @@ Commands
   (``--substrate`` additionally executes the plan on any registered
   substrate);
 * ``sweep``    — ablation sweeps (wavelengths / payload / striping /
-  substrates / hier-groups).
+  substrates / hier-groups / bandwidth).
 """
 
 from __future__ import annotations
@@ -26,9 +26,9 @@ from .analysis import (figure2, headline_reductions, panels_to_csv,
                        wavelength_requirement_table)
 from .analysis.ascii_plot import simple_table
 from .analysis.figure2 import PAPER_MODELS, PAPER_SCALES
-from .analysis.sweeps import (crossover_sweep, hier_group_sweep,
-                              striping_sweep, substrate_sweep,
-                              wavelength_sweep)
+from .analysis.sweeps import (bandwidth_sweep, crossover_sweep,
+                              hier_group_sweep, striping_sweep,
+                              substrate_sweep, wavelength_sweep)
 from .collectives.analysis import describe_schedule
 from .config import Workload, default_optical
 from .core.planner import plan_wrht
@@ -97,13 +97,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print(f"  simulated on {rep.substrate:<7}: "
               f"{units.fmt_time(rep.total_time)} "
               f"({rep.num_steps} steps)")
-        # Cache behaviour (RWA / step / fluid-pattern caches) is part of
-        # describe(), so any substrate that memoizes work reports it.
-        stats = [(k, v) for k, v in sub.describe().parameters
-                 if "_cache_" in k]
-        if stats:
-            print("  cache statistics   : "
-                  + ", ".join(f"{k}={v}" for k, v in stats))
+        # Cache behaviour (RWA / step / fluid / compile caches) is part
+        # of describe(), so any substrate that memoizes work reports it.
+        _print_cache_table([sub])
         if store is not None:
             sub.spill_to(store)
             print("  cache store        : " + _store_summary(store))
@@ -113,6 +109,28 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print()
         print(describe_schedule(plan.schedule, ring))
     return 0
+
+
+def _print_cache_table(substrates=None, title: str = "cache statistics",
+                       ) -> None:
+    """One consolidated hit/miss table over ``substrates``.
+
+    ``None`` aggregates over the whole process-local substrate pool —
+    the sweep commands use that to sum every fabric they touched.
+    Caches with zero traffic still print (a row of zeros is the honest
+    answer); when no substrate reports counters at all the table is
+    skipped.
+    """
+    from .core.substrates import cache_stats
+
+    stats = cache_stats(substrates)
+    if not stats:
+        return
+    print(simple_table(
+        ["cache", "hits", "misses", "skipped", "hit rate"],
+        [(kind, row["hits"], row["misses"], row["skipped"],
+          f"{row['hit_rate']:.1%}") for kind, row in sorted(stats.items())],
+        title=title))
 
 
 def _open_store(args: argparse.Namespace):
@@ -187,6 +205,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               r.steps, r.note) for r in rows],
             title=f"EXT-S1 substrate comparison (N={args.nodes}, "
                   f"{wl.name}, ring all-reduce)"))
+        _print_cache_table(title="cache statistics (all substrates)")
+        store = _open_store(args)
+        if store is not None:
+            print(f"cache store {store.path}: {_store_summary(store)}")
+    elif args.kind == "bandwidth":
+        rows = bandwidth_sweep(args.nodes, wl, cache_dir=args.cache_dir)
+        print(simple_table(
+            ["link rate", "time", "steps", "compiles", "rebinds"],
+            [(units.fmt_rate(r.link_rate), units.fmt_time(r.time),
+              r.steps, r.compile_misses, r.compile_hits) for r in rows],
+            title=f"EXT-A9 electrical bandwidth sweep (N={args.nodes}, "
+                  f"{wl.name})"))
+        _print_cache_table(title="cache statistics (all substrates)")
         store = _open_store(args)
         if store is not None:
             print(f"cache store {store.path}: {_store_summary(store)}")
@@ -231,13 +262,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sw = sub.add_parser("sweep", help="ablation sweeps")
     sw.add_argument("kind", choices=("wavelengths", "payload", "striping",
-                                     "substrates", "hier-groups"))
+                                     "substrates", "hier-groups",
+                                     "bandwidth"))
     sw.add_argument("--nodes", type=int, default=256)
     sw.add_argument("--model", choices=PAPER_MODELS)
     sw.add_argument("--bytes", type=float, default=100 * units.MB)
     sw.add_argument("--cache-dir",
                     help="persistent cache-store directory "
-                         "(substrates sweep only)")
+                         "(substrates/bandwidth sweeps only)")
     sw.set_defaults(func=_cmd_sweep)
 
     rp = sub.add_parser("report",

@@ -41,9 +41,10 @@ from .optical_ring import (OpticalRingSubstrate, OpticalStepOutcome,
                            RwaCacheStats)
 from .optical_torus import OpticalTorusSubstrate
 from .reconfigurable import OCSReconfigurableSubstrate
-from .registry import (available_substrates, clear_substrate_pool,
-                       get_substrate, pooled_substrate, register_substrate,
-                       set_pool_cache_store, spill_pool_caches)
+from .registry import (available_substrates, cache_stats,
+                       clear_substrate_pool, get_substrate, pooled_substrate,
+                       register_substrate, set_pool_cache_store,
+                       spill_pool_caches)
 
 register_substrate(
     "optical-ring",
@@ -86,6 +87,7 @@ __all__ = [
     "get_substrate",
     "pooled_substrate",
     "available_substrates",
+    "cache_stats",
     "clear_substrate_pool",
     "set_pool_cache_store",
     "spill_pool_caches",

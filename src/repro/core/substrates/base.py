@@ -270,6 +270,20 @@ class FluidCacheMixin:
             caches = self._fluid_caches = LruCache(_FLUID_NAMESPACES_MAX)
         return caches
 
+    def _fluid_compile_caches(self) -> LruCache:
+        """Namespace → shared compiled-structure cache (LRU-bounded).
+
+        The same shape as :meth:`_fluid_pattern_caches`, but keyed by
+        topology *shape* signature (capacities excluded), so every
+        bandwidth variant of one topology — across sweep cells and
+        substrate instances — shares one set of compiled
+        :class:`~repro.simulation.flows.FlowBatchStructure` objects.
+        """
+        caches = getattr(self, "_compile_caches", None)
+        if caches is None:
+            caches = self._compile_caches = LruCache(_FLUID_NAMESPACES_MAX)
+        return caches
+
     def _topo_path_caches(self) -> LruCache:
         """Namespace → shared routed-path cache (LRU-bounded).
 
@@ -292,6 +306,10 @@ class FluidCacheMixin:
         same treatment for its routed-path cache.
         """
         self._register_topology(sim.topology)
+        if sim.compile_cache is not None:
+            self._share_namespace_cache(
+                self._fluid_compile_caches(), sim.compile_cache_namespace(),
+                sim.compile_cache, sim.use_compile_cache)
         if sim.pattern_cache is None:
             return
         self._share_namespace_cache(
@@ -365,17 +383,31 @@ class FluidCacheMixin:
             total = total + cache.stats()
         return total
 
+    def compile_cache_info(self) -> CacheStats:
+        """Compile-cache counters aggregated over the shared caches."""
+        total = CacheStats()
+        for cache in self._fluid_compile_caches().values():
+            total = total + cache.stats()
+        return total
+
     def _fluid_cache_params(self) -> List[Tuple[str, Any]]:
         """The ``describe()`` parameters every fluid substrate reports."""
         stats = self.fluid_cache_info()
+        cstats = self.compile_cache_info()
         return [("fluid_cache_hits", stats.hits),
                 ("fluid_cache_misses", stats.misses),
                 ("fluid_cache_hit_rate", round(stats.hit_rate, 4)),
-                ("fluid_cache_skipped", stats.skipped)]
+                ("fluid_cache_skipped", stats.skipped),
+                ("compile_cache_hits", cstats.hits),
+                ("compile_cache_misses", cstats.misses),
+                ("compile_cache_hit_rate", round(cstats.hit_rate, 4)),
+                ("compile_cache_skipped", cstats.skipped)]
 
     def persistent_caches(self) -> Dict[str, LruCache]:
-        """Default for fluid substrates: the shared pattern caches plus
-        the topologies' routed-path caches."""
+        """Default for fluid substrates: the shared pattern caches,
+        the shared compiled-structure caches, plus the topologies'
+        routed-path caches."""
         caches = dict(self._fluid_pattern_caches().export_items())
+        caches.update(self._fluid_compile_caches().export_items())
         caches.update(self._topo_path_caches().export_items())
         return caches

@@ -74,9 +74,22 @@ class ElectricalSubstrate(FluidCacheMixin, Substrate):
             parameters=tuple(params))
 
     def execute(self, schedule: Schedule, workload: Workload,
+                system: Optional[ElectricalSystem] = None,
                 ) -> ExecutionReport:
-        """Execute ``schedule`` on the electrical substrate."""
-        system = self._resolve_system(schedule)
+        """Execute ``schedule`` on the electrical substrate.
+
+        ``system`` overrides the configured system for this call (the
+        bandwidth sweep's knob): simulators are pooled per system, and
+        systems whose topologies share a *shape* share one compiled
+        structure cache, so re-executing a schedule across link-rate
+        cells only rebinds capacities.
+        """
+        if system is None:
+            system = self._resolve_system(schedule)
+        elif not isinstance(system, ElectricalSystem):
+            raise ConfigurationError(
+                f"electrical substrate needs an ElectricalSystem, "
+                f"got {type(system).__name__}")
         sim = self._simulator(system)
         report = ExecutionReport(schedule_name=schedule.name,
                                  substrate=f"electrical-{system.topology}")

@@ -83,7 +83,8 @@ class HierarchicalRackSubstrate(FluidCacheMixin, Substrate):
                  cache: bool = True,
                  cache_size: int = DEFAULT_RWA_CACHE_SIZE,
                  cache_max_transfers: Optional[int]
-                 = DEFAULT_RWA_CACHE_MAX_TRANSFERS) -> None:
+                 = DEFAULT_RWA_CACHE_MAX_TRANSFERS,
+                 incremental: bool = True) -> None:
         if system is not None and not isinstance(system, HierarchicalSystem):
             raise ConfigurationError(
                 f"hier-rack substrate needs a HierarchicalSystem, "
@@ -93,10 +94,12 @@ class HierarchicalRackSubstrate(FluidCacheMixin, Substrate):
         self._policy = policy
         # The optical level *is* an optical-ring substrate over rack
         # indices — its network pool, RWA cache (admission bound
-        # included) and striping fallback are reused verbatim.
+        # included), striping fallback and incremental delta path are
+        # reused verbatim.
         self._ring = OpticalRingSubstrate(
             policy=policy, striping=striping, cache=cache,
-            cache_size=cache_size, cache_max_transfers=cache_max_transfers)
+            cache_size=cache_size, cache_max_transfers=cache_max_transfers,
+            incremental=incremental)
         self._sims: Dict[HierarchicalSystem, FluidNetworkSimulator] = {}
         # Per-level counters, cumulative across execute() calls.
         self._local_steps = 0
@@ -146,6 +149,9 @@ class HierarchicalRackSubstrate(FluidCacheMixin, Substrate):
             ("rwa_cache_misses", stats.misses),
             ("rwa_cache_hit_rate", round(stats.hit_rate, 4)),
             ("rwa_cache_skipped", stats.skipped),
+            ("rwa_incremental", self._ring.incremental),
+            ("rwa_delta_patched", self._ring.delta_patched),
+            ("rwa_delta_fallbacks", self._ring.delta_fallbacks),
         ]
         params += self._fluid_cache_params()
         if self._system is not None:

@@ -31,8 +31,9 @@ from ...collectives.schedule import Schedule
 from ...config import OpticalRingSystem, Workload, default_optical
 from ...errors import ConfigurationError, WavelengthAllocationError
 from ...optical.ring_network import OpticalRingNetwork
-from ...optical.rwa import (AssignmentPolicy, TransferRequest,
-                            assign_wavelengths, compute_striping_factor)
+from ...optical.rwa import (AssignmentPolicy, RwaDelta, TransferRequest,
+                            assign_wavelengths, assign_wavelengths_delta,
+                            compute_striping_factor)
 from ...topology.ring import Direction
 from .base import (CacheStats, ExecutionReport, LruCache, StepReport,
                    Substrate, SubstrateInfo)
@@ -115,6 +116,12 @@ class OpticalRingSubstrate(Substrate):
         Admission bound: steps with more routed transfers than this are
         solved but not memoized (``None`` admits everything); skipped
         solves surface as ``rwa_cache_skipped`` in :meth:`describe`.
+    incremental:
+        Enable the delta RWA path: on a memo-cache miss, patch the
+        network's previous step assignment
+        (:func:`~repro.optical.rwa.assign_wavelengths_delta`) instead of
+        solving from scratch, falling back on striping/demand changes.
+        Results are bit-for-bit identical either way (parity-pinned).
     """
 
     name = "optical-ring"
@@ -125,7 +132,8 @@ class OpticalRingSubstrate(Substrate):
                  cache: bool = True,
                  cache_size: int = DEFAULT_RWA_CACHE_SIZE,
                  cache_max_transfers: Optional[int]
-                 = DEFAULT_RWA_CACHE_MAX_TRANSFERS) -> None:
+                 = DEFAULT_RWA_CACHE_MAX_TRANSFERS,
+                 incremental: bool = True) -> None:
         if system is not None and not isinstance(system, OpticalRingSystem):
             raise ConfigurationError(
                 f"optical-ring substrate needs an OpticalRingSystem, "
@@ -137,6 +145,9 @@ class OpticalRingSubstrate(Substrate):
         self._cache_enabled = cache
         self._cache = LruCache(cache_size,
                                admit_cost_bound=cache_max_transfers)
+        self._incremental = incremental
+        self._delta_patched = 0
+        self._delta_fallbacks = 0
 
     # -- cache management ---------------------------------------------------
 
@@ -144,6 +155,21 @@ class OpticalRingSubstrate(Substrate):
     def cache_enabled(self) -> bool:
         """Whether RWA solutions are being memoized."""
         return self._cache_enabled
+
+    @property
+    def incremental(self) -> bool:
+        """Whether the delta RWA path is enabled."""
+        return self._incremental
+
+    @property
+    def delta_patched(self) -> int:
+        """Steps solved by patching the previous assignment."""
+        return self._delta_patched
+
+    @property
+    def delta_fallbacks(self) -> int:
+        """Delta attempts that fell back to a from-scratch solve."""
+        return self._delta_fallbacks
 
     def rwa_cache_info(self) -> RwaCacheStats:
         """Current cache counters."""
@@ -182,7 +208,10 @@ class OpticalRingSubstrate(Substrate):
                   ("rwa_cache_hits", stats.hits),
                   ("rwa_cache_misses", stats.misses),
                   ("rwa_cache_hit_rate", round(stats.hit_rate, 4)),
-                  ("rwa_cache_skipped", stats.skipped)]
+                  ("rwa_cache_skipped", stats.skipped),
+                  ("rwa_incremental", self._incremental),
+                  ("rwa_delta_patched", self._delta_patched),
+                  ("rwa_delta_fallbacks", self._delta_fallbacks)]
         if self._system is not None:
             params += [("num_nodes", self._system.num_nodes),
                        ("num_wavelengths", self._system.num_wavelengths)]
@@ -356,6 +385,8 @@ class OpticalRingSubstrate(Substrate):
             key = self._signature(system, policy, base_requests, k)
             hit = self._cache.get(key)
             if hit is not None:
+                # The network occupancy is untouched on a hit, so its
+                # rwa_delta patch base (last *solved* step) stays valid.
                 k_final, rwa = hit
                 requests = [
                     TransferRequest(src=r.src, dst=r.dst, size=r.size,
@@ -363,6 +394,25 @@ class OpticalRingSubstrate(Substrate):
                                     num_wavelengths=k_final)
                     for r in base_requests]
                 return k_final, requests, rwa
+
+        prev = net.rwa_delta if self._incremental else None
+        if isinstance(prev, RwaDelta):
+            requests = [
+                TransferRequest(src=r.src, dst=r.dst, size=r.size,
+                                direction=r.direction, num_wavelengths=k)
+                for r in base_requests]
+            rwa = assign_wavelengths_delta(net, requests, policy, prev)
+            if rwa is not None:
+                self._delta_patched += 1
+                net.rwa_delta = RwaDelta.from_solution(policy, k, requests,
+                                                       rwa)
+                if key is not None:
+                    self._cache.put(key, (k, rwa), cost=len(base_requests))
+                return k, requests, rwa
+            # The patch contract broke (striping/demand change, direction
+            # flip, or a placement failure); the cold loop's clear()
+            # restores a clean slate.
+            self._delta_fallbacks += 1
 
         while True:
             requests = [
@@ -378,6 +428,7 @@ class OpticalRingSubstrate(Substrate):
                     raise
                 k -= 1
 
+        net.rwa_delta = RwaDelta.from_solution(policy, k, requests, rwa)
         if key is not None:
             # Admission policy: very large steps are solved but not
             # memoized (`rwa_cache_skipped` counts them).

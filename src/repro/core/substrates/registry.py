@@ -94,6 +94,35 @@ def pooled_substrate(name: str, system: Optional[Any] = None,
     return sub
 
 
+def cache_stats(substrates: Optional[Any] = None) -> Dict[str, Dict[str, Any]]:
+    """Consolidated cache counters, one row per cache kind.
+
+    Substrates self-report their memoization counters through
+    ``describe()`` parameters named ``<kind>_cache_<stat>`` (e.g.
+    ``rwa_cache_hits``); this folds those across ``substrates`` (any
+    iterable of :class:`~repro.core.substrates.base.Substrate`;
+    default: every pooled instance) into
+    ``{kind: {"hits": ..., "misses": ..., "skipped": ..., "hit_rate": ...}}``.
+    The hit rate is recomputed from the summed counters, so third-party
+    substrates only need to expose the three raw counts.
+    """
+    subs = list(substrates) if substrates is not None else list(_POOL.values())
+    agg: Dict[str, Dict[str, Any]] = {}
+    for sub in subs:
+        for key, value in sub.describe().parameters:
+            if "_cache_" not in key:
+                continue
+            kind, _, stat = key.partition("_cache_")
+            if stat not in ("hits", "misses", "skipped"):
+                continue
+            row = agg.setdefault(kind, {"hits": 0, "misses": 0, "skipped": 0})
+            row[stat] += int(value)
+    for row in agg.values():
+        lookups = row["hits"] + row["misses"]
+        row["hit_rate"] = row["hits"] / lookups if lookups else 0.0
+    return agg
+
+
 def clear_substrate_pool() -> None:
     """Drop every pooled instance (tests / memory pressure)."""
     _POOL.clear()

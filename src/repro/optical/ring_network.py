@@ -8,7 +8,7 @@ object the schedule executor and RWA operate on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..config import OpticalRingSystem
 from ..errors import TopologyError, WavelengthAllocationError
@@ -37,6 +37,10 @@ class OpticalRingNetwork:
                         system.tuning_time, directions=directions)
             for i in range(system.num_nodes)]
         self._links: Dict[Tuple[int, int, str], WaveguideLink] = {}
+        #: Patch base for the incremental RWA path (an
+        #: :class:`~repro.optical.rwa.RwaDelta`).  Only valid while the
+        #: occupancy it describes is intact, so any bulk release wipes it.
+        self.rwa_delta: Optional[object] = None
         n = system.num_nodes
         for i in range(n):
             self._make_link(i, (i + 1) % n, "cw")
@@ -102,11 +106,13 @@ class OpticalRingNetwork:
 
     def release_owner(self, owner: object) -> None:
         """Release every slot owned by ``owner`` across the ring."""
+        self.rwa_delta = None
         for link in self._links.values():
             link.release_owner(owner)
 
     def clear(self) -> None:
         """Release every slot on every segment (between steps)."""
+        self.rwa_delta = None
         for link in self._links.values():
             link.clear()
 

@@ -137,6 +137,43 @@ def compute_striping_factor(requests: Sequence[TransferRequest],
     return max(1, num_wavelengths // demand)
 
 
+def _place_request(network: OpticalRingNetwork, idx: int,
+                   req: TransferRequest,
+                   policy: AssignmentPolicy) -> Tuple[Direction, Tuple[int, ...]]:
+    """Route and colour one request, claiming its slots (owner = ``idx``).
+
+    This is the single placement step both :func:`assign_wavelengths` and
+    the delta patcher share — the heuristic only ever looks at current
+    occupancy, so placing a request on top of an identical occupancy state
+    yields an identical colouring regardless of how that state was reached.
+    """
+    ring = network.topology
+    if req.num_wavelengths > network.num_wavelengths:
+        raise WavelengthAllocationError(
+            f"request {idx} wants {req.num_wavelengths} wavelengths; "
+            f"system has {network.num_wavelengths}",
+            demanded=req.num_wavelengths,
+            available=network.num_wavelengths)
+    direction = resolve_direction(ring, req)
+    segments = network.arc_waveguides(req.src, req.dst, direction)
+    free = [w for w in range(network.num_wavelengths)
+            if all(seg.is_free(w) for seg in segments)]
+    if len(free) < req.num_wavelengths:
+        raise WavelengthAllocationError(
+            f"request {idx} ({req.src}->{req.dst}, {direction.value}) "
+            f"needs {req.num_wavelengths} wavelengths, only "
+            f"{len(free)} free along its arc",
+            demanded=req.num_wavelengths, available=len(free))
+    if policy is AssignmentPolicy.FIRST_FIT:
+        chosen = free[: req.num_wavelengths]
+    else:  # BEST_FIT: most-used feasible channels first, stable by index
+        usage = _global_usage(network)
+        chosen = sorted(free, key=lambda w: (-usage[w], w))
+        chosen = sorted(chosen[: req.num_wavelengths])
+    network.occupy_path(req.src, req.dst, direction, list(chosen), idx)
+    return direction, tuple(chosen)
+
+
 def assign_wavelengths(network: OpticalRingNetwork,
                        requests: Sequence[TransferRequest],
                        policy: AssignmentPolicy = AssignmentPolicy.FIRST_FIT,
@@ -156,34 +193,116 @@ def assign_wavelengths(network: OpticalRingNetwork,
     used: set[int] = set()
 
     for idx, req in enumerate(requests):
-        if req.num_wavelengths > network.num_wavelengths:
-            raise WavelengthAllocationError(
-                f"request {idx} wants {req.num_wavelengths} wavelengths; "
-                f"system has {network.num_wavelengths}",
-                demanded=req.num_wavelengths,
-                available=network.num_wavelengths)
-        direction = resolve_direction(ring, req)
-        segments = network.arc_waveguides(req.src, req.dst, direction)
-        free = [w for w in range(network.num_wavelengths)
-                if all(seg.is_free(w) for seg in segments)]
-        if len(free) < req.num_wavelengths:
-            raise WavelengthAllocationError(
-                f"request {idx} ({req.src}->{req.dst}, {direction.value}) "
-                f"needs {req.num_wavelengths} wavelengths, only "
-                f"{len(free)} free along its arc",
-                demanded=req.num_wavelengths, available=len(free))
-        if policy is AssignmentPolicy.FIRST_FIT:
-            chosen = free[: req.num_wavelengths]
-        else:  # BEST_FIT: most-used feasible channels first, stable by index
-            usage = _global_usage(network)
-            chosen = sorted(free, key=lambda w: (-usage[w], w))
-            chosen = sorted(chosen[: req.num_wavelengths])
-        network.occupy_path(req.src, req.dst, direction, list(chosen), idx)
-        result.assignments[idx] = (direction, tuple(chosen))
+        direction, chosen = _place_request(network, idx, req, policy)
+        result.assignments[idx] = (direction, chosen)
         used.update(chosen)
         result.max_index_used = max(result.max_index_used, max(chosen))
 
     result.distinct_wavelengths = len(used)
+    return result
+
+
+@dataclass
+class RwaDelta:
+    """Snapshot of a solved step, ready to be patched by the next one.
+
+    Records everything the delta path needs to decide applicability and
+    to undo stale placements: the heuristic, the uniform striping width,
+    the striped max link demand, the ordered routed pattern
+    ``(src, dst, direction)`` per request, and the full result (whose
+    ``assignments`` still own the network's occupancy).
+    """
+
+    policy: AssignmentPolicy
+    striping: int
+    demand: int
+    pattern: Tuple[Tuple[int, int, Direction], ...]
+    result: RwaResult
+
+    @classmethod
+    def from_solution(cls, policy: AssignmentPolicy, striping: int,
+                      requests: Sequence[TransferRequest],
+                      result: RwaResult) -> "RwaDelta":
+        """Snapshot ``result`` as the patch base for the next step."""
+        pattern = tuple((req.src, req.dst, result.assignments[i][0])
+                        for i, req in enumerate(requests))
+        return cls(policy=policy, striping=striping,
+                   demand=result.max_link_load, pattern=pattern,
+                   result=result)
+
+
+def assign_wavelengths_delta(network: OpticalRingNetwork,
+                             requests: Sequence[TransferRequest],
+                             policy: AssignmentPolicy,
+                             prev: RwaDelta) -> Optional[RwaResult]:
+    """Patch ``prev``'s assignment into one for ``requests``.
+
+    The network must still hold exactly ``prev``'s occupancy.  Because
+    every placement heuristic here is sequential-greedy — request ``i``'s
+    colouring depends only on the occupancy left by requests ``0..i-1`` —
+    the longest common prefix of the old and new routed patterns can be
+    kept verbatim; only the suffix is released and re-placed.  The result
+    is therefore *bit-for-bit identical* to a from-scratch
+    :func:`assign_wavelengths` on ``requests`` (channels included), which
+    is stronger than the link-load/span parity the contract demands.
+
+    Returns ``None`` — caller must :meth:`~OpticalRingNetwork.clear` and
+    solve from scratch — when the patch contract cannot hold:
+
+    * a request's striping width differs from ``prev.striping``;
+    * the striped max link demand changed (demand spike/drop);
+    * a surviving ``(src, dst)`` pair flipped direction (a mutation, not
+      an add/remove — the patch path only models adds and removes);
+    * a suffix request cannot be placed (caller re-solves and surfaces
+      the real :class:`WavelengthAllocationError`).
+
+    On ``None`` the network occupancy is left in an intermediate state;
+    the fallback's ``clear()`` is mandatory.
+    """
+    if policy is not prev.policy:
+        return None
+    if any(req.num_wavelengths != prev.striping for req in requests):
+        return None
+    ring = network.topology
+    demand = max_link_demand(requests, ring)
+    if demand != prev.demand:
+        return None
+    new_pattern = tuple((req.src, req.dst, resolve_direction(ring, req))
+                        for req in requests)
+    old_dirs = {(s, d): direction for s, d, direction in prev.pattern}
+    for s, d, direction in new_pattern:
+        if old_dirs.get((s, d), direction) is not direction:
+            return None
+
+    limit = min(len(new_pattern), len(prev.pattern))
+    keep = 0
+    while keep < limit and new_pattern[keep] == prev.pattern[keep]:
+        keep += 1
+
+    # Undo the stale suffix of the previous step.
+    for idx in range(keep, len(prev.pattern)):
+        src, dst, direction = prev.pattern[idx]
+        _, channels = prev.result.assignments[idx]
+        for seg in network.arc_waveguides(src, dst, direction):
+            for w in channels:
+                seg.release(w, idx)
+
+    result = RwaResult(max_link_load=demand)
+    for idx in range(keep):
+        result.assignments[idx] = prev.result.assignments[idx]
+    try:
+        for idx in range(keep, len(requests)):
+            direction, chosen = _place_request(network, idx, requests[idx],
+                                               policy)
+            result.assignments[idx] = (direction, chosen)
+    except WavelengthAllocationError:
+        return None
+
+    used: set[int] = set()
+    for _, channels in result.assignments.values():
+        used.update(channels)
+    result.distinct_wavelengths = len(used)
+    result.max_index_used = max(used) if used else -1
     return result
 
 

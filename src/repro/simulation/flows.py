@@ -247,16 +247,115 @@ class CompiledFlowBatch:
         return on & filling
 
 
-def compile_paths(paths: Sequence[Tuple[LinkId, ...]],
-                  capacities: Dict[LinkId, float],
-                  backend: Optional[str] = None) -> CompiledFlowBatch:
-    """Compile a batch of flow paths against ``capacities``.
+class FlowBatchStructure:
+    """The capacity-free half of a compiled flow batch.
+
+    Everything :func:`compile_paths` derives from the *paths alone* —
+    the first-use link index, the CSR rows, the deduplicated incidence
+    pairs, the loopback mask — with the capacity vector and the
+    backend operators factored out into :meth:`bind`.  This is the
+    unit the cross-cell compile cache shares: a sweep re-running one
+    step pattern over many capacity (bandwidth) cells compiles the
+    structure once and rebinds it per cell, and the object pickles
+    cleanly (backend operator prototypes are dropped, rebuilt on first
+    bind) so a :class:`~repro.core.cache_store.CacheStore` can carry
+    it across processes.
+    """
+
+    __slots__ = ("link_ids", "flow_ptr", "flow_links", "flow_of",
+                 "inc_flows", "inc_links", "loopback", "_protos")
+
+    def __init__(self, link_ids: Tuple[LinkId, ...], flow_ptr: np.ndarray,
+                 flow_links: np.ndarray, flow_of: np.ndarray,
+                 inc_flows: np.ndarray, inc_links: np.ndarray,
+                 loopback: np.ndarray) -> None:
+        self.link_ids = link_ids
+        self.flow_ptr = flow_ptr
+        self.flow_links = flow_links
+        self.flow_of = flow_of
+        self.inc_flows = inc_flows
+        self.inc_links = inc_links
+        self.loopback = loopback
+        # Per-backend bound prototypes: the incidence operators depend
+        # only on the structure, so every bind of the same backend
+        # shares them (they are read-only in the solver).
+        self._protos: Dict[str, CompiledFlowBatch] = {}
+
+    def __getstate__(self) -> Dict[str, object]:
+        return {slot: getattr(self, slot)
+                for slot in self.__slots__ if slot != "_protos"}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._protos = {}
+
+    @property
+    def num_flows(self) -> int:
+        """Flows in the structure."""
+        return len(self.flow_ptr) - 1
+
+    @property
+    def num_links(self) -> int:
+        """Distinct links crossed by the structure."""
+        return len(self.link_ids)
+
+    def path_latencies(self, latency_of: Dict[LinkId, float]) -> np.ndarray:
+        """Per-flow path latency under ``latency_of`` (with multiplicity,
+        matching a plain sum over each path's links)."""
+        try:
+            lat = np.array([latency_of[lid] for lid in self.link_ids],
+                           dtype=float)
+        except KeyError as exc:
+            raise SimulationError(
+                f"flow crosses unknown link {exc.args[0]!r}") from None
+        out = np.zeros(self.num_flows)
+        np.add.at(out, self.flow_of, lat[self.flow_links])
+        return out
+
+    def bind(self, capacities: Dict[LinkId, float],
+             backend: Optional[str] = None) -> CompiledFlowBatch:
+        """A :class:`CompiledFlowBatch` of this structure under
+        ``capacities``.
+
+        The first bind per concrete backend builds the incidence
+        operators; later binds reuse them and only materialize the new
+        capacity vector, so rebinding across sweep cells is O(links).
+        Raises exactly as :func:`compile_paths` does on unknown links
+        or non-positive capacities.
+        """
+        try:
+            cap = np.array([capacities[lid] for lid in self.link_ids],
+                           dtype=float)
+        except KeyError as exc:
+            raise SimulationError(
+                f"flow crosses unknown link {exc.args[0]!r}") from None
+        if np.any(cap <= 0):
+            raise SimulationError("link capacities must be positive")
+        concrete = resolve_backend(backend, self.num_flows)
+        proto = self._protos.get(concrete)
+        if proto is None:
+            proto = CompiledFlowBatch(
+                link_ids=self.link_ids, cap=cap, flow_ptr=self.flow_ptr,
+                flow_links=self.flow_links, flow_of=self.flow_of,
+                inc_flows=self.inc_flows, inc_links=self.inc_links,
+                loopback=self.loopback, backend=concrete)
+            self._protos[concrete] = proto
+            return proto
+        clone = CompiledFlowBatch.__new__(CompiledFlowBatch)
+        for slot in CompiledFlowBatch.__slots__:
+            setattr(clone, slot, getattr(proto, slot))
+        clone.cap = cap
+        return clone
+
+
+def compile_structure(paths: Sequence[Tuple[LinkId, ...]],
+                      ) -> FlowBatchStructure:
+    """Compile a batch of flow paths into their capacity-free structure.
 
     Links are indexed in first-use order (flow-major), matching the
-    historical solver exactly; a path crossing a link with no declared
-    capacity raises, as does a non-positive capacity.  ``backend``
-    picks the incidence representation (see module docstring);
-    ``None``/``"auto"`` auto-select by batch size.
+    historical solver exactly.  See :class:`FlowBatchStructure` for the
+    bind step that turns this into a solvable batch.
     """
     n = len(paths)
     used_links: List[LinkId] = []
@@ -267,9 +366,6 @@ def compile_paths(paths: Sequence[Tuple[LinkId, ...]],
         for lid in path:
             idx = index_of.get(lid)
             if idx is None:
-                if lid not in capacities:
-                    raise SimulationError(
-                        f"flow crosses unknown link {lid!r}")
                 idx = len(used_links)
                 index_of[lid] = idx
                 used_links.append(lid)
@@ -289,15 +385,27 @@ def compile_paths(paths: Sequence[Tuple[LinkId, ...]],
     else:
         inc_flows = np.zeros(0, dtype=np.intp)
         inc_links = np.zeros(0, dtype=np.intp)
-    cap = np.array([capacities[lid] for lid in used_links], dtype=float)
-    if np.any(cap <= 0):
-        raise SimulationError("link capacities must be positive")
-    loopback = counts == 0
-    return CompiledFlowBatch(link_ids=tuple(used_links), cap=cap,
-                             flow_ptr=flow_ptr, flow_links=links_arr,
-                             flow_of=flow_of, inc_flows=inc_flows,
-                             inc_links=inc_links, loopback=loopback,
-                             backend=resolve_backend(backend, n))
+    return FlowBatchStructure(link_ids=tuple(used_links),
+                              flow_ptr=flow_ptr, flow_links=links_arr,
+                              flow_of=flow_of, inc_flows=inc_flows,
+                              inc_links=inc_links, loopback=counts == 0)
+
+
+def compile_paths(paths: Sequence[Tuple[LinkId, ...]],
+                  capacities: Dict[LinkId, float],
+                  backend: Optional[str] = None) -> CompiledFlowBatch:
+    """Compile a batch of flow paths against ``capacities``.
+
+    Links are indexed in first-use order (flow-major), matching the
+    historical solver exactly; a path crossing a link with no declared
+    capacity raises, as does a non-positive capacity.  ``backend``
+    picks the incidence representation (see module docstring);
+    ``None``/``"auto"`` auto-select by batch size.  One-shot
+    convenience over :func:`compile_structure` +
+    :meth:`FlowBatchStructure.bind`; callers re-posing one pattern
+    under many capacity sets keep the structure and rebind instead.
+    """
+    return compile_structure(paths).bind(capacities, backend=backend)
 
 
 def compile_flows(flows: Sequence[Flow],
@@ -374,10 +482,24 @@ def _pack_rounds(lists: List[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
 FillResultT = Union[np.ndarray, Tuple[np.ndarray, Optional[FillState]]]
 
 
+def _delta_links(batch: CompiledFlowBatch,
+                 idx: Optional[np.ndarray]) -> np.ndarray:
+    """Concatenated link indices of the (deduped) paths of flows ``idx``."""
+    if idx is None or len(idx) == 0:
+        return np.zeros(0, dtype=np.intp)
+    ptr = batch.inc_ptr
+    if len(idx) == 1:
+        i = int(idx[0])
+        return batch.inc_links[ptr[i]:ptr[i + 1]]
+    return np.concatenate(
+        [batch.inc_links[ptr[int(i)]:ptr[int(i) + 1]] for i in idx])
+
+
 def progressive_fill(batch: CompiledFlowBatch,
                      active: Optional[np.ndarray] = None,
                      *, warm: Optional[FillState] = None,
                      removed: Optional[np.ndarray] = None,
+                     added: Optional[np.ndarray] = None,
                      record: bool = False) -> FillResultT:
     """Max-min fair rates over ``batch`` restricted to ``active`` flows.
 
@@ -386,30 +508,41 @@ def progressive_fill(batch: CompiledFlowBatch,
     ``inf``.  Returns the rates array, or ``(rates, FillState)`` when
     ``record`` is true (the state is ``None`` for degenerate batches).
 
-    ``warm`` is a :class:`FillState` recorded over a *superset* of the
-    current active flows on the same batch (anything else — additions,
-    a different batch — silently falls back to a cold solve).  The
-    solver then replays recorded rounds up to the first round whose
-    saturated links touch a removed flow's links and re-solves only
-    from there.  Replayed solves are **bit-for-bit** what the cold
-    solve computes, by the following argument: removing flows (a)
-    leaves counts and residuals on links they do not cross untouched,
-    so every fair share there is the identical float; (b) only *raises*
-    fair shares on links they do cross (counts shrink, residuals grow,
-    and float subtraction/division are monotone), so a link that was
-    strictly above the bottleneck's tie tolerance stays above it.
-    Hence every round whose saturated set avoids the removed flows'
-    links keeps the same bottleneck value, the same saturated set, and
-    the same frozen flows — and the replay performs the same residual
-    arithmetic (``counts - removed`` is exact integer float math).
+    ``warm`` is a :class:`FillState` recorded on the same batch over an
+    active set that differs from the current one by removals (flows
+    completed) and/or additions (flows admitted); a record from a
+    different batch silently falls back to a cold solve.  The solver
+    replays recorded rounds up to the first round the deltas touch and
+    re-solves only from there.  Replayed solves are **bit-for-bit**
+    what the cold solve computes, by the following argument.
+    *Removals*: a removed flow stays filling through every replayed
+    round (its links hold no saturated link there, so it never froze),
+    hence the new per-round link counts are exactly
+    ``counts - removed_counts`` (small-integer float math); links the
+    removed flows do not cross keep identical floats, links they do
+    cross only see their fair share *rise* (counts shrink, residuals
+    grow, and float subtraction/division are monotone), so a link
+    strictly above the bottleneck's tie tolerance stays above it.  The
+    replay stops at the first round whose saturated links touch a
+    removed flow.  *Additions*: an added flow starts filling in round 0
+    and only *lowers* fair shares on the links it crosses, so the
+    replay additionally walks the recorded rounds computing the exact
+    new fair share ``residual' / (counts - removed + added)`` on every
+    addition-touched link and stops at the first round where one of
+    them falls within the recorded bottleneck's tie tolerance (it
+    would have saturated earlier, changing the trajectory).  Below
+    that round nothing else changed: the recorded saturated links are
+    touched by neither delta, so their fair shares are the identical
+    floats, the bottleneck and frozen sets are unchanged, and no added
+    flow freezes inside the replayed prefix.
 
-    ``removed`` is an optional fast path for trusted callers (the event
-    loop): the exact indices dropped from ``warm``'s active set since
-    it was recorded.  When given, the solver skips the mask-diff
-    validation and slices the removed flows' links straight from the
-    batch CSR.  It is ignored without ``warm``; passing indices that do
-    not match ``active``'s true difference voids the warm-start
-    contract.
+    ``removed`` / ``added`` are an optional fast path for trusted
+    callers (the event loop): the exact indices dropped from / admitted
+    into ``warm``'s active set since it was recorded.  When either is
+    given, the solver skips the mask-diff validation and slices the
+    delta flows' links straight from the batch CSR.  Both are ignored
+    without ``warm``; passing indices that do not match ``active``'s
+    true difference voids the warm-start contract.
     """
     n = batch.num_flows
     rates = np.zeros(n)
@@ -430,33 +563,30 @@ def progressive_fill(batch: CompiledFlowBatch,
     # -- warm-start: replay the previous event's recorded rounds ----------
     state = warm
     d_links: Optional[np.ndarray] = None
-    if state is not None and removed is not None:
-        # Trusted caller: `removed` names the dropped flows exactly.
-        if len(removed) == 0:
+    a_links: Optional[np.ndarray] = None
+    if state is not None and (removed is not None or added is not None):
+        # Trusted caller: `removed`/`added` name the delta flows exactly.
+        if (removed is None or len(removed) == 0) \
+                and (added is None or len(added) == 0):
             return ((state.rates.copy(), state) if record
                     else state.rates.copy())
-        ptr = batch.inc_ptr
-        if len(removed) == 1:
-            i = int(removed[0])
-            d_links = batch.inc_links[ptr[i]:ptr[i + 1]]
-        else:
-            d_links = np.concatenate(
-                [batch.inc_links[ptr[int(i)]:ptr[int(i) + 1]]
-                 for i in removed])
+        d_links = _delta_links(batch, removed)
+        a_links = _delta_links(batch, added)
     elif state is not None:
-        if state.active.shape[0] != n \
-                or bool(np.any(act & ~state.active)):
-            state = None  # additions or a foreign record: solve cold
+        if state.active.shape[0] != n:
+            state = None  # a foreign record: solve cold
         else:
             removed_mask = state.active & ~act
-            if not removed_mask.any():
+            added_mask = act & ~state.active
+            if not removed_mask.any() and not added_mask.any():
                 # Identical active set: the record *is* this solve.
                 return ((state.rates.copy(), state) if record
                         else state.rates.copy())
-            d_entries = removed_mask[batch.inc_flows]
-            d_links = batch.inc_links[d_entries]
+            d_links = batch.inc_links[removed_mask[batch.inc_flows]]
+            a_links = batch.inc_links[added_mask[batch.inc_flows]]
     rstar = 0
     dcounts: Optional[np.ndarray] = None
+    acounts: Optional[np.ndarray] = None
     residual: Optional[np.ndarray] = None
     if state is not None:
         d_mask = np.zeros(m, dtype=bool)
@@ -468,6 +598,24 @@ def progressive_fill(batch: CompiledFlowBatch,
         else:
             rstar = state.nrounds
         dcounts = np.bincount(d_links, minlength=m).astype(np.float64)
+        acounts = np.bincount(a_links, minlength=m).astype(np.float64)
+        if a_links.size:
+            # Addition divergence: walk the prefix computing the exact
+            # new fair share on every addition-touched link and stop at
+            # the first round one falls within the recorded tie
+            # tolerance.  Counts on touched links stay >= 1 (each is
+            # crossed by an added flow) so the divisions are safe.
+            touched = np.flatnonzero(acounts)
+            resid_t = batch.cap[touched].copy()
+            cnt_adj = acounts[touched] - dcounts[touched]
+            for j in range(rstar):
+                cnt = state.counts[j][touched] + cnt_adj
+                fair = resid_t / cnt
+                if float(fair.min()) <= state.bottlenecks[j] + 1e-15:
+                    rstar = j
+                    break
+                resid_t -= cnt * state.bottlenecks[j]
+                np.maximum(resid_t, 0.0, out=resid_t)
         if rstar > 0:
             fcut = int(state.frozen_ptr[rstar])
             frozen_pre = state.frozen_cat[:fcut]
@@ -480,7 +628,7 @@ def progressive_fill(batch: CompiledFlowBatch,
             # removed flows' (exact integer) contribution subtracted.
             residual = batch.cap.copy()
             for s in range(rstar):
-                residual -= ((state.counts[s] - dcounts)
+                residual -= ((state.counts[s] - dcounts + acounts)
                              * state.bottlenecks[s])
                 np.maximum(residual, 0.0, out=residual)
 
@@ -566,7 +714,7 @@ def progressive_fill(batch: CompiledFlowBatch,
             frozen_levels=state.frozen_levels if full
             else state.frozen_levels[:state.frozen_ptr[rstar]],
             counts=(state.counts if full else state.counts[:rstar])
-            - dcounts,
+            - dcounts + acounts,
             rates=rates.copy(), replayed=rstar)
         return rates, new_state
 
@@ -574,7 +722,7 @@ def progressive_fill(batch: CompiledFlowBatch,
     app_fro_levels = np.repeat(np.asarray(app_lvl),
                                np.diff(app_fro_ptr))
     if state is not None and rstar > 0:
-        pre_counts = state.counts[:rstar] - dcounts
+        pre_counts = state.counts[:rstar] - dcounts + acounts
         bottlenecks = np.concatenate(
             [state.bottlenecks[:rstar], np.asarray(app_b)])
         levels = np.concatenate(

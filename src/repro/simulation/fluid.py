@@ -21,10 +21,11 @@ The engine is **incremental** on three levels:
 * between consecutive events the solver **warm-starts**: the previous
   allocation's recorded trajectory
   (:class:`~repro.simulation.flows.FillState`) is passed back into
-  :func:`~repro.simulation.flows.progressive_fill`, which replays every
-  bottleneck round not invalidated by the completed flows and re-solves
+  :func:`~repro.simulation.flows.progressive_fill` together with the
+  exact flows completed *and admitted* since, which replays every
+  bottleneck round not invalidated by either delta and re-solves
   only from the first one that is — O(changed bottlenecks) per event
-  instead of O(all bottlenecks);
+  instead of O(all bottlenecks), surviving mid-flight admissions;
 * whole schedules execute through :meth:`FluidNetworkSimulator.run_schedule`,
   which canonicalizes and dedupes all steps up front (reusing the key
   for identical consecutive steps) and solves each distinct step
@@ -60,8 +61,8 @@ import numpy as np
 from ..caching import CacheStats, LruCache
 from ..errors import SimulationError
 from ..topology.base import Topology
-from .flows import (CompiledFlowBatch, compile_paths, progressive_fill,
-                    Flow, LinkId)
+from .flows import (CompiledFlowBatch, compile_paths, compile_structure,
+                    progressive_fill, Flow, LinkId)
 from .trace import TraceRecorder
 
 #: Bytes of slack below which a flow counts as finished (guards float error).
@@ -182,6 +183,14 @@ class FluidNetworkSimulator:
         Warm-start consecutive event solves from the previous
         allocation's recorded trajectory (identical results either
         way; disable only for benchmarking the cold solver).
+    compile_cache:
+        Memoize the capacity-free
+        :class:`~repro.simulation.flows.FlowBatchStructure` of each
+        step pattern.  Keyed per topology *shape*
+        (:meth:`~repro.topology.base.Topology.shape_signature`), so
+        substrates share one cache across simulators whose topologies
+        differ only in capacities/latencies — a bandwidth sweep
+        compiles each pattern once and rebinds it per cell.
     """
 
     def __init__(self, topology: Topology, keep_trace: bool = False,
@@ -191,6 +200,7 @@ class FluidNetworkSimulator:
                  = DEFAULT_PATTERN_CACHE_MAX_FLOWS,
                  backend: Optional[str] = None,
                  warm_start: bool = True,
+                 compile_cache: bool = True,
                  ) -> None:
         self.topology = topology
         self.capacities: Dict[LinkId, float] = {
@@ -204,6 +214,10 @@ class FluidNetworkSimulator:
                      admit_cost_bound=pattern_cache_max_flows)
             if pattern_cache else None)
         self._compiled_patterns = LruCache(_COMPILED_PATTERN_MAX)
+        self._compile_cache: Optional[LruCache] = (
+            LruCache(_COMPILED_PATTERN_MAX,
+                     admit_cost_bound=pattern_cache_max_flows)
+            if compile_cache else None)
         self._routes = LruCache(_ROUTE_CACHE_MAX)
         self._backend = backend
         self._warm_start = warm_start
@@ -304,9 +318,11 @@ class FluidNetworkSimulator:
         pattern-cache path, where pairs name the flows).
 
         Consecutive allocations warm-start from the previous event's
-        recorded :class:`~repro.simulation.flows.FillState` whenever
-        the active set only shrank (completions); admissions reset the
-        record (identical results either way — the record replay is
+        recorded :class:`~repro.simulation.flows.FillState` across
+        both completions *and* admissions: the exact removed/admitted
+        indices are handed to :func:`progressive_fill`, which replays
+        the recorded rounds below the first one the delta touches
+        (identical results either way — the record replay is
         bit-for-bit, see :func:`progressive_fill`).
         """
         n = batch.num_flows
@@ -343,7 +359,7 @@ class FluidNetworkSimulator:
             if not active_count:
                 now = max(now, starts[cursor])
             # Admit everything that has started by `now`.
-            admitted = False
+            admitted: List[int] = []
             while cursor < n and starts[cursor] <= now + 1e-18:
                 i = cursor
                 if batch.loopback[i]:
@@ -355,25 +371,27 @@ class FluidNetworkSimulator:
                 else:
                     active[i] = True
                     active_count += 1
-                    admitted = True
+                    admitted.append(i)
                 cursor += 1
             if not active_count:
                 continue  # only loopbacks admitted; jump to next start
 
-            if admitted:
-                fill_state = None  # additions invalidate the record
-                completed_since = None
+            added_since = (np.asarray(admitted, dtype=np.intp)
+                           if admitted else None)
             if warm_start:
                 rates, fill_state = progressive_fill(
                     batch, active, warm=fill_state,
-                    removed=completed_since, record=True)
-                # Adaptive warm-starting: a workload whose completions
+                    removed=completed_since, added=added_since,
+                    record=True)
+                # Adaptive warm-starting: a workload whose events
                 # always invalidate round 0 (e.g. a uniform exchange
                 # saturating every link at once) can never replay —
                 # stop paying for the records after two consecutive
-                # fruitless completion events.  Purely a cost knob:
+                # fruitless delta events.  Purely a cost knob:
                 # cold solves are the definitionally identical path.
-                if completed_since is not None and completed_since.size:
+                had_delta = added_since is not None or (
+                    completed_since is not None and completed_since.size)
+                if had_delta:
                     if fill_state is not None and fill_state.replayed == 0:
                         no_replay += 1
                         if no_replay >= 2:
@@ -435,19 +453,32 @@ class FluidNetworkSimulator:
 
     def _compiled_pattern(self, pattern: Tuple[Tuple[int, int], ...],
                           ) -> _CompiledPattern:
-        """Routed + compiled structure for a step pattern (memoized)."""
+        """Routed + compiled structure for a step pattern (memoized).
+
+        Two layers: the per-simulator bound batch (pattern →
+        :class:`_CompiledPattern`, capacities baked in) over the
+        shareable capacity-free structure cache (pattern →
+        :class:`~repro.simulation.flows.FlowBatchStructure`, keyed per
+        topology shape).  A structure hit skips routing and the
+        Python-side compile loop entirely — only the bind (capacity
+        vector + latency sums) runs per simulator.
+        """
         compiled = self._compiled_patterns.get(pattern)
         if compiled is None:
-            paths = []
-            lats = np.zeros(len(pattern))
-            for k, (src, dst) in enumerate(pattern):
-                path, latency = self._route(src, dst)
-                paths.append(path)
-                lats[k] = latency
+            structure = (self._compile_cache.get(pattern)
+                         if self._compile_cache is not None else None)
+            if structure is None:
+                structure = compile_structure(
+                    [self._route(src, dst)[0] for src, dst in pattern])
+                if self._compile_cache is not None:
+                    # Admission policy: enormous patterns are compiled
+                    # but not memoized (`skipped` counts them).
+                    self._compile_cache.put(pattern, structure,
+                                            cost=len(pattern))
             compiled = _CompiledPattern(
-                batch=compile_paths(paths, self.capacities,
-                                    backend=self._backend),
-                latencies=lats)
+                batch=structure.bind(self.capacities,
+                                     backend=self._backend),
+                latencies=structure.path_latencies(self._latencies))
             self._compiled_patterns.put(pattern, compiled)
         return compiled
 
@@ -606,9 +637,12 @@ class FluidNetworkSimulator:
         return self._pattern_cache.stats()
 
     def clear_pattern_cache(self) -> None:
-        """Drop memoized rate schedules and compiled patterns."""
+        """Drop memoized rate schedules, compiled patterns and
+        compiled structures."""
         if self._pattern_cache is not None:
             self._pattern_cache.clear()
+        if self._compile_cache is not None:
+            self._compile_cache.clear()
         self._compiled_patterns.clear()
 
     def cache_namespace(self) -> str:
@@ -618,6 +652,38 @@ class FluidNetworkSimulator:
         identical topology — in any process — shares the entries.
         """
         return f"fluid-pattern/{self.topology.signature()}"
+
+    def compile_cache_namespace(self) -> str:
+        """Persistent-store namespace of this simulator's compile cache.
+
+        Derived from the topology *shape* signature — capacities and
+        latencies excluded — because routed structures are pure
+        functions of which links exist, so every bandwidth/latency
+        variant of one topology shares the entries (this is what lets
+        a sweep compile one batch family per pattern).
+        """
+        return f"fluid-compile/{self.topology.shape_signature()}"
+
+    def compile_cache_info(self) -> CacheStats:
+        """Current compile-cache counters (zeros when disabled)."""
+        if self._compile_cache is None:
+            return CacheStats()
+        return self._compile_cache.stats()
+
+    @property
+    def compile_cache(self) -> Optional[LruCache]:
+        """The live compiled-structure cache (``None`` when disabled)."""
+        return self._compile_cache
+
+    def use_compile_cache(self, cache: LruCache) -> None:
+        """Adopt ``cache`` as this simulator's compile cache.
+
+        Substrates share one cache object between simulators whose
+        topologies have the same :meth:`compile_cache_namespace` —
+        entries are interchangeable there by construction (the bind
+        step applies each simulator's own capacities).
+        """
+        self._compile_cache = cache
 
     def export_pattern_cache(self) -> Dict:
         """Snapshot of the memoized rate schedules (for disk spilling)."""

@@ -168,6 +168,23 @@ class Topology:
                                    for l in self._links.values()))))
         return hashlib.sha1(canon.encode("utf-8")).hexdigest()[:16]
 
+    def shape_signature(self) -> str:
+        """Stable digest of this topology's link *shape*.
+
+        Like :meth:`signature` but with capacities and latencies
+        excluded: routing (:meth:`path`) in every topology class here
+        depends only on which links exist, never on their rates, so two
+        same-class topologies differing only in capacities/latencies
+        route — and therefore compile flow-batch structures —
+        identically.  This is the namespace key of the fluid engine's
+        cross-cell compile cache; anything rate-dependent (solved rate
+        schedules) must key on :meth:`signature` instead.
+        """
+        canon = repr(("shape", type(self).__qualname__, self._num_hosts,
+                      tuple(sorted((l.src, l.dst, l.key)
+                                   for l in self._links.values()))))
+        return hashlib.sha1(canon.encode("utf-8")).hexdigest()[:16]
+
     def path_latency(self, path: Iterable[Link]) -> float:
         """Sum of link latencies along ``path``."""
         return sum(l.latency for l in path)

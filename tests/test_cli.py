@@ -18,7 +18,8 @@ class TestParser:
         assert args.csv
 
     def test_sweep_kinds(self):
-        for kind in ("wavelengths", "payload", "striping", "hier-groups"):
+        for kind in ("wavelengths", "payload", "striping", "hier-groups",
+                     "bandwidth"):
             args = build_parser().parse_args(["sweep", kind])
             assert args.kind == kind
 
@@ -99,8 +100,11 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "simulated on hier-rack" in out
-        assert "rwa_cache_misses" in out
-        assert "fluid_cache_misses" in out
+        # The consolidated cache table folds every cache kind the
+        # substrate reports into one row each.
+        assert "cache statistics" in out
+        assert "\nrwa " in out and "\nfluid " in out
+        assert "misses" in out
 
     def test_plan_substrate_prints_cache_statistics(self, capsys):
         rc = main(["plan", "--nodes", "16", "--wavelengths", "8",
@@ -108,7 +112,7 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "simulated on optical-ring" in out
-        assert "rwa_cache_misses" in out
+        assert "cache statistics" in out and "\nrwa " in out
 
     def test_plan_substrate_ocs_reconfig(self, capsys):
         rc = main(["plan", "--nodes", "16", "--wavelengths", "8",
@@ -116,15 +120,15 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "simulated on ocs-reconfig" in out
-        assert "step_cache_misses" in out
-        assert "fluid_cache_misses" in out
+        assert "\nstep " in out and "\nfluid " in out
 
     def test_plan_substrate_fluid_cache_statistics(self, capsys):
         rc = main(["plan", "--nodes", "16", "--wavelengths", "8",
                    "--substrate", "electrical-ring"])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "fluid_cache_hits" in out and "fluid_cache_misses" in out
+        assert "\nfluid " in out and "\ncompile " in out
+        assert "hits" in out and "misses" in out
 
     def test_plan_substrate_cache_dir(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "store")
@@ -136,7 +140,7 @@ class TestCommands:
         # Second run warms from the spilled entries.
         assert main(args) == 0
         out = capsys.readouterr().out
-        assert "entries warmed" in out and "fluid_cache_hits" in out
+        assert "entries warmed" in out and "\nfluid " in out
 
     def test_sweep_substrates_cache_dir(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "store")
@@ -145,3 +149,30 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "cache store" in out and "entries" in out
+
+    def test_sweep_substrates_prints_consolidated_cache_table(self, capsys):
+        rc = main(["sweep", "substrates", "--nodes", "8",
+                   "--bytes", "1000000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cache statistics (all substrates)" in out
+        # Every cache kind the built-in fabrics report, one row each.
+        for kind in ("rwa", "step", "fluid", "compile"):
+            assert f"\n{kind} " in out
+
+    def test_sweep_bandwidth(self, capsys):
+        rc = main(["sweep", "bandwidth", "--nodes", "8",
+                   "--bytes", "1000000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "EXT-A9" in out
+        assert "compiles" in out and "rebinds" in out
+        assert "cache statistics (all substrates)" in out
+
+    def test_sweep_bandwidth_cache_dir(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "store")
+        args = ["sweep", "bandwidth", "--nodes", "8",
+                "--bytes", "1000000", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cache store" in out

@@ -172,8 +172,10 @@ class TestWarmStartParity:
             cold = progressive_fill(batch, mask)
             assert np.array_equal(warm, cold)
 
-    def test_additions_fall_back_to_cold(self):
-        """A warm state over a *smaller* active set is ignored."""
+    def test_additions_replay_warm_and_match_cold(self):
+        """A warm state over a *smaller* active set is patched, not
+        discarded (pre-admission-survival it forced a cold refill),
+        and still matches the cold solve exactly."""
         star = SwitchedStar(6, 10.0)
         sim = FluidNetworkSimulator(star)
         flows = [sim.make_flow(i, (i + 1) % 6, 1.0) for i in range(6)]
@@ -194,6 +196,112 @@ class TestWarmStartParity:
         rates, state = progressive_fill(batch, mask, record=True)
         again = progressive_fill(batch, mask, warm=state)
         assert np.array_equal(again, rates)
+
+
+def _staircase_specs(groups=6, stagger=0.0):
+    """Incast groups of fan-in 1..groups on a star; ``stagger`` > 0
+    admits each group that much after the previous one."""
+    specs = []
+    src = 100
+    for fan in range(1, groups + 1):
+        for _ in range(fan):
+            specs.append((src, fan, 1.0 + 0.1 * fan, stagger * fan))
+            src += 1
+    return specs
+
+
+class TestAdmissionWarmStartParity:
+    """Warm starts that survive admissions are bit-for-bit cold solves.
+
+    The level-indexed restart replays the recorded prefix of rounds
+    below a new flow's first bottleneck instead of resetting; these
+    tests pin every intermediate allocation against the cold solver and
+    the final results against the frozen pre-refactor oracle
+    (:mod:`repro.simulation._reference`), on the staircase admission
+    schedule and on randomized add/remove churn.
+    """
+
+    def _hosts(self, specs):
+        return max(max(s, d) for s, d, _, _ in specs) + 1
+
+    def test_staircase_admissions_match_reference(self):
+        specs = _staircase_specs(groups=6, stagger=1e-3)
+        star = SwitchedStar(self._hosts(specs), 10.0)
+        warm = FluidNetworkSimulator(star, warm_start=True)
+        ref = ReferenceFluidSimulator(star)
+        got = warm.run([warm.make_flow(*sp) for sp in specs])
+        want = ref.run([ref.make_flow(*sp) for sp in specs])
+        assert [_result_tuple(r) for r in got] == want
+
+    def test_staircase_every_intermediate_allocation_matches_cold(self):
+        specs = _staircase_specs(groups=6, stagger=1e-3)
+        star = SwitchedStar(self._hosts(specs), 10.0)
+        warm_sim = FluidNetworkSimulator(star, warm_start=True)
+        cold_sim = FluidNetworkSimulator(star, warm_start=False)
+        warm_log, cold_log = [], []
+        warm_sim.run([warm_sim.make_flow(*sp) for sp in specs],
+                     rate_log=warm_log)
+        cold_sim.run([cold_sim.make_flow(*sp) for sp in specs],
+                     rate_log=cold_log)
+        assert len(warm_log) == len(cold_log)
+        # Flows inside a staircase group share a start time, so each
+        # group is one admission event; completions add the rest.
+        assert len(warm_log) >= 6
+        for (tw, iw, rw), (tc, ic, rc) in zip(warm_log, cold_log):
+            assert tw == tc
+            assert np.array_equal(iw, ic)
+            assert np.array_equal(rw, rc)
+
+    @given(topology_and_flows(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_chained_admissions_replay_exactly(self, inst, data):
+        """Random add/remove churn through the trusted-delta path is
+        bit-for-bit the corresponding chain of cold fills."""
+        topo, specs = inst
+        sim = FluidNetworkSimulator(topo)
+        flows = [sim.make_flow(*sp) for sp in specs]
+        batch = compile_flows(flows, sim.capacities)
+        n = len(flows)
+        mask = np.zeros(n, dtype=bool)
+        mask[:data.draw(st.integers(1, n), label="initial")] = True
+        _, state = progressive_fill(batch, mask, record=True)
+        for _ in range(4):
+            off = list(np.nonzero(~mask)[0])
+            alive = list(np.nonzero(mask)[0])
+            add = (data.draw(st.lists(st.sampled_from(off), min_size=1,
+                                      unique=True), label="add")
+                   if off else [])
+            drop = (data.draw(st.lists(st.sampled_from(alive),
+                                       unique=True), label="drop")
+                    if alive else [])
+            if not add and not drop:
+                continue
+            new_mask = mask.copy()
+            new_mask[add] = True
+            new_mask[drop] = False
+            if not new_mask.any():
+                continue
+            warm, state = progressive_fill(
+                batch, new_mask, warm=state,
+                removed=np.asarray(drop, dtype=np.intp),
+                added=np.asarray(add, dtype=np.intp), record=True)
+            cold = progressive_fill(batch, new_mask)
+            assert np.array_equal(warm, cold)
+            mask = new_mask
+
+    @given(topology_and_flows())
+    @settings(max_examples=40, deadline=None)
+    def test_random_admission_schedule_matches_reference(self, inst):
+        """Staggered random starts (mid-flight admissions) through the
+        warm engine still match the oracle exactly."""
+        topo, specs = inst
+        staggered = [(s, d, z, 1e-4 * i) for i, (s, d, z, _)
+                     in enumerate(specs)]
+        warm = FluidNetworkSimulator(topo, warm_start=True)
+        ref = ReferenceFluidSimulator(topo)
+        got = warm.run([warm.make_flow(*sp) for sp in staggered])
+        want = ref.run([ref.make_flow(*sp) for sp in staggered])
+        assert [_result_tuple(r) for r in got] == want
 
 
 class TestSparseBackendParity:

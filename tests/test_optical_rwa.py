@@ -9,6 +9,7 @@ from repro.errors import WavelengthAllocationError
 from repro.optical import (AssignmentPolicy, OpticalRingNetwork,
                            TransferRequest, assign_wavelengths,
                            compute_striping_factor, max_link_demand)
+from repro.optical.rwa import RwaDelta, assign_wavelengths_delta
 from repro.topology.ring import Direction
 
 
@@ -185,3 +186,123 @@ class TestRwaProperties:
         net = make_net(n=n, w=64)
         res = assign_wavelengths(net, reqs, AssignmentPolicy.BEST_FIT)
         assert res.spectrum_span <= 64
+
+
+@st.composite
+def delta_case(draw):
+    """A previous step plus a random add/remove churn of it."""
+    n = draw(st.integers(6, 20))
+
+    def req():
+        src = draw(st.integers(0, n - 1))
+        span = draw(st.integers(1, n - 1))
+        direction = draw(st.sampled_from([Direction.CW, Direction.CCW,
+                                          None]))
+        return TransferRequest(src, (src + span) % n, direction=direction)
+
+    base = [req() for _ in range(draw(st.integers(1, 10)))]
+    kept = [r for r in base if draw(st.booleans())]
+    added = [req() for _ in range(draw(st.integers(0, 5)))]
+    policy = draw(st.sampled_from(list(AssignmentPolicy)))
+    return n, base, kept + added, policy
+
+
+def _occupancy(net):
+    return [sorted(seg.owners()) for seg in net.all_waveguides()]
+
+
+class TestIncrementalRwa:
+    """The delta path must be indistinguishable from a full re-solve."""
+
+    @given(delta_case())
+    @settings(max_examples=100, deadline=None)
+    def test_delta_patch_matches_full_solve(self, case):
+        from repro.optical.rwa import resolve_direction
+
+        n, base, new, policy = case
+        net = make_net(n=n, w=64)
+        prev = RwaDelta.from_solution(
+            policy, 1, base, assign_wavelengths(net, base, policy))
+        got = assign_wavelengths_delta(net, new, policy, prev)
+        fresh = make_net(n=n, w=64)
+        want = assign_wavelengths(fresh, new, policy)
+        if got is None:
+            # Only the documented fallbacks may bounce the patch.
+            demand_changed = \
+                max_link_demand(new, net.topology) != prev.demand
+            old_dirs = {(s, d): drn for s, d, drn in prev.pattern}
+            flipped = any(
+                old_dirs.get((r.src, r.dst),
+                             resolve_direction(net.topology, r))
+                is not resolve_direction(net.topology, r) for r in new)
+            assert demand_changed or flipped
+        else:
+            # Bit-for-bit: assignments, aggregates, and the network
+            # occupancy the next delta will patch against.
+            assert got.assignments == want.assignments
+            assert got.max_link_load == want.max_link_load
+            assert got.distinct_wavelengths == want.distinct_wavelengths
+            assert got.max_index_used == want.max_index_used
+            assert _occupancy(net) == _occupancy(fresh)
+
+    def test_delta_chain_stays_exact(self):
+        """Patch on top of patch: each step is still a full-solve twin."""
+        policy = AssignmentPolicy.FIRST_FIT
+        cluster = [TransferRequest(a, b) for a in range(4) for b in range(4)
+                   if a != b]
+        steps = [cluster + [TransferRequest(8 + t, 10 + t)]
+                 for t in range(4)]
+        net = make_net(n=16, w=64)
+        prev = RwaDelta.from_solution(
+            policy, 1, steps[0], assign_wavelengths(net, steps[0], policy))
+        for reqs in steps[1:]:
+            got = assign_wavelengths_delta(net, reqs, policy, prev)
+            assert got is not None
+            fresh = make_net(n=16, w=64)
+            assert got.assignments == \
+                assign_wavelengths(fresh, reqs, policy).assignments
+            prev = RwaDelta.from_solution(policy, 1, reqs, got)
+
+    def _prev(self, net, reqs, policy=AssignmentPolicy.FIRST_FIT, k=1):
+        return RwaDelta.from_solution(
+            policy, k, reqs, assign_wavelengths(net, reqs, policy))
+
+    def test_fallback_on_policy_change(self):
+        net = make_net(n=8, w=8)
+        prev = self._prev(net, [TransferRequest(0, 3)])
+        assert assign_wavelengths_delta(
+            net, [TransferRequest(0, 3)],
+            AssignmentPolicy.BEST_FIT, prev) is None
+
+    def test_fallback_on_striping_change(self):
+        net = make_net(n=8, w=8)
+        base = [TransferRequest(0, 3, num_wavelengths=2)]
+        prev = self._prev(net, base, k=2)
+        assert assign_wavelengths_delta(
+            net, [TransferRequest(0, 3, num_wavelengths=1)],
+            AssignmentPolicy.FIRST_FIT, prev) is None
+
+    def test_fallback_on_demand_spike(self):
+        net = make_net(n=8, w=8)
+        prev = self._prev(net, [TransferRequest(0, 2)])
+        # The added overlapping request doubles the hottest link's load.
+        assert assign_wavelengths_delta(
+            net, [TransferRequest(0, 2), TransferRequest(1, 3)],
+            AssignmentPolicy.FIRST_FIT, prev) is None
+
+    def test_fallback_on_demand_drop(self):
+        net = make_net(n=8, w=8)
+        prev = self._prev(net, [TransferRequest(0, 2), TransferRequest(1, 3)])
+        assert assign_wavelengths_delta(
+            net, [TransferRequest(0, 2)],
+            AssignmentPolicy.FIRST_FIT, prev) is None
+
+    def test_fallback_on_direction_flip(self):
+        net = make_net(n=8, w=8)
+        prev = self._prev(net, [TransferRequest(0, 3,
+                                                direction=Direction.CW)])
+        # Same (src, dst) and same max demand, but the surviving pair
+        # now routes the other way — a mutation the patch must refuse.
+        assert assign_wavelengths_delta(
+            net, [TransferRequest(0, 3, direction=Direction.CCW)],
+            AssignmentPolicy.FIRST_FIT, prev) is None

@@ -235,6 +235,67 @@ class TestRwaCache:
         assert sub.rwa_cache_info().hit_rate > 0.4
 
 
+class TestIncrementalRwaSubstrate:
+    """``incremental=True`` (the default) must change work, not results."""
+
+    def _churn_schedule(self, n=16, steps=4):
+        """Consecutive steps share a hot 4-node cluster and shift one
+        sparse tail transfer — the add/remove churn the delta path
+        patches (constant max link demand keeps it on the patch path)."""
+        from repro.collectives.schedule import (Schedule, Transfer,
+                                                TransferOp)
+
+        sched = Schedule(num_nodes=n, num_chunks=1, name="churn")
+        for t in range(steps):
+            step = [Transfer(src=a, dst=b, chunks=(0,),
+                             op=TransferOp.REDUCE)
+                    for a in range(4) for b in range(4) if a != b]
+            step.append(Transfer(src=8 + t, dst=10 + t, chunks=(0,),
+                                 op=TransferOp.REDUCE))
+            sched.add_step(step)
+        return sched
+
+    def test_incremental_matches_full_resolve(self):
+        system = opt(n=16, w=16)
+        sched = self._churn_schedule()
+        inc = OpticalRingSubstrate(system, incremental=True)
+        full = OpticalRingSubstrate(system, incremental=False)
+        assert inc.execute(sched, WL) == full.execute(sched, WL)
+        assert inc.delta_patched > 0
+        assert full.delta_patched == 0
+        params = dict(inc.describe().parameters)
+        assert params["rwa_incremental"] is True
+        assert params["rwa_delta_patched"] == inc.delta_patched
+
+    def test_demand_change_falls_back_identically(self):
+        from repro.collectives.schedule import (Schedule, Transfer,
+                                                TransferOp)
+
+        system = opt(n=16, w=16)
+        sched = Schedule(num_nodes=16, num_chunks=1, name="spike")
+        sched.add_step([Transfer(src=0, dst=2, chunks=(0,),
+                                 op=TransferOp.REDUCE)])
+        sched.add_step([Transfer(src=0, dst=2, chunks=(0,),
+                                 op=TransferOp.REDUCE),
+                        Transfer(src=1, dst=3, chunks=(0,),
+                                 op=TransferOp.REDUCE)])
+        inc = OpticalRingSubstrate(system, incremental=True)
+        full = OpticalRingSubstrate(system, incremental=False)
+        assert inc.execute(sched, WL) == full.execute(sched, WL)
+        assert inc.delta_fallbacks > 0
+
+    def test_memo_cache_hits_keep_delta_base_valid(self):
+        """A memo hit leaves occupancy untouched; the next churn step
+        must still patch against the last *solved* step, exactly."""
+        system = opt(n=16, w=16)
+        churn = self._churn_schedule(steps=3)
+        inc = OpticalRingSubstrate(system, incremental=True)
+        full = OpticalRingSubstrate(system, incremental=False)
+        for _ in range(2):  # second pass replays via the memo cache
+            assert inc.execute(churn, WL) == full.execute(churn, WL)
+        assert inc.rwa_cache_info().hits > 0
+
+
 class TestExecuteMany:
     def test_batch_matches_per_call_on_every_registered_substrate(self):
         """Cross-substrate parity: for every registered substrate (the
