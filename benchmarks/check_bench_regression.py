@@ -35,7 +35,8 @@ GATED_SECTIONS = ("solver_micro_cold", "step_cache_hit",
                   "sweep_cell_end_to_end", "solver_warm_start",
                   "sparse_large_batch", "schedule_fused",
                   "hier_rack_warm_reuse", "sweep_shared_compile",
-                  "solver_warm_admission", "rwa_incremental_step")
+                  "solver_warm_admission", "rwa_incremental_step",
+                  "serving_warm_throughput")
 
 
 def _load(path):

@@ -20,6 +20,8 @@ import pytest
 #: Where the machine-readable speedup summaries accumulate (repo root).
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fluid.json"
 BENCH_RWA_JSON = Path(__file__).resolve().parent.parent / "BENCH_rwa.json"
+BENCH_SERVING_JSON = (Path(__file__).resolve().parent.parent
+                      / "BENCH_serving.json")
 
 
 def best_time(fn, repeats):

@@ -13,7 +13,8 @@ Run:  python examples/gradient_bucket_pipeline.py
 
 from repro import OpticalRingSystem, Workload, units
 from repro.core.planner import plan_wrht
-from repro.models import bucketize_gradients, gradient_workload
+from repro.models import (allreduce_message_sizes, bucketize_gradients,
+                          gradient_workload)
 from repro.models.catalog import resnet50
 from repro.models.training import DataParallelTrainingModel
 
@@ -27,18 +28,23 @@ def main() -> None:
 
     buckets = bucketize_gradients(model,
                                   bucket_bytes=BUCKET_MB * units.MB)
+    # The serving layer derives its per-step message sizes from the
+    # same bucketing — one source of truth for "what does one training
+    # step put on the wire".
+    sizes = allreduce_message_sizes(model, bucket_bytes=BUCKET_MB * units.MB)
+    assert sizes == [b.nbytes for b in buckets]
     print(f"{model.name}: {model.num_parameters:,} parameters -> "
           f"{len(buckets)} buckets of <= {BUCKET_MB} MB "
           f"(backward order)\n")
 
     # Time each bucket's all-reduce with a per-bucket Wrht plan.
     bucket_times = []
-    for b in buckets:
-        wl = Workload(data_bytes=b.nbytes, name=f"bucket{b.index}")
+    for b, nbytes in zip(buckets, sizes):
+        wl = Workload(data_bytes=nbytes, name=f"bucket{b.index}")
         plan = plan_wrht(system, wl)
         bucket_times.append(plan.predicted_time)
         head = b.layer_names[0]
-        print(f"  bucket {b.index}: {units.fmt_bytes(b.nbytes):>12} "
+        print(f"  bucket {b.index}: {units.fmt_bytes(nbytes):>12} "
               f"({b.num_layers:>2} layers from {head:<24}) "
               f"m={plan.group_size} steps={plan.num_steps} "
               f"-> {units.fmt_time(plan.predicted_time)}")

@@ -15,7 +15,11 @@
 * :func:`bandwidth_sweep` — EXT-A9: the electrical substrate's
   link-rate knob, executed on *one* substrate so all cells share the
   shape-keyed compiled-structure cache (each cell only rebinds
-  capacities).
+  capacities);
+* :func:`serving_load_sweep` — EXT-V1: the serving layer's offered
+  load, streaming the same seeded Poisson mix through one warm shared
+  substrate at increasing arrival rates and reading off throughput,
+  JCT percentiles, and queue depth.
 """
 
 from __future__ import annotations
@@ -372,4 +376,66 @@ def substrate_sweep(num_nodes: int, workload: Workload,
                 sub.spill_to(store)
         rows.append(SubstrateRow(substrate=name, time=rep.total_time,
                                  steps=rep.num_steps, kind=info.kind))
+    return rows
+
+
+@dataclass(frozen=True)
+class ServingLoadRow:
+    """EXT-V1: one offered-load point of the serving sweep."""
+
+    arrival_rate: float
+    jobs: int
+    steps: int
+    makespan: float
+    throughput_jobs: float
+    throughput_steps: float
+    jct_mean: float
+    jct_p50: float
+    jct_p99: float
+    max_queue_depth: int
+    mean_queue_depth: float
+    algorithm_mix: Dict[str, int] = field(default_factory=dict)
+
+
+def serving_load_sweep(capacity: int = 32,
+                       num_jobs: int = 50,
+                       arrival_rates: Sequence[float] = (5.0, 20.0, 80.0),
+                       substrate_name: str = "electrical-ring",
+                       policy: str = "fifo",
+                       placement: str = "contiguous",
+                       seed: int = 0,
+                       ) -> List[ServingLoadRow]:
+    """Serving metrics vs offered load (EXT-V1).
+
+    Each cell streams the *same* ``num_jobs``-job seeded mix (only the
+    inter-arrival scale changes with ``arrival_rate``) through one
+    engine per cell, all sharing the pooled warm substrate — so the
+    sweep doubles as a demonstration that warm schedule/profile caches
+    make repeated traffic cheap.  As load grows, throughput saturates
+    at fabric capacity and queueing pushes the JCT tail (p99) out.
+    """
+    from ..serving import ServingEngine, poisson_traffic
+
+    rows: List[ServingLoadRow] = []
+    for rate in arrival_rates:
+        jobs = poisson_traffic(num_jobs=num_jobs, arrival_rate=float(rate),
+                               seed=seed,
+                               node_choices=(4, 8, min(16, capacity)))
+        engine = ServingEngine(substrate_name=substrate_name,
+                               capacity=capacity, policy=policy,
+                               placement=placement)
+        report = engine.run(jobs)
+        rows.append(ServingLoadRow(
+            arrival_rate=float(rate),
+            jobs=report.num_jobs,
+            steps=report.total_steps,
+            makespan=report.makespan,
+            throughput_jobs=report.throughput_jobs,
+            throughput_steps=report.throughput_steps,
+            jct_mean=report.jct(),
+            jct_p50=report.jct(50),
+            jct_p99=report.jct(99),
+            max_queue_depth=report.max_queue_depth,
+            mean_queue_depth=report.mean_queue_depth,
+            algorithm_mix=dict(report.algorithm_mix)))
     return rows

@@ -9,7 +9,10 @@ Commands
   (``--substrate`` additionally executes the plan on any registered
   substrate);
 * ``sweep``    — ablation sweeps (wavelengths / payload / striping /
-  substrates / hier-groups / bandwidth).
+  substrates / hier-groups / bandwidth);
+* ``serve``    — stream a seeded multi-job traffic mix through the
+  online scheduler on one shared warm substrate and report throughput,
+  JCT percentiles, queue depth, and cache hit rates.
 """
 
 from __future__ import annotations
@@ -157,6 +160,54 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import (ServingEngine, adaptive_policy, fixed_policy,
+                          poisson_traffic)
+
+    collectives = (fixed_policy(args.collective) if args.collective
+                   else adaptive_policy(switch_bytes=args.switch_bytes))
+    jobs = poisson_traffic(num_jobs=args.jobs, arrival_rate=args.rate,
+                           seed=args.seed,
+                           node_choices=tuple(
+                               n for n in (4, 8, 16) if n <= args.capacity))
+    engine = ServingEngine(substrate_name=args.substrate,
+                           capacity=args.capacity, policy=args.policy,
+                           placement=args.placement,
+                           collectives=collectives)
+    report = engine.run(jobs)
+    head = report.headline()
+    print(simple_table(
+        ["metric", "value"],
+        [("jobs served", int(head["jobs"])),
+         ("steps served", int(head["steps"])),
+         ("makespan", units.fmt_time(head["makespan_s"])),
+         ("throughput", f"{head['throughput_jobs_per_s']:.2f} jobs/s"),
+         ("", f"{head['throughput_steps_per_s']:.1f} steps/s"),
+         ("JCT mean", units.fmt_time(head["jct_mean_s"])),
+         ("JCT p50", units.fmt_time(head["jct_p50_s"])),
+         ("JCT p99", units.fmt_time(head["jct_p99_s"])),
+         ("queue depth max", int(head["max_queue_depth"])),
+         ("queue depth mean", f"{head['mean_queue_depth']:.2f}")],
+        title=f"serving: {args.jobs} jobs @ {args.rate}/s on "
+              f"{report.substrate} x{report.capacity} "
+              f"({report.policy}, {args.placement}, {report.collectives})"))
+    if report.algorithm_mix:
+        print(simple_table(
+            ["collective", "messages"],
+            sorted(report.algorithm_mix.items()),
+            title="algorithm mix"))
+    if args.show_jobs:
+        print(simple_table(
+            ["job", "model", "n", "steps", "wait", "service", "jct"],
+            [(r.job.job_id, r.job.model, r.job.num_nodes, r.job.num_steps,
+              units.fmt_time(r.wait_time), units.fmt_time(r.service_time),
+              units.fmt_time(r.completion)) for r in report.records],
+            title="per-job records (completion order)"))
+    _print_cache_table([engine.substrate],
+                       title="shared-substrate cache statistics")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     wl = (paper_workload(args.model) if args.model
           else Workload(data_bytes=args.bytes))
@@ -271,6 +322,30 @@ def build_parser() -> argparse.ArgumentParser:
                     help="persistent cache-store directory "
                          "(substrates/bandwidth sweeps only)")
     sw.set_defaults(func=_cmd_sweep)
+
+    sv = sub.add_parser("serve",
+                        help="stream a multi-job mix through the online "
+                             "scheduler on one shared substrate")
+    sv.add_argument("--jobs", type=int, default=50)
+    sv.add_argument("--rate", type=float, default=20.0,
+                    help="Poisson arrival rate (jobs per simulated second)")
+    sv.add_argument("--capacity", type=int, default=32,
+                    help="shared substrate nodes")
+    sv.add_argument("--substrate", default="electrical-ring",
+                    choices=available_substrates())
+    sv.add_argument("--policy", default="fifo",
+                    choices=("fifo", "sjf", "priority"))
+    sv.add_argument("--placement", default="contiguous",
+                    choices=("contiguous", "scatter"))
+    sv.add_argument("--collective",
+                    help="pin one collective (default: size-adaptive "
+                         "switch)")
+    sv.add_argument("--switch-bytes", type=float, default=1 * units.MB,
+                    help="adaptive small/large threshold")
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--show-jobs", action="store_true",
+                    help="also print the per-job table")
+    sv.set_defaults(func=_cmd_serve)
 
     rp = sub.add_parser("report",
                         help="regenerate the full experiment report")

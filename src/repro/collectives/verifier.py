@@ -87,14 +87,18 @@ def verify_allreduce(schedule: Schedule, elements_per_chunk: int = 2,
 
 def verify_reduce_to_roots(schedule: Schedule, roots,
                            elements_per_chunk: int = 2,
-                           seed: int = 0) -> None:
+                           seed: int = 0,
+                           rng: Optional[np.random.Generator] = None) -> None:
     """Weaker oracle: only ``roots`` must hold the global sum at the end.
 
     Used to test the reduce *stage* of hierarchical algorithms in
-    isolation.
+    isolation.  ``rng`` wins over ``seed`` when given, mirroring
+    :func:`verify_allreduce`, so callers driving many verifications
+    from one :class:`numpy.random.Generator` stay reproducible from a
+    single seed.
     """
     schedule.validate()
-    gen = np.random.default_rng(seed)
+    gen = rng if rng is not None else np.random.default_rng(seed)
     state = initial_state(schedule, elements_per_chunk, gen)
     expected = state.sum(axis=0)
     final = execute_schedule(schedule, state)

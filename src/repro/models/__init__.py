@@ -13,7 +13,8 @@ from .catalog import (MODELS, PAPER_PARAM_COUNTS, DnnModel, alexnet,
                       get_model, googlenet, paper_workload, resnet50, vgg16)
 from .flops import (forward_macs, sequential_forward_macs,
                     training_flops_per_sample)
-from .gradients import (GradientBucket, bucketize_gradients, gradient_bytes,
+from .gradients import (GradientBucket, allreduce_message_sizes,
+                        bucketize_gradients, gradient_bytes,
                         gradient_workload)
 from .layers import (BatchNorm2d, Conv2d, Layer, Linear,
                      LocalResponseNorm, Pool2d)
@@ -41,6 +42,7 @@ __all__ = [
     "sequential_forward_macs",
     "training_flops_per_sample",
     "GradientBucket",
+    "allreduce_message_sizes",
     "bucketize_gradients",
     "DataParallelTrainingModel",
     "IterationBreakdown",

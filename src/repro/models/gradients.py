@@ -48,6 +48,25 @@ class GradientBucket:
         return len(self.layer_names)
 
 
+def allreduce_message_sizes(model: DnnModel,
+                            bucket_bytes: float = DEFAULT_BUCKET_BYTES,
+                            dtype_bytes: int = 4,
+                            reverse: bool = True) -> List[int]:
+    """Per-step all-reduce message sizes (bytes) of one training step.
+
+    One training step all-reduces each gradient bucket as it fills, so
+    the message-size sequence a job injects per step is exactly the
+    bucket byte list.  This is the sizing hook shared by the serving
+    job model and the gradient-bucket pipeline example: sizes always
+    sum to :func:`gradient_bytes` (every parameter is reduced exactly
+    once) and scale with ``dtype_bytes``.
+    """
+    return [b.nbytes
+            for b in bucketize_gradients(model, bucket_bytes=bucket_bytes,
+                                         dtype_bytes=dtype_bytes,
+                                         reverse=reverse)]
+
+
 def bucketize_gradients(model: DnnModel,
                         bucket_bytes: float = DEFAULT_BUCKET_BYTES,
                         dtype_bytes: int = 4,

@@ -1,0 +1,161 @@
+"""Size-adaptive collective dispatch and schedule placement.
+
+The serving scheduler picks a collective *per message*, mirroring the
+kernel dispatch of the MAX inference stack's allreduce (a 1-stage
+latency-bound kernel below a size threshold, a 2-stage bandwidth-bound
+kernel above it):
+
+* **small** messages go to a latency-optimal algorithm — recursive
+  doubling (log2 N full-payload exchanges) or a binomial tree — where
+  per-step overheads dominate;
+* **large** messages go to a bandwidth-optimal algorithm — the ring
+  (2(N-1) steps of S/N) — where serialization dominates.
+
+:class:`CollectivePolicy` is the switch; ``fixed_policy`` pins one
+algorithm for ablations (the serving bench runs adaptive vs fixed-ring
+vs fixed-RD on the same traffic).  :func:`place_schedule` re-bases a
+rank-0-rooted schedule onto a node range of the shared substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .. import units
+from ..collectives.binomial_tree import generate_binomial_tree
+from ..collectives.halving_doubling import generate_halving_doubling
+from ..collectives.recursive_doubling import generate_recursive_doubling
+from ..collectives.ring_allreduce import generate_ring_allreduce
+from ..collectives.schedule import Schedule, Transfer
+from ..errors import ConfigurationError
+
+__all__ = ["CollectivePolicy", "adaptive_policy", "fixed_policy",
+           "generate_collective", "place_schedule",
+           "DEFAULT_SWITCH_BYTES", "COLLECTIVE_GENERATORS",
+           "PLANNED_COLLECTIVES"]
+
+#: Below this size a message is latency-bound (the 1-stage/2-stage
+#: split of the MAX allreduce kernel, scaled to fabric-level payloads).
+DEFAULT_SWITCH_BYTES = 1 * units.MB
+
+#: Registered collective generators by algorithm name.
+COLLECTIVE_GENERATORS: Dict[str, Callable[[int], Schedule]] = {
+    "ring": generate_ring_allreduce,
+    "recursive-doubling": generate_recursive_doubling,
+    "halving-doubling": generate_halving_doubling,
+    "binomial-tree": generate_binomial_tree,
+}
+
+#: Algorithms that need a system + payload to plan (the serving engine
+#: resolves these through :func:`repro.core.planner.plan_wrht`), so
+#: they are valid policy arms but have no system-free generator here.
+PLANNED_COLLECTIVES: Tuple[str, ...] = ("wrht",)
+
+
+def generate_collective(algorithm: str, num_nodes: int) -> Schedule:
+    """Generate the ``algorithm`` all-reduce over ``num_nodes`` ranks."""
+    try:
+        gen = COLLECTIVE_GENERATORS[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown collective {algorithm!r}; choose from "
+            f"{tuple(sorted(COLLECTIVE_GENERATORS))}") from None
+    return gen(num_nodes)
+
+
+@dataclass(frozen=True)
+class CollectivePolicy:
+    """The per-message algorithm switch.
+
+    ``select`` returns ``small_algorithm`` for messages strictly below
+    ``switch_bytes`` and ``large_algorithm`` otherwise.  A fixed policy
+    is just both arms set to the same algorithm.
+    """
+
+    small_algorithm: str = "recursive-doubling"
+    large_algorithm: str = "ring"
+    switch_bytes: float = DEFAULT_SWITCH_BYTES
+
+    def __post_init__(self) -> None:
+        known = tuple(sorted(COLLECTIVE_GENERATORS)) + PLANNED_COLLECTIVES
+        for algo in (self.small_algorithm, self.large_algorithm):
+            if algo not in known:
+                raise ConfigurationError(
+                    f"unknown collective {algo!r}; choose from {known}")
+        if self.switch_bytes < 0:
+            raise ConfigurationError("switch_bytes must be >= 0")
+
+    @property
+    def is_adaptive(self) -> bool:
+        """Whether the two arms can ever differ."""
+        return self.small_algorithm != self.large_algorithm
+
+    def select(self, message_bytes: float) -> str:
+        """Algorithm name for one message of ``message_bytes``."""
+        if message_bytes < self.switch_bytes:
+            return self.small_algorithm
+        return self.large_algorithm
+
+    @property
+    def label(self) -> str:
+        """Human-readable policy name for reports."""
+        if not self.is_adaptive:
+            return self.large_algorithm
+        return (f"adaptive(<{units.fmt_bytes(self.switch_bytes)}: "
+                f"{self.small_algorithm}, else {self.large_algorithm})")
+
+
+def adaptive_policy(switch_bytes: float = DEFAULT_SWITCH_BYTES,
+                    small_algorithm: str = "recursive-doubling",
+                    large_algorithm: str = "ring") -> CollectivePolicy:
+    """The default size-adaptive switch."""
+    return CollectivePolicy(small_algorithm=small_algorithm,
+                            large_algorithm=large_algorithm,
+                            switch_bytes=switch_bytes)
+
+
+def fixed_policy(algorithm: str) -> CollectivePolicy:
+    """A degenerate policy that always picks ``algorithm``."""
+    return CollectivePolicy(small_algorithm=algorithm,
+                            large_algorithm=algorithm)
+
+
+def place_schedule(schedule: Schedule, nodes: Sequence[int],
+                   total_nodes: int) -> Schedule:
+    """Re-base ``schedule`` onto the substrate nodes ``nodes``.
+
+    Rank ``i`` of the collective becomes substrate node ``nodes[i]``.
+    ``nodes`` is usually a contiguous range from the scheduler's
+    first-fit arm, but scatter placements map ranks onto fragmented
+    node sets — that is where cross-job link sharing (and hence fluid
+    contention) comes from.  The identity placement (``nodes`` is
+    exactly ``0..n-1`` over the full substrate) returns ``schedule``
+    itself, so a job spanning the whole fabric executes the exact
+    standalone schedule object — the bit-for-bit parity the serving
+    tests pin.
+    """
+    nodes = tuple(int(n) for n in nodes)
+    if len(nodes) != schedule.num_nodes:
+        raise ConfigurationError(
+            f"placement has {len(nodes)} nodes but the schedule spans "
+            f"{schedule.num_nodes} ranks")
+    if len(set(nodes)) != len(nodes):
+        raise ConfigurationError(f"placement nodes repeat: {nodes}")
+    if min(nodes) < 0 or max(nodes) >= total_nodes:
+        raise ConfigurationError(
+            f"placement nodes {nodes} fall outside the "
+            f"{total_nodes}-node substrate")
+    if total_nodes == schedule.num_nodes and \
+            nodes == tuple(range(total_nodes)):
+        return schedule
+    placed = Schedule(num_nodes=total_nodes, num_chunks=schedule.num_chunks,
+                      name=f"{schedule.name}@{nodes[0]}")
+    for step in schedule.steps:
+        moved: List[Transfer] = [
+            Transfer(src=nodes[t.src], dst=nodes[t.dst],
+                     chunks=t.chunks, op=t.op,
+                     direction_hint=t.direction_hint)
+            for t in step]
+        placed.add_step(moved)
+    return placed

@@ -1,0 +1,138 @@
+"""The serving job model: what one unit of traffic asks of the fabric.
+
+A :class:`JobSpec` is a *demand description*, not an execution state:
+which catalog model it trains (or serves), when it arrives, how many
+steps it runs, how many nodes it wants, and how its per-step all-reduce
+message sizes are derived.  Two derivations exist, mirroring the two
+traffic classes of an LLM serving stack:
+
+* **training** jobs all-reduce their gradients in DDP-style buckets —
+  the sizes come from
+  :func:`repro.models.gradients.allreduce_message_sizes` applied to the
+  catalog model's layer map (bucket-size knob, dtype-aware);
+* **inference-style** jobs all-reduce small per-layer activations
+  (``batch x seq x hidden`` elements, the shape the Modular MAX stack
+  reduces after every attention/MLP block) — tiny messages repeated
+  for many steps, the latency-bound end of the spectrum.
+
+Explicit ``message_sizes`` override both (trace replay, parity tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..models.catalog import get_model
+from ..models.gradients import DEFAULT_BUCKET_BYTES, allreduce_message_sizes
+
+__all__ = ["JobSpec", "inference_message_sizes"]
+
+
+def inference_message_sizes(hidden_size: int, num_layers: int,
+                            batch_size: int = 1, seq_len: int = 1,
+                            dtype_bytes: int = 2) -> Tuple[float, ...]:
+    """Per-step all-reduce sizes of a tensor-parallel inference step.
+
+    One decode step reduces each transformer layer's output activation
+    of shape ``[batch, seq, hidden]`` (the per-block attention/MLP
+    all-reduce of the MAX inference stack), so a step injects
+    ``num_layers`` messages of ``batch * seq * hidden * dtype`` bytes.
+    """
+    if hidden_size < 1 or num_layers < 1 or batch_size < 1 or seq_len < 1:
+        raise ConfigurationError(
+            "hidden_size, num_layers, batch_size, seq_len must be >= 1")
+    if dtype_bytes < 1:
+        raise ConfigurationError("dtype_bytes must be >= 1")
+    nbytes = float(batch_size * seq_len * hidden_size * dtype_bytes)
+    return (nbytes,) * num_layers
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job of the serving stream.
+
+    Parameters
+    ----------
+    job_id:
+        Unique id; also the deterministic last-resort tie-break every
+        scheduling policy falls back to.
+    model:
+        Catalog model name (:func:`repro.models.catalog.get_model`).
+    arrival_time:
+        When the job enters the system (simulated seconds).
+    num_steps:
+        Training/decode steps to run; each step all-reduces every
+        message in :meth:`resolve_message_sizes` once.
+    num_nodes:
+        World size requested from the shared substrate.
+    priority:
+        Larger = more urgent (only the ``"priority"`` policy reads it).
+    bucket_bytes / dtype_bytes:
+        Gradient-bucket fusion knobs for the derived message sizes.
+    message_sizes:
+        Explicit per-step message list in bytes; overrides the
+        model-derived sizing when given (inference jobs, traces,
+        parity tests).
+    """
+
+    job_id: int
+    model: str
+    arrival_time: float
+    num_steps: int = 1
+    num_nodes: int = 8
+    priority: int = 0
+    bucket_bytes: float = DEFAULT_BUCKET_BYTES
+    dtype_bytes: int = 4
+    message_sizes: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ConfigurationError(
+                f"job {self.job_id}: arrival_time must be >= 0")
+        if self.num_steps < 1:
+            raise ConfigurationError(
+                f"job {self.job_id}: num_steps must be >= 1")
+        if self.num_nodes < 2:
+            raise ConfigurationError(
+                f"job {self.job_id}: num_nodes must be >= 2 "
+                f"(a one-node job has nothing to all-reduce)")
+        if self.bucket_bytes <= 0:
+            raise ConfigurationError(
+                f"job {self.job_id}: bucket_bytes must be > 0")
+        if self.dtype_bytes < 1:
+            raise ConfigurationError(
+                f"job {self.job_id}: dtype_bytes must be >= 1")
+        if self.message_sizes is not None:
+            if not self.message_sizes:
+                raise ConfigurationError(
+                    f"job {self.job_id}: message_sizes must be non-empty")
+            if any(m <= 0 for m in self.message_sizes):
+                raise ConfigurationError(
+                    f"job {self.job_id}: message sizes must be > 0")
+
+    def resolve_message_sizes(self) -> Tuple[float, ...]:
+        """The per-step all-reduce message sizes in bytes.
+
+        Explicit sizes win; otherwise the catalog model's gradients are
+        bucketized (the training-job derivation).
+        """
+        if self.message_sizes is not None:
+            return tuple(float(m) for m in self.message_sizes)
+        return tuple(float(n) for n in allreduce_message_sizes(
+            get_model(self.model), bucket_bytes=self.bucket_bytes,
+            dtype_bytes=self.dtype_bytes))
+
+    @property
+    def bytes_per_step(self) -> float:
+        """Total bytes all-reduced per step (sum of the messages)."""
+        return float(sum(self.resolve_message_sizes()))
+
+    @property
+    def estimated_work(self) -> float:
+        """Service-demand proxy the SJF policy orders by:
+        ``steps x bytes-per-step`` (node count cancels to first order —
+        ring serialization moves ~``S`` bytes per node regardless of
+        ``N``)."""
+        return self.num_steps * self.bytes_per_step

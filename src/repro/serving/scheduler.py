@@ -1,0 +1,188 @@
+"""The online admission/placement scheduler.
+
+:class:`OnlineScheduler` owns the shared substrate's node space: jobs
+are *placed* onto node sets the moment capacity allows, and *queued*
+otherwise — admission beyond capacity never drops, it waits.  When a
+job completes its nodes return to the free pool (adjacent free ranges
+coalesce) and the queue is re-scanned in policy order.
+
+Two placement modes, because they trade queueing against interference:
+
+* ``"contiguous"`` (default) — first-fit into the lowest contiguous
+  free range.  On ring fabrics a contiguous arc keeps every
+  shortest-path route inside the job's own slice, so contiguous
+  neighbours do not contend — but fragmentation makes wide jobs wait;
+* ``"scatter"`` — contiguous first when possible, else gather the
+  lowest free fragments.  Scattered jobs start sooner, but their flows
+  cross other jobs' arcs and the shared-link contention the fluid
+  batch models becomes real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .jobs import JobSpec
+from .policies import policy_key
+
+__all__ = ["Placement", "OnlineScheduler"]
+
+PLACEMENT_MODES = ("contiguous", "scatter")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A job bound to ``nodes`` (sorted global ids; rank i = nodes[i])."""
+
+    job: JobSpec
+    nodes: Tuple[int, ...]
+    start_time: float
+
+    @property
+    def offset(self) -> int:
+        """Lowest node of the placement (= the offset when contiguous)."""
+        return self.nodes[0]
+
+    @property
+    def is_contiguous(self) -> bool:
+        """Whether the placement is one unbroken range."""
+        return self.nodes[-1] - self.nodes[0] + 1 == len(self.nodes)
+
+
+@dataclass
+class OnlineScheduler:
+    """Node-set placement with a policy-ordered wait queue."""
+
+    capacity: int
+    policy: str = "fifo"
+    placement_mode: str = "contiguous"
+    #: Sorted disjoint free ranges as half-open ``(start, end)`` pairs.
+    _free: List[Tuple[int, int]] = field(default_factory=list)
+    _queue: List[JobSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 2:
+            raise ConfigurationError(
+                f"substrate capacity must be >= 2 nodes, "
+                f"got {self.capacity}")
+        if self.placement_mode not in PLACEMENT_MODES:
+            raise ConfigurationError(
+                f"placement_mode must be one of {PLACEMENT_MODES}, "
+                f"got {self.placement_mode!r}")
+        self._key = policy_key(self.policy)
+        if not self._free:
+            self._free = [(0, self.capacity)]
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting for capacity."""
+        return len(self._queue)
+
+    @property
+    def free_nodes(self) -> int:
+        """Total unallocated nodes (may be fragmented)."""
+        return sum(end - start for start, end in self._free)
+
+    def queued_jobs(self) -> List[JobSpec]:
+        """The wait queue in admission (policy) order."""
+        return sorted(self._queue, key=self._key)
+
+    # -- admission ------------------------------------------------------------
+
+    def submit(self, job: JobSpec, now: float) -> Optional[Placement]:
+        """Admit ``job`` if it fits right now, else queue it.
+
+        Jobs wider than the whole substrate can never run and raise
+        immediately (a queue they can never leave would be a silent
+        hang, not scheduling).
+        """
+        if job.num_nodes > self.capacity:
+            raise ConfigurationError(
+                f"job {job.job_id} wants {job.num_nodes} nodes but the "
+                f"substrate has {self.capacity}")
+        nodes = self._allocate(job.num_nodes)
+        if nodes is None:
+            self._queue.append(job)
+            return None
+        return Placement(job=job, nodes=nodes, start_time=now)
+
+    def admit_from_queue(self, now: float) -> List[Placement]:
+        """Place every queued job that now fits, in policy order.
+
+        The scan is head-of-line honest: it stops at the first queued
+        job (in policy order) that does not fit, so a wide job is never
+        starved by narrow jobs arriving behind it.
+        """
+        placed: List[Placement] = []
+        while self._queue:
+            ordered = sorted(self._queue, key=self._key)
+            head = ordered[0]
+            nodes = self._allocate(head.num_nodes)
+            if nodes is None:
+                break
+            self._queue.remove(head)
+            placed.append(Placement(job=head, nodes=nodes, start_time=now))
+        return placed
+
+    def release(self, placement: Placement) -> None:
+        """Return a completed job's nodes to the free pool."""
+        for lo, hi in _runs(placement.nodes):
+            self._free.append((lo, hi))
+        self._free.sort()
+        merged: List[Tuple[int, int]] = []
+        for lo, hi in self._free:
+            if merged and lo <= merged[-1][1]:
+                if lo < merged[-1][1]:
+                    raise ConfigurationError(
+                        f"double release of nodes [{lo}, "
+                        f"{min(hi, merged[-1][1])})")
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        self._free = merged
+
+    # -- internals ------------------------------------------------------------
+
+    def _allocate(self, width: int) -> Optional[Tuple[int, ...]]:
+        """Carve ``width`` nodes from the free pool (or ``None``).
+
+        Contiguous first-fit at the lowest offset; in ``"scatter"``
+        mode, a fragmented fallback gathers the lowest free nodes when
+        no single range is wide enough.
+        """
+        for idx, (start, end) in enumerate(self._free):
+            if end - start >= width:
+                if end - start == width:
+                    del self._free[idx]
+                else:
+                    self._free[idx] = (start + width, end)
+                return tuple(range(start, start + width))
+        if self.placement_mode != "scatter" or self.free_nodes < width:
+            return None
+        nodes: List[int] = []
+        need = width
+        while need:
+            start, end = self._free[0]
+            take = min(need, end - start)
+            nodes.extend(range(start, start + take))
+            if start + take == end:
+                del self._free[0]
+            else:
+                self._free[0] = (start + take, end)
+            need -= take
+        return tuple(nodes)
+
+
+def _runs(nodes: Tuple[int, ...]) -> List[Tuple[int, int]]:
+    """Sorted node ids -> maximal half-open ``(start, end)`` runs."""
+    runs: List[Tuple[int, int]] = []
+    for n in nodes:
+        if runs and n == runs[-1][1]:
+            runs[-1] = (runs[-1][0], n + 1)
+        else:
+            runs.append((n, n + 1))
+    return runs

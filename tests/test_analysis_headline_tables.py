@@ -146,6 +146,30 @@ class TestSweeps:
         # A store-warmed process never compiles from scratch.
         assert second[-1].compile_misses == 0
 
+    def test_serving_load_sweep_shapes_with_load(self):
+        from repro.analysis.sweeps import serving_load_sweep
+
+        rows = serving_load_sweep(capacity=16, num_jobs=12,
+                                  arrival_rates=(2.0, 200.0), seed=5)
+        assert [r.arrival_rate for r in rows] == [2.0, 200.0]
+        assert all(r.jobs == 12 for r in rows)
+        light, heavy = rows
+        # Compressing the same mix into a shorter window can only grow
+        # queueing and tail latency.
+        assert heavy.max_queue_depth >= light.max_queue_depth
+        assert heavy.jct_p99 >= light.jct_p99
+        assert all(r.jct_p50 <= r.jct_p99 for r in rows)
+        assert all(sum(r.algorithm_mix.values()) > 0 for r in rows)
+
+    def test_serving_load_sweep_deterministic(self):
+        from repro.analysis.sweeps import serving_load_sweep
+
+        a = serving_load_sweep(capacity=16, num_jobs=8,
+                               arrival_rates=(20.0,), seed=3)
+        b = serving_load_sweep(capacity=16, num_jobs=8,
+                               arrival_rates=(20.0,), seed=3)
+        assert a == b
+
     def test_striping_rows_labelled(self):
         rows = striping_sweep(16, Workload(data_bytes=10 * units.MB),
                               num_wavelengths=8)

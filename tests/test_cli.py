@@ -176,3 +176,23 @@ class TestCommands:
         assert main(args) == 0
         out = capsys.readouterr().out
         assert "cache store" in out
+
+    def test_serve_smoke(self, capsys):
+        rc = main(["serve", "--jobs", "8", "--capacity", "16",
+                   "--rate", "50", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "jobs served" in out
+        assert "JCT p99" in out
+        assert "algorithm mix" in out
+        assert "shared-substrate cache statistics" in out
+
+    def test_serve_show_jobs_and_policy(self, capsys):
+        rc = main(["serve", "--jobs", "6", "--capacity", "16",
+                   "--rate", "50", "--policy", "sjf",
+                   "--placement", "scatter", "--collective", "ring",
+                   "--show-jobs"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-job records" in out
+        assert "sjf" in out and "scatter" in out

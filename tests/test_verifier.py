@@ -76,6 +76,19 @@ class TestVerifyAllreduce:
         s2 = initial_state(sched, 4, rng)
         assert np.array_equal(s1, s2)
 
+    def test_explicit_generator_threads_through(self):
+        # rng wins over seed: a caller-owned generator advances across
+        # verifications instead of resetting to the seed each call.
+        sched = Schedule(num_nodes=2, num_chunks=1)
+        sched.add_step([Transfer(0, 1, full(), TransferOp.REDUCE),
+                        Transfer(1, 0, full(), TransferOp.REDUCE)])
+        gen = np.random.default_rng(3)
+        before = gen.bit_generator.state["state"]["state"]
+        verify_allreduce(sched, seed=999, rng=gen)
+        verify_reduce_to_roots(sched, roots=[0, 1], seed=999, rng=gen)
+        after = gen.bit_generator.state["state"]["state"]
+        assert before != after
+
 
 class TestVerifyReduceToRoots:
     def test_reduce_stage_only(self):
