@@ -164,12 +164,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serving import (ServingEngine, adaptive_policy, fixed_policy,
                           poisson_traffic)
 
+    if args.capacity < 2:
+        print(f"serve: --capacity must be >= 2 nodes (a one-node fabric "
+              f"has nothing to all-reduce), got {args.capacity}",
+              file=sys.stderr)
+        return 1
     collectives = (fixed_policy(args.collective) if args.collective
                    else adaptive_policy(switch_bytes=args.switch_bytes))
+    # Job widths drawn by the traffic mix; a tiny fabric (capacity 2-3)
+    # falls back to 2-wide jobs instead of the default 4/8/16 mix.
+    node_choices = tuple(n for n in (4, 8, 16) if n <= args.capacity) or (2,)
     jobs = poisson_traffic(num_jobs=args.jobs, arrival_rate=args.rate,
-                           seed=args.seed,
-                           node_choices=tuple(
-                               n for n in (4, 8, 16) if n <= args.capacity))
+                           seed=args.seed, node_choices=node_choices)
     engine = ServingEngine(substrate_name=args.substrate,
                            capacity=args.capacity, policy=args.policy,
                            placement=args.placement,

@@ -45,10 +45,11 @@ def contention_topology(system: object) -> Optional[Topology]:
       full WDM aggregate (``num_wavelengths x wavelength_rate``): the
       fluid view of wavelength sharing, coarser than RWA but with the
       same shared-arc structure;
-    * optical torus — handled by its aggregate link rate on a ring of
-      the same scale is *not* faithful, so the torus (and any unknown
-      system) returns ``None``: no cross-job contention is modelled and
-      jobs only interact through queueing.
+    * optical torus — modelling it by an aggregate link rate on a ring
+      of the same scale would *not* be faithful to its 2-D routing, so
+      the torus (like the hierarchical fabric and any unknown system)
+      returns ``None``: no cross-job contention is modelled at all and
+      concurrent jobs interact only through queueing.
     """
     if isinstance(system, ElectricalSystem):
         if system.topology == "ring":

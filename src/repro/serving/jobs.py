@@ -21,6 +21,7 @@ Explicit ``message_sizes`` override both (trace replay, parity tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional, Tuple
 
 from ..errors import ConfigurationError
@@ -116,8 +117,15 @@ class JobSpec:
         """The per-step all-reduce message sizes in bytes.
 
         Explicit sizes win; otherwise the catalog model's gradients are
-        bucketized (the training-job derivation).
+        bucketized (the training-job derivation).  Resolved once per
+        job — policy sort keys evaluate this on every admission scan,
+        and re-bucketizing the catalog model each time would dominate
+        the scheduler.
         """
+        return self._resolved_sizes
+
+    @cached_property
+    def _resolved_sizes(self) -> Tuple[float, ...]:
         if self.message_sizes is not None:
             return tuple(float(m) for m in self.message_sizes)
         return tuple(float(n) for n in allreduce_message_sizes(
@@ -127,7 +135,7 @@ class JobSpec:
     @property
     def bytes_per_step(self) -> float:
         """Total bytes all-reduced per step (sum of the messages)."""
-        return float(sum(self.resolve_message_sizes()))
+        return float(sum(self._resolved_sizes))
 
     @property
     def estimated_work(self) -> float:

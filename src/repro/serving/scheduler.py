@@ -96,6 +96,13 @@ class OnlineScheduler:
     def submit(self, job: JobSpec, now: float) -> Optional[Placement]:
         """Admit ``job`` if it fits right now, else queue it.
 
+        Direct placement is only attempted when the wait queue is
+        empty: once anything is waiting, the policy order — not
+        arrival luck — decides who runs next, so the new job joins the
+        queue and :meth:`admit_from_queue` places it (or not) in its
+        policy position.  Otherwise a narrow late arrival could slip
+        into capacity the queued head cannot use and starve it.
+
         Jobs wider than the whole substrate can never run and raise
         immediately (a queue they can never leave would be a silent
         hang, not scheduling).
@@ -104,7 +111,7 @@ class OnlineScheduler:
             raise ConfigurationError(
                 f"job {job.job_id} wants {job.num_nodes} nodes but the "
                 f"substrate has {self.capacity}")
-        nodes = self._allocate(job.num_nodes)
+        nodes = self._allocate(job.num_nodes) if not self._queue else None
         if nodes is None:
             self._queue.append(job)
             return None
@@ -118,9 +125,9 @@ class OnlineScheduler:
         starved by narrow jobs arriving behind it.
         """
         placed: List[Placement] = []
-        while self._queue:
-            ordered = sorted(self._queue, key=self._key)
-            head = ordered[0]
+        # Policy keys are pure functions of the job, so one sort per
+        # call suffices — placements do not reorder the remainder.
+        for head in sorted(self._queue, key=self._key):
             nodes = self._allocate(head.num_nodes)
             if nodes is None:
                 break

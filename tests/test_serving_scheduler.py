@@ -65,6 +65,31 @@ class TestScheduler:
         s.submit(job(2, n=2, arrival=2.0), 2.0)
         assert s.admit_from_queue(3.0) == []
 
+    def test_no_bypass_when_free_capacity_fits_later_arrival(self):
+        # Free capacity (4 nodes) fits the later narrow arrival but not
+        # the queued wide head: under FIFO the narrow job must queue
+        # behind it, not slip past via direct allocation.
+        s = OnlineScheduler(capacity=8)
+        assert s.submit(job(0, n=4), 0.0) is not None
+        assert s.submit(job(1, n=8, arrival=1.0), 1.0) is None
+        assert s.submit(job(2, n=4, arrival=2.0), 2.0) is None
+        assert s.admit_from_queue(2.0) == []
+        assert s.queue_depth == 2
+        # A sustained narrow stream still cannot starve the wide head.
+        assert s.submit(job(3, n=2, arrival=3.0), 3.0) is None
+        assert s.admit_from_queue(3.0) == []
+
+    def test_sjf_reorders_queue_on_admission(self):
+        # Same scenario under SJF: policy order (not arrival order)
+        # decides, so the short narrow job legitimately overtakes the
+        # wide long one via admit_from_queue.
+        s = OnlineScheduler(capacity=8, policy="sjf")
+        assert s.submit(job(0, n=4, steps=1), 0.0) is not None
+        assert s.submit(job(1, n=8, arrival=1.0, steps=100), 1.0) is None
+        assert s.submit(job(2, n=4, arrival=2.0, steps=1), 2.0) is None
+        placed = s.admit_from_queue(2.0)
+        assert [p.job.job_id for p in placed] == [2]
+
     def test_scatter_gathers_fragments(self):
         s = OnlineScheduler(capacity=16, placement_mode="scatter")
         p0 = s.submit(job(0, n=4), 0.0)
