@@ -22,6 +22,8 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fluid.json"
 BENCH_RWA_JSON = Path(__file__).resolve().parent.parent / "BENCH_rwa.json"
 BENCH_SERVING_JSON = (Path(__file__).resolve().parent.parent
                       / "BENCH_serving.json")
+BENCH_FAULTS_JSON = (Path(__file__).resolve().parent.parent
+                     / "BENCH_faults.json")
 
 
 def best_time(fn, repeats):

@@ -10,8 +10,8 @@ from .figure2 import (PAPER_MODELS, PAPER_SCALES, Figure2Panel,
 from .headline import HeadlineResult, headline_reductions, render_headline
 from .parallel import figure2_parallel, plan_grid_parallel
 from .report import full_report
-from .sweeps import (crossover_sweep, pipelining_sweep, serving_load_sweep,
-                     striping_sweep, wavelength_sweep)
+from .sweeps import (crossover_sweep, fault_sweep, pipelining_sweep,
+                     serving_load_sweep, striping_sweep, wavelength_sweep)
 from .tables import (step_count_table, render_step_count_table,
                      wavelength_requirement_table,
                      render_wavelength_requirement_table)
@@ -32,6 +32,7 @@ __all__ = [
     "wavelength_sweep",
     "crossover_sweep",
     "serving_load_sweep",
+    "fault_sweep",
     "striping_sweep",
     "pipelining_sweep",
     "figure2_parallel",

@@ -160,14 +160,49 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serving import (ServingEngine, adaptive_policy, fixed_policy,
-                          poisson_traffic)
+def _validate_serve_args(args: argparse.Namespace) -> Optional[str]:
+    """Up-front validation of the serve knobs (None = OK).
+
+    Every numeric option is checked *before* any traffic or plan is
+    built, so a bad flag fails in milliseconds with a message naming
+    the flag — not minutes later deep inside the event loop.  NaN fails
+    every comparison, so checks are phrased positively.
+    """
+    import math
 
     if args.capacity < 2:
-        print(f"serve: --capacity must be >= 2 nodes (a one-node fabric "
-              f"has nothing to all-reduce), got {args.capacity}",
-              file=sys.stderr)
+        return (f"--capacity must be >= 2 nodes (a one-node fabric has "
+                f"nothing to all-reduce), got {args.capacity}")
+    if args.jobs < 1:
+        return f"--jobs must be >= 1, got {args.jobs}"
+    if not (math.isfinite(args.rate) and args.rate > 0):
+        return f"--rate must be a finite arrival rate > 0, got {args.rate}"
+    if args.seed < 0:
+        return f"--seed must be >= 0, got {args.seed}"
+    if not (math.isfinite(args.faults) and args.faults >= 0):
+        return f"--faults must be a finite fault rate >= 0, got {args.faults}"
+    if not (math.isfinite(args.duration) and args.duration > 0):
+        return (f"--duration must be a finite fault horizon > 0 seconds, "
+                f"got {args.duration}")
+    if args.fault_seed < 0:
+        return f"--fault-seed must be >= 0, got {args.fault_seed}"
+    if not (math.isfinite(args.mttr) and args.mttr > 0):
+        return f"--mttr must be a finite mean repair time > 0, got {args.mttr}"
+    if args.max_retries < 0:
+        return f"--max-retries must be >= 0, got {args.max_retries}"
+    if not (math.isfinite(args.retry_backoff) and args.retry_backoff > 0):
+        return (f"--retry-backoff must be a finite delay > 0, "
+                f"got {args.retry_backoff}")
+    return None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import (RetryPolicy, ServingEngine, adaptive_policy,
+                          fixed_policy, poisson_traffic)
+
+    problem = _validate_serve_args(args)
+    if problem is not None:
+        print(f"serve: {problem}", file=sys.stderr)
         return 1
     collectives = (fixed_policy(args.collective) if args.collective
                    else adaptive_policy(switch_bytes=args.switch_bytes))
@@ -180,7 +215,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            capacity=args.capacity, policy=args.policy,
                            placement=args.placement,
                            collectives=collectives)
-    report = engine.run(jobs)
+    faults = retry = None
+    if args.faults > 0:
+        from .faults import FaultPlan
+        # Split the requested rate between fiber cuts and node crashes —
+        # the two families that impair hosts and exercise retry.
+        faults = FaultPlan.poisson(
+            duration=args.duration, num_nodes=args.capacity,
+            seed=args.fault_seed, link_rate=args.faults / 2,
+            node_rate=args.faults / 2, mean_repair=args.mttr)
+        retry = RetryPolicy(max_retries=args.max_retries,
+                            backoff=args.retry_backoff)
+    report = engine.run(jobs, faults=faults, retry=retry)
     head = report.headline()
     print(simple_table(
         ["metric", "value"],
@@ -193,7 +239,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
          ("JCT p50", units.fmt_time(head["jct_p50_s"])),
          ("JCT p99", units.fmt_time(head["jct_p99_s"])),
          ("queue depth max", int(head["max_queue_depth"])),
-         ("queue depth mean", f"{head['mean_queue_depth']:.2f}")],
+         ("queue depth mean", f"{head['mean_queue_depth']:.2f}")]
+        + ([("preemptions", int(head["preemptions"])),
+            ("retries", int(head["retries"])),
+            ("failed jobs", int(head["failed_jobs"])),
+            ("availability", f"{head['availability']:.2%}")]
+           if faults is not None else []),
         title=f"serving: {args.jobs} jobs @ {args.rate}/s on "
               f"{report.substrate} x{report.capacity} "
               f"({report.policy}, {args.placement}, {report.collectives})"))
@@ -266,6 +317,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store = _open_store(args)
         if store is not None:
             print(f"cache store {store.path}: {_store_summary(store)}")
+    elif args.kind == "faults":
+        from .analysis.sweeps import fault_sweep
+        # Serving capacity, not collective scale: clip the sweep-wide
+        # --nodes default (256) to a tractable shared fabric.
+        capacity = min(args.nodes, 32)
+        rows = fault_sweep(capacity=capacity)
+        print(simple_table(
+            ["faults/s", "done", "failed", "kills", "retries",
+             "jct p99", "avail"],
+            [(r.fault_rate, r.jobs, r.failed_jobs, r.preemptions,
+              r.retries, units.fmt_time(r.jct_p99),
+              f"{r.availability:.2%}") for r in rows],
+            title=f"EXT-F1 fault-rate sweep (capacity={capacity}, "
+                  f"retrying serving)"))
     elif args.kind == "bandwidth":
         rows = bandwidth_sweep(args.nodes, wl, cache_dir=args.cache_dir)
         print(simple_table(
@@ -320,7 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     sw = sub.add_parser("sweep", help="ablation sweeps")
     sw.add_argument("kind", choices=("wavelengths", "payload", "striping",
                                      "substrates", "hier-groups",
-                                     "bandwidth"))
+                                     "bandwidth", "faults"))
     sw.add_argument("--nodes", type=int, default=256)
     sw.add_argument("--model", choices=PAPER_MODELS)
     sw.add_argument("--bytes", type=float, default=100 * units.MB)
@@ -349,6 +414,20 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--switch-bytes", type=float, default=1 * units.MB,
                     help="adaptive small/large threshold")
     sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--faults", type=float, default=0.0,
+                    help="fault event rate (events per simulated second, "
+                         "split between link cuts and node crashes; "
+                         "0 disables injection)")
+    sv.add_argument("--fault-seed", type=int, default=0,
+                    help="seed for the fault plan (independent of --seed)")
+    sv.add_argument("--duration", type=float, default=2.0,
+                    help="fault-injection horizon in simulated seconds")
+    sv.add_argument("--mttr", type=float, default=0.05,
+                    help="mean time to repair a fault (seconds)")
+    sv.add_argument("--max-retries", type=int, default=3,
+                    help="restarts per killed job before it fails out")
+    sv.add_argument("--retry-backoff", type=float, default=1e-3,
+                    help="base retry delay (doubles per restart)")
     sv.add_argument("--show-jobs", action="store_true",
                     help="also print the per-job table")
     sv.set_defaults(func=_cmd_serve)

@@ -22,6 +22,8 @@ from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
 from ...caching import CacheStats, LruCache
 from ...collectives.schedule import Schedule
 from ...config import Workload
+from ...errors import ConfigurationError
+from ...faults.events import FaultOutcome, FaultyRun
 
 __all__ = [
     "CacheStats",
@@ -136,6 +138,64 @@ class Substrate(abc.ABC):
     @abc.abstractmethod
     def describe(self) -> SubstrateInfo:
         """Static metadata: name, kind, and model parameters."""
+
+    # -- fault injection -----------------------------------------------------
+
+    def execute_with_faults(self, schedule: Schedule, workload: Workload,
+                            plan: Any = None,
+                            **options: Any) -> FaultyRun:
+        """Execute ``schedule`` while ``plan``'s faults play out.
+
+        The keystone contract: a ``plan`` that is ``None`` or has zero
+        events is a pure passthrough to :meth:`execute` — the report is
+        the fault-free one, **bit for bit**, on every substrate.  With
+        events, the substrate-specific :meth:`_execute_faulty` replays
+        the schedule step by step, sampling the plan's folded
+        :class:`~repro.faults.FaultState` at each step boundary
+        (synchronous-step semantics: a fault takes effect at the next
+        barrier), rerouting affected steps on the degraded fabric and
+        stalling step starts during OCS reconfiguration overruns.
+        Raises :class:`~repro.errors.DegradedError` when failures
+        partition the fabric mid-run.
+        """
+        if plan is None or not getattr(plan, "events", ()):
+            return FaultyRun(report=self.execute(schedule, workload,
+                                                 **options))
+        run = self._execute_faulty(schedule, workload, plan, **options)
+        self._record_fault_outcome(run.outcome)
+        return run
+
+    def _execute_faulty(self, schedule: Schedule, workload: Workload,
+                        plan: Any, **options: Any) -> FaultyRun:
+        """Substrate-specific degraded replay (override to support)."""
+        raise ConfigurationError(
+            f"substrate {self.name!r} does not support fault injection "
+            f"(got a plan with {len(plan.events)} events); use an empty "
+            f"FaultPlan for the fault-free passthrough")
+
+    def _record_fault_outcome(self, outcome: FaultOutcome) -> None:
+        """Accumulate fault counters surfaced via :meth:`describe`."""
+        self._faults_survived = (getattr(self, "_faults_survived", 0)
+                                 + outcome.faults_survived)
+        self._repair_overhead = (getattr(self, "_repair_overhead", 0.0)
+                                 + outcome.repair_overhead)
+        self._fault_stall_time = (getattr(self, "_fault_stall_time", 0.0)
+                                  + outcome.stall_time)
+        self._fault_events_applied = (
+            getattr(self, "_fault_events_applied", 0)
+            + outcome.events_applied)
+
+    def _fault_params(self) -> List[Tuple[str, Any]]:
+        """The ``describe()`` parameters of the fault counters."""
+        return [
+            ("faults_survived", getattr(self, "_faults_survived", 0)),
+            ("repair_overhead",
+             round(getattr(self, "_repair_overhead", 0.0), 9)),
+            ("fault_stall_time",
+             round(getattr(self, "_fault_stall_time", 0.0), 9)),
+            ("fault_events_applied",
+             getattr(self, "_fault_events_applied", 0)),
+        ]
 
     def execute_many(self, jobs: Iterable[JobLike]) -> List[ExecutionReport]:
         """Execute a batch of jobs on this one substrate instance.
@@ -375,6 +435,83 @@ class FluidCacheMixin:
         patterns pay neither compile nor per-step dispatch.
         """
         return sim.step_time_many(self._schedule_steps(schedule, workload))
+
+    # -- degraded execution --------------------------------------------------
+
+    def _degraded_simulator(self, system: Any, state: Any) -> Any:
+        """A pooled fluid simulator on the fault-masked topology.
+
+        Keyed by ``(system, failed links, failed nodes)`` so repeated
+        steps under a stable fault state reuse one simulator — whose
+        pattern cache, keyed by the *degraded* topology's signature via
+        :meth:`_register_fluid_simulator`, can never leak solutions
+        across the failure boundary.
+        """
+        from ...simulation.fluid import FluidNetworkSimulator
+
+        pool = getattr(self, "_degraded_sim_pool", None)
+        if pool is None:
+            pool = self._degraded_sim_pool = LruCache(64)
+        key = (system, tuple(sorted(state.failed_links)),
+               tuple(sorted(state.failed_nodes)))
+        sim = pool.get(key)
+        if sim is None:
+            topo = self._build_topology(system).with_failed_links(
+                state.failed_links, state.failed_nodes)
+            sim = FluidNetworkSimulator(topo)
+            self._register_fluid_simulator(sim)
+            pool.put(key, sim)
+        return sim
+
+    def _fluid_faulty_run(self, system: Any, schedule: Schedule,
+                          workload: Workload, plan: Any,
+                          healthy: ExecutionReport, *,
+                          overhead: float, tuning: float = 0.0) -> FaultyRun:
+        """Step-by-step degraded replay for fluid-driven substrates.
+
+        ``healthy`` is the substrate's own fault-free report for the
+        same call (it also primes every cache): steps executed under a
+        clean fault state reuse its per-step makespans verbatim, which
+        is what makes a fault followed by recovery converge back to the
+        fault-free timings exactly.  Steps under failures re-solve on
+        the degraded topology; OCS stalls delay step starts.
+        """
+        steps = self._schedule_steps(schedule, workload)
+        timeline = plan.timeline()
+        report = ExecutionReport(schedule_name=schedule.name,
+                                 substrate=healthy.substrate)
+        degraded: List[int] = []
+        repair = 0.0
+        stall_total = 0.0
+        now = 0.0
+        for idx, (step, ref) in enumerate(zip(steps, healthy.steps)):
+            state = timeline.advance(now)
+            stall = max(0.0, state.stall_until - now)
+            if state.is_clean:
+                makespan = ref.serialization_time
+            else:
+                sim = self._degraded_simulator(system, state)
+                makespan = sim.step_time(step)
+                degraded.append(idx)
+                repair += max(0.0, makespan - ref.serialization_time)
+            duration = tuning + overhead + stall + makespan
+            stall_total += stall
+            now += duration
+            report.steps.append(StepReport(
+                index=idx, duration=duration,
+                serialization_time=makespan,
+                propagation_time=0.0,
+                tuning_time=tuning,
+                overhead_time=overhead + stall,
+                num_transfers=ref.num_transfers))
+        report.total_time = now
+        outcome = FaultOutcome(
+            events_applied=timeline.applied,
+            faults_survived=len(degraded),
+            degraded_steps=tuple(degraded),
+            repair_overhead=repair,
+            stall_time=stall_total)
+        return FaultyRun(report=report, outcome=outcome)
 
     def fluid_cache_info(self) -> CacheStats:
         """Pattern-cache counters aggregated over the shared caches."""

@@ -64,6 +64,7 @@ class ElectricalSubstrate(FluidCacheMixin, Substrate):
         fluid-pattern cache counters."""
         params = [("topology", self._topology)]
         params += self._fluid_cache_params()
+        params += self._fault_params()
         if self._system is not None:
             params += [("num_nodes", self._system.num_nodes),
                        ("link_rate", self._system.link_rate)]
@@ -112,6 +113,20 @@ class ElectricalSubstrate(FluidCacheMixin, Substrate):
         report.total_time = now
         return report
 
+    def _execute_faulty(self, schedule: Schedule, workload: Workload,
+                        plan, system: Optional[ElectricalSystem] = None,
+                        ):
+        """Degraded replay: clean steps reuse the healthy makespans,
+        faulty steps re-solve on the fault-masked topology (link faults
+        cut both directions of a pair; node faults take the node and
+        its links), OCS stalls delay step starts."""
+        if system is None:
+            system = self._resolve_system(schedule)
+        healthy = self.execute(schedule, workload, system=system)
+        return self._fluid_faulty_run(system, schedule, workload, plan,
+                                      healthy,
+                                      overhead=system.step_latency)
+
     # -- internals ----------------------------------------------------------
 
     def _resolve_system(self, schedule: Schedule) -> ElectricalSystem:
@@ -124,16 +139,17 @@ class ElectricalSubstrate(FluidCacheMixin, Substrate):
         return default_electrical(schedule.num_nodes).with_(
             topology=self._topology)
 
+    def _build_topology(self, system: ElectricalSystem):
+        if system.topology == "switch":
+            return SwitchedStar(system.num_nodes,
+                                system.effective_port_rate)
+        return RingTopology(system.num_nodes, system.link_rate,
+                            bidirectional=True)
+
     def _simulator(self, system: ElectricalSystem) -> FluidNetworkSimulator:
         sim = self._sims.get(system)
         if sim is None:
-            if system.topology == "switch":
-                topo = SwitchedStar(system.num_nodes,
-                                    system.effective_port_rate)
-            else:
-                topo = RingTopology(system.num_nodes, system.link_rate,
-                                    bidirectional=True)
-            sim = FluidNetworkSimulator(topo)
+            sim = FluidNetworkSimulator(self._build_topology(system))
             self._register_fluid_simulator(sim)
             self._sims[system] = sim
         return sim

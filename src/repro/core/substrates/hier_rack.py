@@ -154,6 +154,7 @@ class HierarchicalRackSubstrate(FluidCacheMixin, Substrate):
             ("rwa_delta_fallbacks", self._ring.delta_fallbacks),
         ]
         params += self._fluid_cache_params()
+        params += self._fault_params()
         if self._system is not None:
             params += [
                 ("num_nodes", self._system.num_nodes),

@@ -202,7 +202,8 @@ class OpticalRingSubstrate(Substrate):
         notably ``plan --substrate`` on the CLI.
         """
         stats = self.rwa_cache_info()
-        params = [("policy", self._policy.value),
+        params = self._fault_params()
+        params += [("policy", self._policy.value),
                   ("striping", self._striping),
                   ("rwa_cache", self._cache_enabled),
                   ("rwa_cache_hits", stats.hits),
@@ -260,6 +261,85 @@ class OpticalRingSubstrate(Substrate):
         report.total_time = now
         return report
 
+    def _execute_faulty(self, schedule: Schedule, workload: Workload,
+                        plan, striping: Optional[Striping] = None,
+                        policy: Optional[AssignmentPolicy] = None):
+        """Degraded replay: every step runs the live ``run_step`` RWA
+        under the fault state sampled at its start.
+
+        Unlike the fluid substrates there is no per-step shortcut to
+        the healthy report — channel selections carry tuning state
+        across steps, so each step must be placed against what the
+        previous one actually chose.  A clean mask *is* the healthy
+        code path though, so runs re-converge to the fault-free
+        channel pattern (and timings) once repairs land: the first
+        post-repair solve is a full re-solve back to the healthy
+        colouring, and the step after that re-tunes nothing.
+
+        Wavelength losses displace requests as incremental churn;
+        link cuts reroute arcs the other way (full re-solve); a
+        partition raises :class:`~repro.errors.DegradedError`.
+        """
+        from ...faults.events import FaultOutcome, FaultyRun
+
+        striping = self._striping if striping is None else striping
+        policy = self._policy if policy is None else policy
+        system = self._resolve_system(schedule)
+        healthy = self.execute(schedule, workload, striping=striping,
+                               policy=policy)
+        net = self._network(system)
+        net.reset()
+        timeline = plan.timeline()
+        report = ExecutionReport(schedule_name=schedule.name,
+                                 substrate=self.name)
+        degraded: List[int] = []
+        repair = 0.0
+        stall_total = 0.0
+        now = 0.0
+        try:
+            for idx, step in enumerate(schedule.steps):
+                state = timeline.advance(now)
+                stall = max(0.0, state.stall_until - now)
+                net.apply_fault_state(state)
+                base_requests = [
+                    TransferRequest(
+                        src=t.src, dst=t.dst,
+                        size=transfer_bytes(t, workload.data_bytes,
+                                            schedule.num_chunks),
+                        direction=_hint_direction(t.direction_hint))
+                    for t in step]
+                out = self.run_step(net, system, policy, striping,
+                                    base_requests)
+                duration = out.duration + stall
+                if not state.is_clean:
+                    degraded.append(idx)
+                    repair += max(0.0,
+                                  out.duration - healthy.steps[idx].duration)
+                stall_total += stall
+                now += duration
+                report.steps.append(StepReport(
+                    index=idx, duration=duration,
+                    serialization_time=out.serialization,
+                    propagation_time=out.propagation,
+                    tuning_time=out.tuning,
+                    overhead_time=out.overhead + stall,
+                    num_transfers=len(step),
+                    striping=out.striping,
+                    wavelength_demand=out.wavelength_demand,
+                    spectrum_span=out.spectrum_span))
+        finally:
+            # The pooled network must come back healthy for the next
+            # plain execute() even when a partition aborts the replay.
+            net.clear_faults()
+        report.total_time = now
+        outcome = FaultOutcome(
+            events_applied=timeline.applied,
+            faults_survived=len(degraded),
+            degraded_steps=tuple(degraded),
+            repair_overhead=repair,
+            stall_time=stall_total)
+        return FaultyRun(report=report, outcome=outcome)
+
     def run_step(self, net: OpticalRingNetwork, system: OpticalRingSystem,
                  policy: AssignmentPolicy, striping: Striping,
                  base_requests: List[TransferRequest],
@@ -281,8 +361,11 @@ class OpticalRingSubstrate(Substrate):
         if striping == "off" or not system.allow_striping:
             k = 1
         elif striping == "auto":
-            k = compute_striping_factor(base_requests, ring,
-                                        system.num_wavelengths)
+            # Lost transceiver channels shrink the striping budget: the
+            # degraded ring stripes over what actually survives (the
+            # healthy path subtracts zero and is unchanged).
+            budget = system.num_wavelengths - len(net.failed_wavelengths)
+            k = compute_striping_factor(base_requests, ring, budget)
         else:
             k = int(striping)
             if k < 1:
@@ -383,6 +466,12 @@ class OpticalRingSubstrate(Substrate):
         key = None
         if self._cache_enabled:
             key = self._signature(system, policy, base_requests, k)
+            fault_key = net.fault_key()
+            if fault_key:
+                # Degraded solutions are memoized apart from healthy
+                # ones (and from other masks); healthy keys keep their
+                # exact shape so persistent caches stay warm.
+                key = key + (fault_key,)
             hit = self._cache.get(key)
             if hit is not None:
                 # The network occupancy is untouched on a hit, so its
@@ -404,8 +493,8 @@ class OpticalRingSubstrate(Substrate):
             rwa = assign_wavelengths_delta(net, requests, policy, prev)
             if rwa is not None:
                 self._delta_patched += 1
-                net.rwa_delta = RwaDelta.from_solution(policy, k, requests,
-                                                       rwa)
+                net.rwa_delta = RwaDelta.from_solution(
+                    policy, k, requests, rwa, fault_key=net.fault_key())
                 if key is not None:
                     self._cache.put(key, (k, rwa), cost=len(base_requests))
                 return k, requests, rwa
@@ -428,7 +517,8 @@ class OpticalRingSubstrate(Substrate):
                     raise
                 k -= 1
 
-        net.rwa_delta = RwaDelta.from_solution(policy, k, requests, rwa)
+        net.rwa_delta = RwaDelta.from_solution(policy, k, requests, rwa,
+                                               fault_key=net.fault_key())
         if key is not None:
             # Admission policy: very large steps are solved but not
             # memoized (`rwa_cache_skipped` counts them).

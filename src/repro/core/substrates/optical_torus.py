@@ -49,6 +49,7 @@ class OpticalTorusSubstrate(FluidCacheMixin, Substrate):
         """Metadata: torus shape, aggregate WDM link model, and the
         aggregated fluid-pattern cache counters."""
         params = self._fluid_cache_params()
+        params += self._fault_params()
         if self._system is not None:
             rows, cols = self._system.grid_shape
             params += [("rows", rows), ("cols", cols),
@@ -87,6 +88,17 @@ class OpticalTorusSubstrate(FluidCacheMixin, Substrate):
         report.total_time = now
         return report
 
+    def _execute_faulty(self, schedule: Schedule, workload: Workload,
+                        plan):
+        """Degraded replay on the fault-masked torus (clean steps reuse
+        the healthy makespans; see ``_fluid_faulty_run``)."""
+        system = self._resolve_system(schedule)
+        healthy = self.execute(schedule, workload)
+        return self._fluid_faulty_run(system, schedule, workload, plan,
+                                      healthy,
+                                      overhead=system.step_overhead,
+                                      tuning=system.tuning_time)
+
     # -- internals ----------------------------------------------------------
 
     def _resolve_system(self, schedule: Schedule) -> OpticalTorusSystem:
@@ -98,14 +110,16 @@ class OpticalTorusSubstrate(FluidCacheMixin, Substrate):
             return self._system
         return default_torus(schedule.num_nodes)
 
+    def _build_topology(self, system: OpticalTorusSystem) -> Torus2D:
+        rows, cols = system.grid_shape
+        return Torus2D(rows, cols, capacity=system.link_rate,
+                       latency=system.hop_propagation_delay)
+
     def _simulator(self, system: OpticalTorusSystem,
                    ) -> FluidNetworkSimulator:
         sim = self._sims.get(system)
         if sim is None:
-            rows, cols = system.grid_shape
-            topo = Torus2D(rows, cols, capacity=system.link_rate,
-                           latency=system.hop_propagation_delay)
-            sim = FluidNetworkSimulator(topo)
+            sim = FluidNetworkSimulator(self._build_topology(system))
             self._register_fluid_simulator(sim)
             self._sims[system] = sim
         return sim

@@ -38,6 +38,26 @@ class WavelengthAllocationError(ReproError, RuntimeError):
         self.available = available
 
 
+class DegradedError(ReproError, RuntimeError):
+    """Fault-degraded operation could not continue.
+
+    Raised when failures leave the fabric unable to serve a required
+    transfer at all — the surviving links partition the topology, a
+    request's endpoint node is down, or both ring arcs between a pair
+    are severed.  Distinct from :class:`WavelengthAllocationError`
+    (spectrum exhaustion, which striping fallback can absorb): a
+    partition has no degraded-mode answer short of waiting for repair.
+    """
+
+    def __init__(self, message: str, *,
+                 src: int | None = None, dst: int | None = None) -> None:
+        super().__init__(message)
+        #: Source host of the unroutable transfer (if known).
+        self.src = src
+        #: Destination host of the unroutable transfer (if known).
+        self.dst = dst
+
+
 class ScheduleError(ReproError, ValueError):
     """A collective schedule is structurally invalid."""
 
@@ -48,6 +68,26 @@ class VerificationError(ReproError, AssertionError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event / fluid simulation reached an inconsistent state."""
+
+
+class SimulationStallError(SimulationError):
+    """The fluid event loop hit its hard event-count safety cap.
+
+    Every event in a healthy run completes or admits at least one flow,
+    so the loop is bounded by a small multiple of the flow count; blowing
+    past that bound means some flow can no longer make progress (e.g. a
+    mis-specified degraded topology routed it over a zero-capacity cut).
+    The error names the simulated time and the stuck flows so the caller
+    can see *what* wedged, not just that something did.
+    """
+
+    def __init__(self, message: str, *, now: float | None = None,
+                 stuck_flows: tuple = ()) -> None:
+        super().__init__(message)
+        #: Simulated time at which the loop gave up.
+        self.now = now
+        #: Names of the flows still unfinished when the cap tripped.
+        self.stuck_flows = tuple(stuck_flows)
 
 
 class PlanningError(ReproError, RuntimeError):

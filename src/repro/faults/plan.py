@@ -1,0 +1,212 @@
+"""Fault plans: sorted event sequences with seeded generators.
+
+A :class:`FaultPlan` is immutable data — the full failure story of a
+run, decided before the run starts.  That is the whole trick for
+reproducibility: substrates and the serving engine *consume* the plan
+through a :class:`FaultTimeline` cursor instead of rolling dice inline,
+so the same plan against the same workload produces the same degraded
+run, bit for bit, every time.
+
+:meth:`FaultPlan.poisson` draws independent Poisson processes per fault
+family (link cuts, node crashes, wavelength losses, OCS stalls), each
+down event paired with an exponential repair.  Randomness follows the
+repo-wide rng-wins convention of ``poisson_traffic``: pass ``rng`` to
+chain into a larger seeded experiment, or ``seed`` to stand alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .events import CLEAN_STATE, FaultEvent, FaultKind, FaultState
+
+__all__ = ["FaultPlan", "FaultTimeline"]
+
+
+def _resolve_rng(seed: Optional[int],
+                 rng: Optional[np.random.Generator]) -> np.random.Generator:
+    """``rng`` wins over ``seed`` (the repo-wide stochastic convention)."""
+    if rng is not None:
+        return rng
+    return np.random.default_rng(0 if seed is None else seed)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A time-sorted, immutable sequence of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        # Stable sort by time: simultaneous events keep authoring order.
+        object.__setattr__(
+            self, "events", tuple(sorted(events, key=lambda e: e.time)))
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan — the documented bit-for-bit no-op."""
+        return cls()
+
+    @classmethod
+    def poisson(cls, duration: float, num_nodes: int, *,
+                seed: Optional[int] = 0,
+                rng: Optional[np.random.Generator] = None,
+                link_rate: float = 0.0,
+                node_rate: float = 0.0,
+                wavelength_rate: float = 0.0,
+                stall_rate: float = 0.0,
+                num_wavelengths: int = 8,
+                mean_repair: float = 0.1,
+                stall_duration: float = 0.01,
+                start_time: float = 0.0) -> "FaultPlan":
+        """Seeded Poisson fault processes over ``[start, start+duration)``.
+
+        Each family's down events arrive at its rate (events/s); every
+        down is paired with an up ``Exp(mean_repair)`` later (repairs
+        may land past ``duration`` — a fault near the horizon still
+        heals).  Link targets are ring-adjacent pairs ``(u, u+1 mod N)``
+        — the physical fibers of the paper's fabrics; node and
+        wavelength targets are uniform draws.  A target already down
+        when its next failure is drawn is skipped (no overlapping
+        down/up pairs for one target), keeping every plan's fold
+        history unambiguous.
+        """
+        if duration <= 0:
+            raise ConfigurationError("fault plan duration must be > 0")
+        if num_nodes < 2:
+            raise ConfigurationError("fault plan num_nodes must be >= 2")
+        if num_wavelengths < 1:
+            raise ConfigurationError("num_wavelengths must be >= 1")
+        if mean_repair <= 0:
+            raise ConfigurationError("mean_repair must be > 0")
+        if stall_duration <= 0:
+            raise ConfigurationError("stall_duration must be > 0")
+        for name, rate in (("link_rate", link_rate),
+                           ("node_rate", node_rate),
+                           ("wavelength_rate", wavelength_rate),
+                           ("stall_rate", stall_rate)):
+            if not np.isfinite(rate) or rate < 0:
+                raise ConfigurationError(
+                    f"{name} must be a finite rate >= 0, got {rate}")
+        gen = _resolve_rng(seed, rng)
+        horizon = float(start_time) + float(duration)
+        events: List[FaultEvent] = []
+
+        def family(rate: float, draw_target, down: FaultKind,
+                   up: Optional[FaultKind]) -> None:
+            if rate <= 0:
+                return
+            busy_until: dict = {}
+            t = float(start_time)
+            while True:
+                t += float(gen.exponential(1.0 / rate))
+                if t >= horizon:
+                    return
+                target = draw_target()
+                if up is None:
+                    events.append(FaultEvent(
+                        time=t, kind=down,
+                        duration=float(stall_duration)))
+                    continue
+                if t < busy_until.get(target, -1.0):
+                    continue
+                repair = t + float(gen.exponential(mean_repair))
+                busy_until[target] = repair
+                kw = {down.value.split("-")[0]: target}
+                events.append(FaultEvent(time=t, kind=down, **kw))
+                events.append(FaultEvent(time=repair, kind=up, **kw))
+
+        def ring_link() -> Tuple[int, int]:
+            u = int(gen.integers(num_nodes))
+            v = (u + 1) % num_nodes
+            return (u, v) if u < v else (v, u)
+
+        family(link_rate, ring_link,
+               FaultKind.LINK_DOWN, FaultKind.LINK_UP)
+        family(node_rate, lambda: int(gen.integers(num_nodes)),
+               FaultKind.NODE_DOWN, FaultKind.NODE_UP)
+        family(wavelength_rate, lambda: int(gen.integers(num_wavelengths)),
+               FaultKind.WAVELENGTH_DOWN, FaultKind.WAVELENGTH_UP)
+        family(stall_rate, lambda: None, FaultKind.OCS_STALL, None)
+        return cls(events=tuple(events))
+
+    @classmethod
+    def of(cls, events: Iterable[FaultEvent]) -> "FaultPlan":
+        """A plan from explicit events (sorted on construction)."""
+        return cls(events=tuple(events))
+
+    @property
+    def num_events(self) -> int:
+        """Total events in the plan."""
+        return len(self.events)
+
+    @property
+    def final_time(self) -> float:
+        """Time of the last event (``0.0`` for the empty plan)."""
+        return self.events[-1].time if self.events else 0.0
+
+    def timeline(self) -> "FaultTimeline":
+        """A fresh incremental cursor over this plan."""
+        return FaultTimeline(self)
+
+    def state_at(self, time: float) -> FaultState:
+        """The folded state after every event with ``event.time <= time``."""
+        return self.timeline().advance(time)
+
+    def shifted(self, offset: float) -> "FaultPlan":
+        """The same plan with every event time moved by ``offset``."""
+        return FaultPlan(events=tuple(
+            FaultEvent(time=e.time + offset, kind=e.kind, link=e.link,
+                       node=e.node, wavelength=e.wavelength,
+                       duration=e.duration)
+            for e in self.events))
+
+
+class FaultTimeline:
+    """Incremental fold cursor: ``advance(t)`` applies events up to ``t``.
+
+    Event loops call :meth:`advance` with their monotonically growing
+    clock; the cursor folds exactly the newly due events (each event
+    applied once) and returns the current :class:`FaultState`.
+    :meth:`next_change` tells the loop when the state will move next,
+    so idle periods can be skipped outright.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._events: Sequence[FaultEvent] = plan.events
+        self._idx = 0
+        self._state: FaultState = CLEAN_STATE
+        self._last_time = float("-inf")
+
+    @property
+    def state(self) -> FaultState:
+        """The state as of the last :meth:`advance`."""
+        return self._state
+
+    @property
+    def applied(self) -> int:
+        """Events folded so far."""
+        return self._idx
+
+    def advance(self, time: float) -> FaultState:
+        """Fold all events with ``event.time <= time`` (monotone clock)."""
+        if time < self._last_time:
+            raise ConfigurationError(
+                f"fault timeline moved backwards: {time} < {self._last_time}")
+        self._last_time = time
+        while (self._idx < len(self._events)
+               and self._events[self._idx].time <= time):
+            self._state = self._state.apply(self._events[self._idx])
+            self._idx += 1
+        return self._state
+
+    def next_change(self) -> float:
+        """Time of the next unapplied event (``inf`` when exhausted)."""
+        if self._idx < len(self._events):
+            return self._events[self._idx].time
+        return float("inf")

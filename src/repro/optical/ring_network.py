@@ -8,7 +8,7 @@ object the schedule executor and RWA operate on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..config import OpticalRingSystem
 from ..errors import TopologyError, WavelengthAllocationError
@@ -41,6 +41,13 @@ class OpticalRingNetwork:
         #: :class:`~repro.optical.rwa.RwaDelta`).  Only valid while the
         #: occupancy it describes is intact, so any bulk release wipes it.
         self.rwa_delta: Optional[object] = None
+        #: Degraded-mode masks (see :meth:`apply_fault_state`).  Empty on
+        #: a healthy ring; the RWA layer only consults them when
+        #: :attr:`has_faults` is true, so the healthy hot path is
+        #: untouched.
+        self.failed_links: FrozenSet[Tuple[int, int]] = frozenset()
+        self.failed_nodes: FrozenSet[int] = frozenset()
+        self.failed_wavelengths: FrozenSet[int] = frozenset()
         n = system.num_nodes
         for i in range(n):
             self._make_link(i, (i + 1) % n, "cw")
@@ -83,6 +90,62 @@ class OpticalRingNetwork:
         """Every waveguide segment."""
         return list(self._links.values())
 
+    # -- fault masks -----------------------------------------------------------
+
+    @property
+    def has_faults(self) -> bool:
+        """Whether any degraded-mode mask is currently active."""
+        return bool(self.failed_links or self.failed_nodes
+                    or self.failed_wavelengths)
+
+    def apply_fault_state(self, state: object) -> bool:
+        """Adopt the masks of a :class:`~repro.faults.FaultState`.
+
+        ``failed_links`` are undirected adjacent host pairs — a fiber
+        cut takes the waveguides of *both* arcs between the pair.
+        Occupancy and :attr:`rwa_delta` are deliberately left intact:
+        the incremental RWA path treats newly displaced requests as
+        churn against the surviving occupancy.  Returns whether any
+        mask actually changed.
+        """
+        links = frozenset((min(u, v), max(u, v))
+                          for u, v in state.failed_links)
+        nodes = frozenset(state.failed_nodes)
+        waves = frozenset(w for w in state.failed_wavelengths
+                          if w < self.num_wavelengths)
+        changed = (links != self.failed_links or nodes != self.failed_nodes
+                   or waves != self.failed_wavelengths)
+        self.failed_links = links
+        self.failed_nodes = nodes
+        self.failed_wavelengths = waves
+        return changed
+
+    def clear_faults(self) -> None:
+        """Drop every degraded-mode mask (back to the healthy ring)."""
+        self.failed_links = frozenset()
+        self.failed_nodes = frozenset()
+        self.failed_wavelengths = frozenset()
+
+    def segment_blocked(self, segment: WaveguideLink) -> bool:
+        """Whether a waveguide segment is unusable under current masks."""
+        u, v = segment.src, segment.dst
+        if u in self.failed_nodes or v in self.failed_nodes:
+            return True
+        return ((u, v) if u < v else (v, u)) in self.failed_links
+
+    def fault_key(self) -> Tuple:
+        """Canonical hashable form of the masks (``()`` when healthy).
+
+        Memoization keys append this, so cached degraded solutions are
+        keyed apart from healthy ones — and healthy keys are unchanged,
+        keeping persistent caches warm across fault-aware runs.
+        """
+        if not self.has_faults:
+            return ()
+        return (tuple(sorted(self.failed_links)),
+                tuple(sorted(self.failed_nodes)),
+                tuple(sorted(self.failed_wavelengths)))
+
     # -- occupancy ------------------------------------------------------------
 
     def occupy_path(self, src: int, dst: int, direction: Direction,
@@ -117,8 +180,9 @@ class OpticalRingNetwork:
             link.clear()
 
     def reset(self) -> None:
-        """Clear occupancy and detune every node (between schedules)."""
+        """Clear occupancy, masks and node tuning (between schedules)."""
         self.clear()
+        self.clear_faults()
         for node in self.nodes:
             node.reset()
 

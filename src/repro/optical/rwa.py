@@ -26,7 +26,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import WavelengthAllocationError
+from ..errors import DegradedError, WavelengthAllocationError
 from ..topology.ring import Direction, RingTopology
 from .ring_network import OpticalRingNetwork
 
@@ -137,6 +137,37 @@ def compute_striping_factor(requests: Sequence[TransferRequest],
     return max(1, num_wavelengths // demand)
 
 
+def _degraded_direction(network: OpticalRingNetwork, idx: int,
+                        req: TransferRequest,
+                        preferred: Direction) -> Direction:
+    """Reroute ``req`` around failed links (degraded mode only).
+
+    Keeps ``preferred`` when its arc survives; otherwise falls back to
+    the opposite arc of a bidirectional ring — even overriding an
+    explicit direction hint, since a hint pointing across a cut fiber is
+    a preference, not physics.  Raises :class:`DegradedError` when an
+    endpoint is down or both arcs are severed (the pair is partitioned).
+    """
+    for host in (req.src, req.dst):
+        if host in network.failed_nodes:
+            raise DegradedError(
+                f"request {idx} ({req.src}->{req.dst}): host {host} "
+                f"is down", src=req.src, dst=req.dst)
+
+    def arc_ok(direction: Direction) -> bool:
+        return not any(network.segment_blocked(seg) for seg in
+                       network.arc_waveguides(req.src, req.dst, direction))
+
+    if arc_ok(preferred):
+        return preferred
+    if network.topology.bidirectional and arc_ok(preferred.opposite()):
+        return preferred.opposite()
+    raise DegradedError(
+        f"request {idx} ({req.src}->{req.dst}): every arc crosses a "
+        f"failed link {sorted(network.failed_links)}",
+        src=req.src, dst=req.dst)
+
+
 def _place_request(network: OpticalRingNetwork, idx: int,
                    req: TransferRequest,
                    policy: AssignmentPolicy) -> Tuple[Direction, Tuple[int, ...]]:
@@ -146,6 +177,10 @@ def _place_request(network: OpticalRingNetwork, idx: int,
     the delta patcher share — the heuristic only ever looks at current
     occupancy, so placing a request on top of an identical occupancy state
     yields an identical colouring regardless of how that state was reached.
+
+    Under active fault masks the free set excludes lost wavelengths and
+    arcs crossing failed links reroute the other way; with no masks the
+    code path is byte-identical to the healthy one.
     """
     ring = network.topology
     if req.num_wavelengths > network.num_wavelengths:
@@ -155,9 +190,16 @@ def _place_request(network: OpticalRingNetwork, idx: int,
             demanded=req.num_wavelengths,
             available=network.num_wavelengths)
     direction = resolve_direction(ring, req)
-    segments = network.arc_waveguides(req.src, req.dst, direction)
-    free = [w for w in range(network.num_wavelengths)
-            if all(seg.is_free(w) for seg in segments)]
+    if network.has_faults:
+        direction = _degraded_direction(network, idx, req, direction)
+        lost = network.failed_wavelengths
+        segments = network.arc_waveguides(req.src, req.dst, direction)
+        free = [w for w in range(network.num_wavelengths)
+                if w not in lost and all(seg.is_free(w) for seg in segments)]
+    else:
+        segments = network.arc_waveguides(req.src, req.dst, direction)
+        free = [w for w in range(network.num_wavelengths)
+                if all(seg.is_free(w) for seg in segments)]
     if len(free) < req.num_wavelengths:
         raise WavelengthAllocationError(
             f"request {idx} ({req.src}->{req.dst}, {direction.value}) "
@@ -218,17 +260,22 @@ class RwaDelta:
     demand: int
     pattern: Tuple[Tuple[int, int, Direction], ...]
     result: RwaResult
+    #: :meth:`OpticalRingNetwork.fault_key` at solve time (``()`` =
+    #: healthy).  The patcher compares it against the current masks to
+    #: decide whether patching across the mask transition is sound.
+    fault_key: Tuple = ()
 
     @classmethod
     def from_solution(cls, policy: AssignmentPolicy, striping: int,
                       requests: Sequence[TransferRequest],
-                      result: RwaResult) -> "RwaDelta":
+                      result: RwaResult,
+                      fault_key: Tuple = ()) -> "RwaDelta":
         """Snapshot ``result`` as the patch base for the next step."""
         pattern = tuple((req.src, req.dst, result.assignments[i][0])
                         for i, req in enumerate(requests))
         return cls(policy=policy, striping=striping,
                    demand=result.max_link_load, pattern=pattern,
-                   result=result)
+                   result=result, fault_key=fault_key)
 
 
 def assign_wavelengths_delta(network: OpticalRingNetwork,
@@ -253,8 +300,25 @@ def assign_wavelengths_delta(network: OpticalRingNetwork,
     * the striped max link demand changed (demand spike/drop);
     * a surviving ``(src, dst)`` pair flipped direction (a mutation, not
       an add/remove — the patch path only models adds and removes);
+    * the fault masks changed in any way other than a pure wavelength
+      degradation (see below);
     * a suffix request cannot be placed (caller re-solves and surfaces
       the real :class:`WavelengthAllocationError`).
+
+    Fault masks.  Under an *unchanged* mask (healthy or stably
+    degraded) patching is plain traffic churn.  Across a mask
+    transition, only **newly lost wavelengths** (links/nodes unchanged,
+    new lost set a superset of the old) patch: a kept placement whose
+    channels survive is provably what the masked from-scratch heuristic
+    would pick — masking out a channel the heuristic did not choose
+    cannot change its choice, and one it *did* choose marks the request
+    displaced, truncating the keep prefix so it and everything after
+    re-place on the surviving spectrum.  Every other transition —
+    link/node failures and *any* repair (a restored channel may be
+    preferred by early requests, so keeping their old colours would
+    diverge from the from-scratch solve) — falls back to the full
+    solver, which is what makes recovery converge to the fault-free
+    steady state.
 
     On ``None`` the network occupancy is left in an intermediate state;
     the fallback's ``clear()`` is mandatory.
@@ -263,12 +327,28 @@ def assign_wavelengths_delta(network: OpticalRingNetwork,
         return None
     if any(req.num_wavelengths != prev.striping for req in requests):
         return None
+    fault_key = network.fault_key()
+    mask_changed = fault_key != prev.fault_key
+    if mask_changed:
+        prev_links, prev_nodes, prev_waves = (prev.fault_key
+                                              or ((), (), ()))
+        if (tuple(sorted(network.failed_links)) != prev_links
+                or tuple(sorted(network.failed_nodes)) != prev_nodes
+                or not network.failed_wavelengths >= frozenset(prev_waves)):
+            return None
     ring = network.topology
     demand = max_link_demand(requests, ring)
     if demand != prev.demand:
         return None
-    new_pattern = tuple((req.src, req.dst, resolve_direction(ring, req))
-                        for req in requests)
+    if network.has_faults:
+        new_pattern = tuple(
+            (req.src, req.dst,
+             _degraded_direction(network, idx, req,
+                                 resolve_direction(ring, req)))
+            for idx, req in enumerate(requests))
+    else:
+        new_pattern = tuple((req.src, req.dst, resolve_direction(ring, req))
+                            for req in requests)
     old_dirs = {(s, d): direction for s, d, direction in prev.pattern}
     for s, d, direction in new_pattern:
         if old_dirs.get((s, d), direction) is not direction:
@@ -278,6 +358,16 @@ def assign_wavelengths_delta(network: OpticalRingNetwork,
     keep = 0
     while keep < limit and new_pattern[keep] == prev.pattern[keep]:
         keep += 1
+
+    if mask_changed:
+        # Newly lost wavelengths displace the kept placements that used
+        # them; truncate the keep prefix at the first casualty.
+        lost = network.failed_wavelengths
+        for idx in range(keep):
+            _, channels = prev.result.assignments[idx]
+            if any(w in lost for w in channels):
+                keep = idx
+                break
 
     # Undo the stale suffix of the previous step.
     for idx in range(keep, len(prev.pattern)):

@@ -34,7 +34,7 @@ from .dispatch import (COLLECTIVE_GENERATORS, DEFAULT_SWITCH_BYTES,
                        PLANNED_COLLECTIVES, CollectivePolicy,
                        adaptive_policy, fixed_policy, generate_collective,
                        place_schedule)
-from .engine import JobRecord, ServingEngine, ServingReport
+from .engine import JobRecord, RetryPolicy, ServingEngine, ServingReport
 from .jobs import JobSpec, inference_message_sizes
 from .policies import POLICIES, available_policies, policy_key
 from .scheduler import OnlineScheduler, Placement
@@ -63,4 +63,5 @@ __all__ = [
     "ServingEngine",
     "ServingReport",
     "JobRecord",
+    "RetryPolicy",
 ]

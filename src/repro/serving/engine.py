@@ -30,6 +30,7 @@ substrate path bit for bit — the parity the tests pin.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -43,14 +44,15 @@ from ..config import (OpticalRingSystem, Workload, default_electrical,
                       default_torus)
 from ..core.substrates import Substrate, pooled_substrate
 from ..core.substrates.registry import cache_stats
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ScheduleError
+from ..faults import FaultPlan
 from .contention import ContentionModel, contention_topology
 from .dispatch import (CollectivePolicy, adaptive_policy, generate_collective,
                        place_schedule)
 from .jobs import JobSpec
 from .scheduler import OnlineScheduler, Placement
 
-__all__ = ["ServingEngine", "ServingReport", "JobRecord"]
+__all__ = ["ServingEngine", "ServingReport", "JobRecord", "RetryPolicy"]
 
 #: Remaining-step tolerance below which a job counts as finished.
 _STEP_EPS = 1e-9
@@ -68,6 +70,37 @@ _DEFAULT_SYSTEMS = {
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """How killed jobs come back: bounded retries, exponential backoff.
+
+    A job whose placement loses a node restarts from step zero after
+    ``backoff * factor**(attempt - 1)`` seconds (attempt 1 waits
+    ``backoff``).  After ``max_retries`` failed attempts the job is
+    recorded in :attr:`ServingReport.failed_jobs` instead of requeued —
+    bounded, so a permanently dead fabric cannot spin forever.
+    """
+
+    max_retries: int = 3
+    backoff: float = 1e-3
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if not (self.backoff > 0 and math.isfinite(self.backoff)):
+            raise ConfigurationError(
+                f"backoff must be a finite delay > 0, got {self.backoff}")
+        if not (self.factor >= 1.0 and math.isfinite(self.factor)):
+            raise ConfigurationError(
+                f"factor must be >= 1.0, got {self.factor}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return self.backoff * self.factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
 class JobRecord:
     """One job's lifecycle through the serving system."""
 
@@ -77,6 +110,8 @@ class JobRecord:
     completion_time: float
     step_time: float
     algorithms: Tuple[str, ...]
+    #: Times this job was killed by a fault and restarted (0 = clean).
+    attempts: int = 0
 
     @property
     def offset(self) -> int:
@@ -114,11 +149,29 @@ class ServingReport:
     cache_stats: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: Messages dispatched per collective algorithm.
     algorithm_mix: Dict[str, int] = field(default_factory=dict)
+    #: Jobs that exhausted their retry budget (never completed).
+    failed_jobs: List[JobSpec] = field(default_factory=list)
+    #: Running placements killed by faults (each may retry).
+    preemptions: int = 0
+    #: Successful resubmissions after a kill.
+    retries: int = 0
+    #: Integral of down-node count over the run (node-seconds).
+    node_downtime: float = 0.0
+    #: Fault-plan events folded during the run.
+    fault_events_applied: int = 0
 
     @property
     def num_jobs(self) -> int:
         """Completed jobs."""
         return len(self.records)
+
+    @property
+    def availability(self) -> float:
+        """Mean fraction of nodes in service over the run (1.0 = clean)."""
+        span = self.makespan
+        if span <= 0 or self.capacity <= 0:
+            return 1.0
+        return 1.0 - self.node_downtime / (self.capacity * span)
 
     @property
     def total_steps(self) -> int:
@@ -185,6 +238,10 @@ class ServingReport:
             "jct_p99_s": self.jct(99),
             "max_queue_depth": float(self.max_queue_depth),
             "mean_queue_depth": self.mean_queue_depth,
+            "failed_jobs": float(len(self.failed_jobs)),
+            "preemptions": float(self.preemptions),
+            "retries": float(self.retries),
+            "availability": self.availability,
         }
 
 
@@ -372,8 +429,24 @@ class ServingEngine:
 
     # -- the event loop ------------------------------------------------------
 
-    def run(self, jobs: Sequence[JobSpec]) -> ServingReport:
-        """Serve ``jobs`` to completion and report fleet metrics."""
+    def run(self, jobs: Sequence[JobSpec],
+            faults: Optional[FaultPlan] = None,
+            retry: Optional[RetryPolicy] = None) -> ServingReport:
+        """Serve ``jobs`` to completion and report fleet metrics.
+
+        ``faults`` injects a :class:`~repro.faults.FaultPlan` into the
+        event loop: when a node becomes impaired (node failure, or
+        either endpoint of a failed link), every running job whose
+        placement touches it is *killed* — its nodes are released, the
+        node is withdrawn from the free pool, and the job is requeued
+        after ``retry``'s exponential backoff, restarting from step
+        zero.  Repairs return nodes to service and immediately backfill
+        from the queue.  Jobs are never dropped silently: each either
+        completes (its record notes the restart count) or lands in
+        :attr:`ServingReport.failed_jobs` after ``retry.max_retries``
+        kills.  ``faults=None`` (or the empty plan) is the documented
+        bit-for-bit no-op — the fault-free event loop is unchanged.
+        """
         pending = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
         ids = [j.job_id for j in pending]
         if len(set(ids)) != len(ids):
@@ -386,6 +459,13 @@ class ServingEngine:
                                substrate=self._substrate.name,
                                policy=self.policy,
                                collectives=self.collectives.label)
+        faulty = faults is not None and bool(faults.events)
+        timeline = faults.timeline() if faulty else None
+        retry = retry if retry is not None else RetryPolicy()
+        down: frozenset = frozenset()
+        #: (retry_at, job_id, job) — job_id breaks ties deterministically.
+        retry_heap: List[Tuple[float, int, JobSpec]] = []
+        attempts: Dict[int, int] = {}
         now = 0.0
         idx = 0
         mix: Dict[str, int] = {}
@@ -399,25 +479,47 @@ class ServingEngine:
                 placement=placement, step_time=step_time, flows=flows,
                 algorithms=algos, remaining=float(job.num_steps))
 
-        while running or idx < len(pending):
+        def kill(jid: int) -> None:
+            r = running.pop(jid)
+            sched.release(r.placement)
+            report.preemptions += 1
+            job = r.placement.job
+            n = attempts.get(jid, 0) + 1
+            attempts[jid] = n
+            if n > retry.max_retries:
+                report.failed_jobs.append(job)
+            else:
+                heapq.heappush(retry_heap,
+                               (now + retry.delay(n), jid, job))
+
+        while (running or idx < len(pending) or retry_heap
+               or sched.queue_depth):
             next_arrival = (pending[idx].arrival_time
                             if idx < len(pending) else math.inf)
             next_completion = math.inf
             for r in running.values():
                 next_completion = min(next_completion, r.completion_at(now))
-            t = min(next_arrival, next_completion)
-            if math.isinf(t):  # pragma: no cover - loop invariant
-                raise ConfigurationError("serving event loop stalled")
+            next_retry = retry_heap[0][0] if retry_heap else math.inf
+            next_fault = timeline.next_change() if faulty else math.inf
+            t = min(next_arrival, next_completion, next_retry, next_fault)
+            if math.isinf(t):
+                raise ScheduleError(
+                    f"serving stalled at t={now}: {sched.queue_depth} "
+                    f"job(s) queued, {sched.failed_nodes} node(s) down, "
+                    f"and no pending repair or retry can free capacity")
             # Advance fluid progress to the event time.
             dt = t - now
             if dt > 0:
                 for r in running.values():
                     r.remaining = max(
                         0.0, r.remaining - dt / r.rate_denominator)
+                if down:
+                    report.node_downtime += len(down) * dt
             now = t
             changed = False
             # Completions first (their nodes are free for this instant's
-            # arrivals), in job-id order for determinism.
+            # arrivals — and a job done by t survives a fault at t), in
+            # job-id order for determinism.
             done = sorted(jid for jid, r in running.items()
                           if r.remaining <= _STEP_EPS)
             for jid in done:
@@ -426,8 +528,38 @@ class ServingEngine:
                 records.append(JobRecord(
                     job=r.placement.job, nodes=r.placement.nodes,
                     start_time=r.placement.start_time, completion_time=now,
-                    step_time=r.step_time, algorithms=r.algorithms))
+                    step_time=r.step_time, algorithms=r.algorithms,
+                    attempts=attempts.get(jid, 0)))
                 changed = True
+            # Fault-state changes at this instant: kill placements
+            # touching newly impaired nodes (release before fail_nodes,
+            # so the scheduler never sees an allocated node fail), then
+            # withdraw/restore capacity.
+            if faulty:
+                state = timeline.advance(now)
+                impaired = frozenset(state.impaired_hosts(self.capacity))
+                newly_down = impaired - down
+                newly_up = down - impaired
+                if newly_down:
+                    for jid in sorted(running):
+                        r = running[jid]
+                        if newly_down.intersection(r.placement.nodes):
+                            kill(jid)
+                    sched.fail_nodes(newly_down)
+                    changed = True
+                if newly_up:
+                    sched.restore_nodes(newly_up)
+                    changed = True
+                down = impaired
+            # Retries due at this instant (before fresh arrivals: a
+            # killed job keeps its original policy position).
+            while retry_heap and retry_heap[0][0] <= now:
+                _, _, job = heapq.heappop(retry_heap)
+                report.retries += 1
+                placement = sched.submit(job, now)
+                if placement is not None:
+                    start(placement)
+                    changed = True
             # Arrivals at this instant.
             while idx < len(pending) and pending[idx].arrival_time <= now:
                 placement = sched.submit(pending[idx], now)
@@ -444,10 +576,14 @@ class ServingEngine:
                     {jid: r.flows for jid, r in running.items()})
                 for jid, r in running.items():
                     r.slowdown = slow[jid]
+            if faulty:
+                sched.check_conservation()
             report.queue_samples.append((now, sched.queue_depth))
 
         records.sort(key=lambda r: (r.completion_time, r.job.job_id))
         report.records = records
         report.algorithm_mix = dict(sorted(mix.items()))
         report.cache_stats = cache_stats([self._substrate])
+        if faulty:
+            report.fault_events_applied = timeline.applied
         return report

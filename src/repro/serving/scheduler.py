@@ -21,7 +21,7 @@ Two placement modes, because they trade queueing against interference:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 from ..errors import ConfigurationError
 from .jobs import JobSpec
@@ -61,6 +61,10 @@ class OnlineScheduler:
     #: Sorted disjoint free ranges as half-open ``(start, end)`` pairs.
     _free: List[Tuple[int, int]] = field(default_factory=list)
     _queue: List[JobSpec] = field(default_factory=list)
+    #: Nodes withdrawn from service by :meth:`fail_nodes`.
+    _failed: Set[int] = field(default_factory=set)
+    #: Nodes currently bound to placements (conservation counter).
+    _allocated: int = 0
 
     def __post_init__(self) -> None:
         if self.capacity < 2:
@@ -86,6 +90,35 @@ class OnlineScheduler:
     def free_nodes(self) -> int:
         """Total unallocated nodes (may be fragmented)."""
         return sum(end - start for start, end in self._free)
+
+    @property
+    def allocated_nodes(self) -> int:
+        """Nodes currently bound to placements."""
+        return self._allocated
+
+    @property
+    def failed_nodes(self) -> int:
+        """Nodes currently withdrawn from service."""
+        return len(self._failed)
+
+    def failed_node_ids(self) -> Tuple[int, ...]:
+        """The withdrawn node ids, sorted."""
+        return tuple(sorted(self._failed))
+
+    def check_conservation(self) -> None:
+        """Assert free + allocated + failed == capacity.
+
+        Every mutation preserves this identity; a violation means nodes
+        leaked (lost capacity) or were double-counted (phantom
+        capacity), so the serving engine's fault tests call this after
+        every event.
+        """
+        total = self.free_nodes + self._allocated + len(self._failed)
+        if total != self.capacity:
+            raise ConfigurationError(
+                f"node conservation violated: free={self.free_nodes} + "
+                f"allocated={self._allocated} + "
+                f"failed={len(self._failed)} != capacity={self.capacity}")
 
     def queued_jobs(self) -> List[JobSpec]:
         """The wait queue in admission (policy) order."""
@@ -136,9 +169,57 @@ class OnlineScheduler:
         return placed
 
     def release(self, placement: Placement) -> None:
-        """Return a completed job's nodes to the free pool."""
-        for lo, hi in _runs(placement.nodes):
-            self._free.append((lo, hi))
+        """Return a completed (or killed) job's nodes to the free pool."""
+        self._insert_free(_runs(placement.nodes))
+        self._allocated -= len(placement.nodes)
+
+    # -- failure masking ------------------------------------------------------
+
+    def fail_nodes(self, nodes: Iterable[int]) -> None:
+        """Withdraw ``nodes`` from service (idempotent per node).
+
+        Failed nodes leave the free pool entirely: they cannot be
+        allocated until :meth:`restore_nodes` returns them.  A node
+        that is currently *allocated* cannot fail here — the serving
+        engine must kill (and release) the placements touching it
+        first, so capacity accounting stays single-owner:
+        free + allocated + failed == capacity always.
+        """
+        for node in sorted(set(nodes)):
+            if node < 0 or node >= self.capacity:
+                raise ConfigurationError(
+                    f"failed node {node} outside [0, {self.capacity})")
+            if node in self._failed:
+                continue
+            if not self._carve_free(node):
+                raise ConfigurationError(
+                    f"cannot fail node {node}: it is allocated — "
+                    f"release its placement first")
+            self._failed.add(node)
+
+    def restore_nodes(self, nodes: Iterable[int]) -> None:
+        """Return repaired ``nodes`` to the free pool (idempotent)."""
+        back = [n for n in sorted(set(nodes)) if n in self._failed]
+        if not back:
+            return
+        self._failed.difference_update(back)
+        self._insert_free(_runs(tuple(back)))
+
+    # -- internals ------------------------------------------------------------
+
+    def _carve_free(self, node: int) -> bool:
+        """Remove one node from the free pool; False if not free."""
+        for idx, (start, end) in enumerate(self._free):
+            if start <= node < end:
+                repl = [(start, node), (node + 1, end)]
+                self._free[idx:idx + 1] = [
+                    (lo, hi) for lo, hi in repl if lo < hi]
+                return True
+        return False
+
+    def _insert_free(self, runs: List[Tuple[int, int]]) -> None:
+        """Merge half-open runs into the free pool (no overlaps)."""
+        self._free.extend(runs)
         self._free.sort()
         merged: List[Tuple[int, int]] = []
         for lo, hi in self._free:
@@ -151,8 +232,6 @@ class OnlineScheduler:
             else:
                 merged.append((lo, hi))
         self._free = merged
-
-    # -- internals ------------------------------------------------------------
 
     def _allocate(self, width: int) -> Optional[Tuple[int, ...]]:
         """Carve ``width`` nodes from the free pool (or ``None``).
@@ -167,6 +246,7 @@ class OnlineScheduler:
                     del self._free[idx]
                 else:
                     self._free[idx] = (start + width, end)
+                self._allocated += width
                 return tuple(range(start, start + width))
         if self.placement_mode != "scatter" or self.free_nodes < width:
             return None
@@ -181,6 +261,7 @@ class OnlineScheduler:
             else:
                 self._free[0] = (start + take, end)
             need -= take
+        self._allocated += width
         return tuple(nodes)
 
 

@@ -59,11 +59,18 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..caching import CacheStats, LruCache
-from ..errors import SimulationError
+from ..errors import SimulationError, SimulationStallError
 from ..topology.base import Topology
 from .flows import (CompiledFlowBatch, compile_paths, compile_structure,
                     progressive_fill, Flow, LinkId)
 from .trace import TraceRecorder
+
+#: Event-loop safety cap: the loop may run at most
+#: ``MAX_EVENT_ROUNDS_FACTOR * num_flows + 8`` events before
+#: :class:`~repro.errors.SimulationStallError` is raised.  Every healthy
+#: event admits or completes at least one flow, so 4 is generous; tests
+#: shrink this to trip the guard deterministically.
+MAX_EVENT_ROUNDS_FACTOR = 4
 
 #: Bytes of slack below which a flow counts as finished (guards float error).
 _EPS_BYTES = 1e-9
@@ -335,7 +342,7 @@ class FluidNetworkSimulator:
         completion: List[int] = []
         now = 0.0
         guard = 0
-        max_rounds = 4 * n + 8
+        max_rounds = MAX_EVENT_ROUNDS_FACTOR * n + 8
         warm_start = self._warm_start
         fill_state = None
         completed_since = None  # flows done since the recorded solve
@@ -350,11 +357,12 @@ class FluidNetworkSimulator:
         while cursor < n or active_count:
             guard += 1
             if guard > max_rounds:
-                stuck = [flow_name(i) for i in np.nonzero(active)[0]]
-                raise SimulationError(
+                stuck = tuple(flow_name(i) for i in np.nonzero(active)[0])
+                raise SimulationStallError(
                     f"fluid simulation failed to converge at t={now!r} "
                     f"({active_count} active, {n - cursor} pending; "
-                    f"stuck flows: {', '.join(stuck) or '<none>'})")
+                    f"stuck flows: {', '.join(stuck) or '<none>'})",
+                    now=now, stuck_flows=stuck)
 
             if not active_count:
                 now = max(now, starts[cursor])

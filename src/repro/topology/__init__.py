@@ -23,6 +23,7 @@ machinery.
 """
 
 from .base import Link, Topology
+from .degraded import DegradedTopology
 from .hierarchy import HierarchicalTopology
 from .program import (CircuitConfig, CircuitTopology, TopologyProgram,
                       decompose_demand, ring_circuit_config)
@@ -33,6 +34,7 @@ from .torus import Torus2D
 __all__ = [
     "Link",
     "Topology",
+    "DegradedTopology",
     "Direction",
     "RingTopology",
     "SwitchedStar",

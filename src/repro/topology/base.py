@@ -185,6 +185,28 @@ class Topology:
                                    for l in self._links.values()))))
         return hashlib.sha1(canon.encode("utf-8")).hexdigest()[:16]
 
+    # -- failure masks -------------------------------------------------------
+
+    def with_failed_links(self, failed_links: Iterable[Sequence[int]] = (),
+                          failed_nodes: Iterable[int] = ()) -> "Topology":
+        """This topology minus the given failures, BFS-rerouted.
+
+        With nothing failed the topology itself is returned — the
+        healthy view keeps its identity (and its signature, so every
+        cache keyed on it stays warm).  Otherwise a
+        :class:`~repro.topology.degraded.DegradedTopology` wraps the
+        surviving links; being a distinct class with a distinct link
+        set, its :meth:`signature`/:meth:`shape_signature` differ from
+        the healthy ones and compiled-batch / path / pattern caches can
+        never serve stale routes across the failure boundary.
+        """
+        failed_links = tuple(tuple(p) for p in failed_links)
+        failed_nodes = tuple(failed_nodes)
+        if not failed_links and not failed_nodes:
+            return self
+        from .degraded import DegradedTopology
+        return DegradedTopology(self, failed_links, failed_nodes)
+
     def path_latency(self, path: Iterable[Link]) -> float:
         """Sum of link latencies along ``path``."""
         return sum(l.latency for l in path)
