@@ -24,6 +24,7 @@ BENCH_SERVING_JSON = (Path(__file__).resolve().parent.parent
                       / "BENCH_serving.json")
 BENCH_FAULTS_JSON = (Path(__file__).resolve().parent.parent
                      / "BENCH_faults.json")
+BENCH_OCS_JSON = Path(__file__).resolve().parent.parent / "BENCH_ocs.json"
 
 
 def best_time(fn, repeats):

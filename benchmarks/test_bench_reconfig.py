@@ -71,7 +71,11 @@ def test_reconfiguration_delay_ablation(once, workload):
     for delay, best, static in rows:
         assert best.predicted_time <= static.predicted_time * (1 + 1e-12)
     ideal, ideal_static = rows[0][1], rows[0][2]
-    assert ideal.policy == "reconfigure"
+    # An agile switch reconfigures — per step, or via the lookahead
+    # program, which can strictly beat per-step rounds even at delay 0
+    # by installing a union config that serves a multi-degree step's
+    # pairs concurrently where decomposition rounds serialize.
+    assert ideal.policy in ("reconfigure", "lookahead")
     assert ideal.predicted_time < ideal_static.predicted_time  # strict win
     if workload.name == "tensor-64KB":
         # The headline co-planning win: an agile OCS serves the

@@ -19,7 +19,11 @@
 * :func:`serving_load_sweep` — EXT-V1: the serving layer's offered
   load, streaming the same seeded Poisson mix through one warm shared
   substrate at increasing arrival rates and reading off throughput,
-  JCT percentiles, and queue depth.
+  JCT percentiles, and queue depth;
+* :func:`ocs_delay_sweep` — EXT-O1: the OCS fabric's reconfiguration
+  delay, executing the same schedule under the myopic per-step policy
+  and the lookahead program synthesiser to show where amortisation
+  starts paying.
 """
 
 from __future__ import annotations
@@ -518,4 +522,64 @@ def fault_sweep(capacity: int = 32,
             jct_mean=report.jct(),
             jct_p99=report.jct(99),
             availability=report.availability))
+    return rows
+
+
+@dataclass(frozen=True)
+class OcsDelayRow:
+    """EXT-O1: one reconfiguration-delay point, greedy vs lookahead."""
+
+    delay_s: float
+    greedy_time: float
+    lookahead_time: float
+    reconfigs_saved: int
+
+    @property
+    def speedup(self) -> float:
+        if self.lookahead_time <= 0:
+            return 1.0
+        return self.greedy_time / self.lookahead_time
+
+
+def ocs_delay_sweep(num_nodes: int, workload: Workload,
+                    delays: Optional[Sequence[float]] = None,
+                    ports_per_node: int = 4) -> List[OcsDelayRow]:
+    """EXT-O1: the lookahead planner's payoff as tuning gets slower.
+
+    One recursive-doubling schedule on the OCS fabric, executed twice
+    per reconfiguration delay: the myopic per-step policy and the
+    whole-schedule DP (``lookahead=True``).  The dominance guarantee
+    pins ``lookahead_time <= greedy_time`` at every cell; the sweep
+    shows *where* the gap opens — at ``delay=0`` reconfiguring is free
+    and both policies re-match every step (ratio 1.0), while at large
+    delays the DP installs port-feasible unions of consecutive
+    matchings and serves several steps per paid delay.
+
+    ``ports_per_node`` defaults to 4 (not the fabric's stock 2) so
+    unions of consecutive matchings are actually port-feasible; fresh
+    substrate instances per cell keep the per-run
+    ``lookahead_reconfigs_saved`` counter exact.
+    """
+    from ..collectives.recursive_doubling import generate_recursive_doubling
+    from ..config import default_ocs
+    from ..core.substrates.reconfigurable import OCSReconfigurableSubstrate
+
+    if delays is None:
+        delays = (0.0, 1e-5, 1e-4, 1e-3, 1e-2)
+    sched = generate_recursive_doubling(num_nodes)
+    rows: List[OcsDelayRow] = []
+    for delay in delays:
+        system = default_ocs(num_nodes).with_(
+            reconfiguration_delay=float(delay),
+            ports_per_node=ports_per_node)
+        greedy = OCSReconfigurableSubstrate(system).execute(
+            sched, workload)
+        sub = OCSReconfigurableSubstrate(system, lookahead=True)
+        look = sub.execute(sched, workload)
+        saved = dict(sub.describe().parameters)[
+            "lookahead_reconfigs_saved"]
+        rows.append(OcsDelayRow(delay_s=float(delay),
+                                greedy_time=greedy.total_time,
+                                lookahead_time=look.total_time,
+                                reconfigs_saved=int(saved)))
     return rows

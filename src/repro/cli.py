@@ -9,7 +9,7 @@ Commands
   (``--substrate`` additionally executes the plan on any registered
   substrate);
 * ``sweep``    — ablation sweeps (wavelengths / payload / striping /
-  substrates / hier-groups / bandwidth);
+  substrates / hier-groups / bandwidth / faults / ocs-delay);
 * ``serve``    — stream a seeded multi-job traffic mix through the
   online scheduler on one shared warm substrate and report throughput,
   JCT percentiles, queue depth, and cache hit rates.
@@ -80,12 +80,19 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     print(f"  steps              : {plan.num_steps}")
     print(f"  all-to-all shortcut: {plan.info.used_alltoall}")
     print(f"  predicted time     : {units.fmt_time(plan.predicted_time)}")
+    if getattr(args, "lookahead", False) and args.substrate != "ocs-reconfig":
+        print("--lookahead requires --substrate ocs-reconfig "
+              "(the program synthesiser lives on the OCS fabric)",
+              file=sys.stderr)
+        return 2
     if args.substrate:
         # Dispatch through the registry; only the optical ring takes the
         # configured system, other fabrics derive their own default.
+        extra = ({"lookahead": True} if getattr(args, "lookahead", False)
+                 else {})
         sub = get_substrate(args.substrate,
                             system=system if args.substrate == "optical-ring"
-                            else None)
+                            else None, **extra)
         store = _open_store(args)
         if store is not None:
             warmed = sub.warm_from(store)
@@ -331,6 +338,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{r.availability:.2%}") for r in rows],
             title=f"EXT-F1 fault-rate sweep (capacity={capacity}, "
                   f"retrying serving)"))
+    elif args.kind == "ocs-delay":
+        from .analysis.sweeps import ocs_delay_sweep
+        # Whole-schedule DP per cell: clip the sweep-wide --nodes
+        # default (256) to a fabric the synthesiser prices quickly.
+        nodes = min(args.nodes, 64)
+        rows = ocs_delay_sweep(nodes, wl)
+        print(simple_table(
+            ["delay", "greedy", "lookahead", "speedup", "saved"],
+            [(units.fmt_time(r.delay_s), units.fmt_time(r.greedy_time),
+              units.fmt_time(r.lookahead_time), f"{r.speedup:.2f}x",
+              r.reconfigs_saved) for r in rows],
+            title=f"EXT-O1 OCS reconfiguration-delay sweep "
+                  f"(N={nodes}, {wl.name}, recursive doubling, "
+                  f"4 ports)"))
     elif args.kind == "bandwidth":
         rows = bandwidth_sweep(args.nodes, wl, cache_dir=args.cache_dir)
         print(simple_table(
@@ -376,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--show-schedule", action="store_true")
     pl.add_argument("--substrate", choices=available_substrates(),
                     help="also execute the plan on this substrate")
+    pl.add_argument("--lookahead", action="store_true",
+                    help="synthesize a whole-schedule switch program "
+                         "instead of reconfiguring step by step "
+                         "(ocs-reconfig only; never slower than the "
+                         "greedy policy)")
     pl.add_argument("--cache-dir",
                     help="persistent cache-store directory to warm the "
                          "substrate's memoization caches from (and spill "
@@ -385,7 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     sw = sub.add_parser("sweep", help="ablation sweeps")
     sw.add_argument("kind", choices=("wavelengths", "payload", "striping",
                                      "substrates", "hier-groups",
-                                     "bandwidth", "faults"))
+                                     "bandwidth", "faults", "ocs-delay"))
     sw.add_argument("--nodes", type=int, default=256)
     sw.add_argument("--model", choices=PAPER_MODELS)
     sw.add_argument("--bytes", type=float, default=100 * units.MB)

@@ -181,38 +181,8 @@ class HierarchicalRackSubstrate(FluidCacheMixin, Substrate):
         system = self._resolve_system(schedule)
 
         # -- map every step's transfers to levels ------------------------
-        up_steps: List[List[Tuple[int, int, float]]] = []
-        down_steps: List[List[Tuple[int, int, float]]] = []
-        leader_steps: List[List[TransferRequest]] = []
-        relayed_per_step: List[int] = []
-        for step in schedule.steps:
-            up: List[Tuple[int, int, float]] = []
-            down: List[Tuple[int, int, float]] = []
-            lead: List[TransferRequest] = []
-            relayed = 0
-            for t in step:
-                b = transfer_bytes(t, workload.data_bytes,
-                                   schedule.num_chunks)
-                src_rack = system.rack_of(t.src)
-                dst_rack = system.rack_of(t.dst)
-                if src_rack == dst_rack:
-                    up.append((t.src, t.dst, b))
-                    continue
-                src_leader = system.leader_of(t.src)
-                dst_leader = system.leader_of(t.dst)
-                if t.src != src_leader:
-                    up.append((t.src, src_leader, b))
-                if t.dst != dst_leader:
-                    down.append((dst_leader, t.dst, b))
-                if t.src != src_leader or t.dst != dst_leader:
-                    relayed += 1
-                lead.append(TransferRequest(
-                    src=src_rack, dst=dst_rack, size=b,
-                    direction=_hint_direction(t.direction_hint)))
-            up_steps.append(up)
-            down_steps.append(down)
-            leader_steps.append(lead)
-            relayed_per_step.append(relayed)
+        (up_steps, down_steps, leader_steps,
+         relayed_per_step) = self._map_steps(system, schedule, workload)
 
         # -- solve both local phases in two fused fluid batches ----------
         sim = self._simulator(system)
@@ -288,7 +258,194 @@ class HierarchicalRackSubstrate(FluidCacheMixin, Substrate):
         report.total_time = now
         return report
 
+    def _execute_faulty(self, schedule: Schedule, workload: Workload,
+                        plan, striping: Optional[Striping] = None,
+                        policy: Optional[AssignmentPolicy] = None):
+        """Degraded replay across both fabric levels.
+
+        Host-level faults mask the rack-star topology for the local
+        phases (clean steps reuse the healthy phase makespans, faulty
+        ones re-solve on the degraded hierarchy).  Faults that touch
+        the leader plane are *lifted to rack granularity* for the
+        optical phase: a failed rack leader takes its rack's ring
+        position down, a failed leader-to-leader link cuts the
+        corresponding ring arc, and wavelength losses pass through
+        unchanged — all replayed through the embedded ring's live
+        ``run_step`` so channel state carries across steps, exactly
+        like the flat optical ring's degraded path.  OCS stalls delay
+        composite step starts; a partition at either level raises
+        :class:`~repro.errors.DegradedError`.
+        """
+        from ...faults.events import FaultOutcome, FaultState, FaultyRun
+
+        striping = self._striping if striping is None else striping
+        policy = self._policy if policy is None else policy
+        system = self._resolve_system(schedule)
+        healthy = self.execute(schedule, workload, striping=striping,
+                               policy=policy)
+        (up_steps, down_steps, leader_steps,
+         relayed_per_step) = self._map_steps(system, schedule, workload)
+        # Healthy per-phase makespans (pattern caches are warm from the
+        # reference run) — the clean-step shortcut needs them split out,
+        # which the composed report no longer is.
+        sim = self._simulator(system)
+        up_ref = sim.step_time_many(up_steps)
+        down_ref = sim.step_time_many(down_steps)
+
+        net = opt_system = None
+        if any(leader_steps):
+            opt_system = system.optical_system()
+            net = self._ring._network(opt_system)
+            net.reset()
+
+        timeline = plan.timeline()
+        report = ExecutionReport(schedule_name=schedule.name,
+                                 substrate=self.name)
+        degraded: List[int] = []
+        repair = 0.0
+        stall_total = 0.0
+        now = 0.0
+        alpha = system.local_step_latency
+        try:
+            for idx, step in enumerate(schedule.steps):
+                state = timeline.advance(now)
+                stall = max(0.0, state.stall_until - now)
+                rack_state = self._lift_rack_state(system, state)
+                serialization = 0.0
+                overhead = 0.0
+                propagation = 0.0
+                tuning = 0.0
+                k = 1
+                demand = 0
+                span = 0
+                up_dur = down_dur = opt_dur = 0.0
+                if state.is_clean:
+                    up_t, down_t = up_ref[idx], down_ref[idx]
+                else:
+                    dsim = self._degraded_simulator(system, state)
+                    up_t = dsim.step_time(up_steps[idx])
+                    down_t = dsim.step_time(down_steps[idx])
+                if up_steps[idx]:
+                    up_dur = alpha + up_t
+                    serialization += up_t
+                    overhead += alpha
+                if leader_steps[idx]:
+                    net.apply_fault_state(FaultState(
+                        failed_links=rack_state[0],
+                        failed_nodes=rack_state[1],
+                        failed_wavelengths=state.failed_wavelengths))
+                    out = self._ring.run_step(net, opt_system, policy,
+                                              striping, leader_steps[idx])
+                    opt_dur = out.duration
+                    serialization += out.serialization
+                    propagation = out.propagation
+                    tuning = out.tuning
+                    overhead += out.overhead
+                    k = out.striping
+                    demand = out.wavelength_demand
+                    span = out.spectrum_span
+                if down_steps[idx]:
+                    down_dur = alpha + down_t
+                    serialization += down_t
+                    overhead += alpha
+                duration = up_dur + opt_dur + down_dur + stall
+                if not state.is_clean:
+                    degraded.append(idx)
+                    repair += max(0.0, (duration - stall)
+                                  - healthy.steps[idx].duration)
+                stall_total += stall
+                now += duration
+                report.steps.append(StepReport(
+                    index=idx, duration=duration,
+                    serialization_time=serialization,
+                    propagation_time=propagation,
+                    tuning_time=tuning,
+                    overhead_time=overhead + stall,
+                    num_transfers=len(step),
+                    striping=k,
+                    wavelength_demand=demand,
+                    spectrum_span=span))
+        finally:
+            # The pooled ring network must come back healthy for the
+            # next plain execute() even when a partition aborts.
+            if net is not None:
+                net.clear_faults()
+        report.total_time = now
+        outcome = FaultOutcome(
+            events_applied=timeline.applied,
+            faults_survived=len(degraded),
+            degraded_steps=tuple(degraded),
+            repair_overhead=repair,
+            stall_time=stall_total)
+        return FaultyRun(report=report, outcome=outcome)
+
     # -- internals ----------------------------------------------------------
+
+    def _map_steps(self, system: HierarchicalSystem, schedule: Schedule,
+                   workload: Workload):
+        """Map every step's transfers to the three relay phases.
+
+        Returns ``(up_steps, down_steps, leader_steps, relayed)`` —
+        the per-step local uplink / downlink fluid batches, the
+        leader-ring requests over rack indices, and the relayed-
+        transfer counts (see :meth:`execute`).
+        """
+        up_steps: List[List[Tuple[int, int, float]]] = []
+        down_steps: List[List[Tuple[int, int, float]]] = []
+        leader_steps: List[List[TransferRequest]] = []
+        relayed_per_step: List[int] = []
+        for step in schedule.steps:
+            up: List[Tuple[int, int, float]] = []
+            down: List[Tuple[int, int, float]] = []
+            lead: List[TransferRequest] = []
+            relayed = 0
+            for t in step:
+                b = transfer_bytes(t, workload.data_bytes,
+                                   schedule.num_chunks)
+                src_rack = system.rack_of(t.src)
+                dst_rack = system.rack_of(t.dst)
+                if src_rack == dst_rack:
+                    up.append((t.src, t.dst, b))
+                    continue
+                src_leader = system.leader_of(t.src)
+                dst_leader = system.leader_of(t.dst)
+                if t.src != src_leader:
+                    up.append((t.src, src_leader, b))
+                if t.dst != dst_leader:
+                    down.append((dst_leader, t.dst, b))
+                if t.src != src_leader or t.dst != dst_leader:
+                    relayed += 1
+                lead.append(TransferRequest(
+                    src=src_rack, dst=dst_rack, size=b,
+                    direction=_hint_direction(t.direction_hint)))
+            up_steps.append(up)
+            down_steps.append(down)
+            leader_steps.append(lead)
+            relayed_per_step.append(relayed)
+        return up_steps, down_steps, leader_steps, relayed_per_step
+
+    def _lift_rack_state(self, system: HierarchicalSystem, state):
+        """Project host-level failures onto the leader ring.
+
+        A failed rack *leader* node takes its rack's ring position
+        down; a failed link whose endpoints are leaders of *different*
+        racks cuts that leader-ring arc.  Purely intra-rack failures
+        (member hosts, star legs) never reach the optical plane.
+        """
+        rack_links = frozenset(
+            (system.rack_of(u), system.rack_of(v))
+            for u, v in state.failed_links
+            if (system.leader_of(u) == u and system.leader_of(v) == v
+                and system.rack_of(u) != system.rack_of(v)))
+        rack_nodes = frozenset(
+            system.rack_of(n) for n in state.failed_nodes
+            if system.leader_of(n) == n)
+        return rack_links, rack_nodes
+
+    def _build_topology(self, system: HierarchicalSystem):
+        """The host-level topology (the degraded-simulator hook)."""
+        return HierarchicalTopology(system.num_nodes, system.group_size,
+                                    capacity=system.local_link_rate)
 
     def _resolve_system(self, schedule: Schedule) -> HierarchicalSystem:
         if self._system is not None:

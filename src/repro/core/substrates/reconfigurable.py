@@ -37,9 +37,11 @@ from ...config import ReconfigurableOCSSystem, Workload, default_ocs
 from ...errors import ConfigurationError, TopologyError
 from ...simulation.fluid import FluidNetworkSimulator
 from ...topology.program import (CircuitConfig, CircuitPair,
-                                 CircuitTopology, TopologyProgram,
-                                 decompose_demand, max_pair_degree,
-                                 ring_circuit_config)
+                                 CircuitTopology, DecompositionDelta,
+                                 RoundsPlan, TopologyProgram,
+                                 demand_aware_boot_config, max_pair_degree,
+                                 price_demand_rounds, ring_circuit_config,
+                                 synthesize_program)
 from .base import (CacheStats, ExecutionReport, FluidCacheMixin, LruCache,
                    StepReport, Substrate, SubstrateInfo)
 
@@ -96,15 +98,17 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
                  cache: bool = True,
                  cache_size: int = DEFAULT_STEP_CACHE_SIZE,
                  cache_max_pairs: Optional[int]
-                 = DEFAULT_STEP_CACHE_MAX_PAIRS) -> None:
+                 = DEFAULT_STEP_CACHE_MAX_PAIRS,
+                 lookahead: bool = False,
+                 stripe_leftover: bool = False) -> None:
         if system is not None \
                 and not isinstance(system, ReconfigurableOCSSystem):
             raise ConfigurationError(
                 f"ocs-reconfig substrate needs a ReconfigurableOCSSystem, "
                 f"got {type(system).__name__}")
-        if isinstance(initial, str) and initial != "ring":
+        if isinstance(initial, str) and initial not in ("ring", "demand"):
             raise ConfigurationError(
-                f"initial must be 'ring' or a CircuitConfig, "
+                f"initial must be 'ring', 'demand' or a CircuitConfig, "
                 f"got {initial!r}")
         if decomposition not in ("auto", "greedy", "optimal"):
             raise ConfigurationError(
@@ -117,6 +121,10 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
         self._cache = LruCache(cache_size, admit_cost_bound=cache_max_pairs)
         self._sims = LruCache(_SIM_CACHE_MAX)
         self._last_program: Optional[TopologyProgram] = None
+        self._lookahead = lookahead
+        self._stripe_leftover = stripe_leftover
+        self._delta = DecompositionDelta()
+        self._lookahead_saved = 0
 
     # -- cache management ---------------------------------------------------
 
@@ -156,6 +164,11 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
             ("step_cache_misses", stats.misses),
             ("step_cache_hit_rate", round(stats.hit_rate, 4)),
             ("step_cache_skipped", stats.skipped),
+            ("lookahead", self._lookahead),
+            ("stripe_leftover", self._stripe_leftover),
+            ("decomp_delta_patched", self._delta.patched),
+            ("decomp_delta_fallbacks", self._delta.fallbacks),
+            ("lookahead_reconfigs_saved", self._lookahead_saved),
         ]
         params += self._fluid_cache_params()
         if self._system is not None:
@@ -174,25 +187,42 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
             parameters=tuple(params))
 
     def execute(self, schedule: Schedule, workload: Workload,
-                decomposition: Optional[str] = None) -> ExecutionReport:
-        """Execute ``schedule`` on the OCS fabric (see class docstring)."""
+                decomposition: Optional[str] = None,
+                lookahead: Optional[bool] = None) -> ExecutionReport:
+        """Execute ``schedule`` on the OCS fabric (see class docstring).
+
+        ``lookahead`` overrides the constructor knob per call: ``True``
+        plans the whole schedule's circuit program by DP
+        (:func:`~repro.topology.program.synthesize_program`) instead of
+        the myopic per-step choice.  With reconfiguration disabled
+        (``delay=inf``) the DP has no moves, so the greedy path runs
+        either way — bit-for-bit identical reports and errors.
+        """
         mode = self._decomposition if decomposition is None else decomposition
         if mode not in ("auto", "greedy", "optimal"):
             raise ConfigurationError(
                 f"decomposition must be 'auto', 'greedy' or 'optimal', "
                 f"got {mode!r}")
+        use_lookahead = self._lookahead if lookahead is None else lookahead
         system = self._resolve_system(schedule)
-        current = self._resolve_initial(system)
-        history: List[CircuitConfig] = [current]
-        report = ExecutionReport(schedule_name=schedule.name,
-                                 substrate=self.name)
-        now = 0.0
-        for idx, step in enumerate(schedule.steps):
+        demands: List[Dict[CircuitPair, float]] = []
+        for step in schedule.steps:
             sizes: Dict[CircuitPair, float] = {}
             for t in step:
                 b = transfer_bytes(t, workload.data_bytes,
                                    schedule.num_chunks)
                 sizes[(t.src, t.dst)] = sizes.get((t.src, t.dst), 0.0) + b
+            demands.append(sizes)
+        current = self._resolve_initial(system, demands)
+        if use_lookahead and system.can_reconfigure:
+            return self._execute_lookahead(system, schedule, demands,
+                                           current, mode)
+        history: List[CircuitConfig] = [current]
+        report = ExecutionReport(schedule_name=schedule.name,
+                                 substrate=self.name)
+        now = 0.0
+        for idx, step in enumerate(schedule.steps):
+            sizes = demands[idx]
             ordered = tuple(sorted(sizes, key=lambda p: (-sizes[p], p)))
             demand_degree = max_pair_degree(ordered)
 
@@ -242,6 +272,54 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
             name=f"{schedule.name}@{self.name}")
         return report
 
+    def _execute_lookahead(self, system: ReconfigurableOCSSystem,
+                           schedule: Schedule,
+                           demands: List[Dict[CircuitPair, float]],
+                           start: CircuitConfig,
+                           mode: str) -> ExecutionReport:
+        """Whole-schedule DP execution (see :func:`synthesize_program`).
+
+        The synthesized steps carry their exact chosen cost (``total``),
+        so replaying them accumulates the same floats the DP compared —
+        ``report.total_time == program.total_time`` and the dominance
+        guarantee (never worse than the greedy path) carries over to
+        the report.
+        """
+        program = synthesize_program(
+            demands, system,
+            initial=start,
+            stay_cost=lambda cfg, sizes: self._stay_time(system, cfg, sizes),
+            decompose=lambda ordered, ports: self._rounds(ordered, ports,
+                                                          mode),
+            stripe_leftover=self._stripe_leftover)
+        self._lookahead_saved += program.reconfigurations_saved
+        history: List[CircuitConfig] = [start]
+        report = ExecutionReport(schedule_name=schedule.name,
+                                 substrate=self.name)
+        now = 0.0
+        for idx, st in enumerate(program.steps):
+            ordered = tuple(sorted(demands[idx],
+                                   key=lambda p: (-demands[idx][p], p)))
+            duration = system.step_overhead + st.total
+            now += duration
+            history.extend(st.new_configs)
+            report.steps.append(StepReport(
+                index=idx, duration=duration,
+                serialization_time=st.serialization,
+                propagation_time=st.propagation,
+                tuning_time=st.reconfig_time,
+                overhead_time=system.step_overhead,
+                num_transfers=len(schedule.steps[idx]),
+                striping=st.stripe_factor,
+                wavelength_demand=max_pair_degree(ordered)))
+        report.total_time = now
+        self._last_program = TopologyProgram(
+            num_nodes=system.num_nodes,
+            ports_per_node=system.ports_per_node,
+            configs=tuple(history),
+            name=f"{schedule.name}@{self.name}")
+        return report
+
     # -- internals ----------------------------------------------------------
 
     def _resolve_system(self, schedule: Schedule) -> ReconfigurableOCSSystem:
@@ -253,10 +331,19 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
             return self._system
         return default_ocs(schedule.num_nodes)
 
-    def _resolve_initial(self,
-                         system: ReconfigurableOCSSystem) -> CircuitConfig:
+    def _resolve_initial(self, system: ReconfigurableOCSSystem,
+                         demands: Optional[
+                             List[Dict[CircuitPair, float]]] = None,
+                         ) -> CircuitConfig:
         if isinstance(self._initial, CircuitConfig):
             cfg = self._initial
+        elif self._initial == "demand" and demands:
+            aggregate: Dict[CircuitPair, float] = {}
+            for sizes in demands:
+                for pair, b in sizes.items():
+                    aggregate[pair] = aggregate.get(pair, 0.0) + b
+            cfg = demand_aware_boot_config(aggregate, system.num_nodes,
+                                           system.ports_per_node)
         else:
             cfg = ring_circuit_config(
                 system.num_nodes,
@@ -288,48 +375,23 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
             return float("inf"), 0.0
         return profile.makespan, profile.propagation
 
-    class _ReconfigPlan:
-        """Costed reconfigure option for one step."""
-
-        __slots__ = ("serialization", "propagation", "reconfig_time",
-                     "new_configs")
-
-        def __init__(self, serialization: float, propagation: float,
-                     reconfig_time: float,
-                     new_configs: List[CircuitConfig]) -> None:
-            self.serialization = serialization
-            self.propagation = propagation
-            self.reconfig_time = reconfig_time
-            self.new_configs = new_configs
-
-        @property
-        def total(self) -> float:
-            return self.serialization + self.propagation \
-                + self.reconfig_time
-
     def _reconfigure_plan(self, system: ReconfigurableOCSSystem,
                           current: CircuitConfig,
                           ordered: Tuple[CircuitPair, ...],
                           sizes: Dict[CircuitPair, float],
-                          mode: str) -> "_ReconfigPlan":
+                          mode: str) -> RoundsPlan:
         rounds = self._rounds(ordered, system.ports_per_node, mode)
         # Rounds already covered by the live circuits are served for
         # free (without touching the switch); the rest each install a
-        # fresh configuration and pay the delay.
-        live = set(current.circuits)
-        serialization = 0.0
-        new_configs: List[CircuitConfig] = []
-        for rnd in rounds:
-            serialization += max(sizes[p] for p in rnd) \
-                / system.circuit_rate
-            if not live.issuperset(rnd):
-                new_configs.append(CircuitConfig.of(rnd))
-        return self._ReconfigPlan(
-            serialization=serialization,
-            propagation=len(rounds) * system.circuit_latency,
-            reconfig_time=(len(new_configs)
-                           * system.reconfiguration_delay),
-            new_configs=new_configs)
+        # fresh configuration and pay the delay.  Pricing tracks the
+        # *evolving* live set — a round is only free against the
+        # circuits actually up when it runs, not the step's entry
+        # config (which earlier rounds in the same step tear down).
+        return price_demand_rounds(
+            rounds, sizes, current,
+            circuit_rate=system.circuit_rate,
+            circuit_latency=system.circuit_latency,
+            reconfiguration_delay=system.reconfiguration_delay)
 
     def _rounds(self, ordered: Tuple[CircuitPair, ...], ports: int,
                 mode: str) -> List[Tuple[CircuitPair, ...]]:
@@ -338,13 +400,20 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
         The decomposition depends only on the ordered pair pattern, the
         port budget, and the mode — transfer sizes enter the cost only
         through the ordering, which the key captures.
+
+        On cache misses the solve goes through the instance's
+        :class:`~repro.topology.program.DecompositionDelta`, which
+        patches the previous miss's rounds when the new pattern shares
+        a long prefix (step churn) — the patch is *exact* (bit-for-bit
+        ``decompose_demand`` output), so memoizing patched results is
+        as pure as memoizing cold ones.
         """
         if not self._cache_enabled:
-            return decompose_demand(ordered, ports, mode)
+            return self._delta.solve(ordered, ports, mode)
         key = (ports, mode, ordered)
         rounds = self._cache.get(key)
         if rounds is None:
-            rounds = decompose_demand(ordered, ports, mode)
+            rounds = self._delta.solve(ordered, ports, mode)
             # Admission policy: very large steps are decomposed but not
             # memoized (`step_cache_skipped` counts them).
             self._cache.put(key, rounds, cost=len(ordered))

@@ -10,8 +10,11 @@ by executing every candidate schedule on an
 :class:`~repro.core.substrates.reconfigurable.OCSReconfigurableSubstrate`
 — ``"static"`` pins the fabric to its boot topology
 (``reconfiguration_delay = inf``), ``"reconfigure"`` lets the substrate
-make its per-step stay-vs-switch choice under the system's real delay —
-and returns the fastest end-to-end plan together with the
+make its per-step stay-vs-switch choice under the system's real delay,
+``"lookahead"`` plans the whole schedule's circuit program by DP
+(:func:`~repro.topology.program.synthesize_program`, never worse than
+``"reconfigure"``) — and returns the fastest end-to-end plan together
+with the
 :class:`~repro.topology.program.TopologyProgram` it realised.
 
 The candidate pool holds the schedule shapes with meaningfully different
@@ -48,8 +51,10 @@ CANDIDATE_GENERATORS: Dict[str, Callable[[int], Schedule]] = {
 CANDIDATE_ALGORITHMS: Tuple[str, ...] = tuple(CANDIDATE_GENERATORS)
 
 #: ``"static"`` — never reconfigure (boot topology only);
-#: ``"reconfigure"`` — per-step stay-vs-switch under the real delay.
-POLICIES: Tuple[str, ...] = ("static", "reconfigure")
+#: ``"reconfigure"`` — per-step stay-vs-switch under the real delay;
+#: ``"lookahead"`` — whole-schedule DP program synthesis (never worse
+#: than ``"reconfigure"``; last so ties keep the simpler policy).
+POLICIES: Tuple[str, ...] = ("static", "reconfigure", "lookahead")
 
 
 @dataclass(frozen=True)
@@ -132,13 +137,19 @@ def topology_plan_table(system: ReconfigurableOCSSystem,
                 f"{', '.join(POLICIES)}")
     substrates: Dict[str, OCSReconfigurableSubstrate] = {}
     for policy in policies:
-        sys_p = (system if policy == "reconfigure"
-                 else system.with_(reconfiguration_delay=float("inf")))
-        # Pooled per (system, decomposition): repeated co-planning on
-        # one fabric — the comparison harness, the delay ablation —
-        # reuses warm instances and their decomposition step caches.
-        sub = pooled_substrate("ocs-reconfig", sys_p,
-                               decomposition=decomposition)
+        sys_p = (system.with_(reconfiguration_delay=float("inf"))
+                 if policy == "static" else system)
+        # Pooled per (system, decomposition[, lookahead]): repeated
+        # co-planning on one fabric — the comparison harness, the delay
+        # ablation — reuses warm instances and their decomposition step
+        # caches.
+        if policy == "lookahead":
+            sub = pooled_substrate("ocs-reconfig", sys_p,
+                                   decomposition=decomposition,
+                                   lookahead=True)
+        else:
+            sub = pooled_substrate("ocs-reconfig", sys_p,
+                                   decomposition=decomposition)
         assert isinstance(sub, OCSReconfigurableSubstrate)
         substrates[policy] = sub
     plans: List[TopologyPlan] = []

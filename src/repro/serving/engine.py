@@ -39,9 +39,9 @@ import numpy as np
 
 from ..collectives.primitives import transfer_bytes
 from ..collectives.schedule import Schedule
-from ..config import (OpticalRingSystem, Workload, default_electrical,
-                      default_hierarchical, default_ocs, default_optical,
-                      default_torus)
+from ..config import (OpticalRingSystem, ReconfigurableOCSSystem, Workload,
+                      default_electrical, default_hierarchical, default_ocs,
+                      default_optical, default_torus)
 from ..core.substrates import Substrate, pooled_substrate
 from ..core.substrates.registry import cache_stats
 from ..errors import ConfigurationError, ScheduleError
@@ -345,20 +345,31 @@ class ServingEngine:
         ``"wrht"`` plans against the shared optical system projected to
         the job's width (payload-dependent group size), so it is keyed
         by message size as well; the system-free generators are not.
+        On an OCS fabric the same arm runs the topology co-planner's
+        lookahead policy instead (whole-schedule program synthesis).
         """
         if algorithm == "wrht":
+            key = ("wrht", num_nodes, float(message_bytes))
+            sched = self._schedules.get(key)
+            if sched is not None:
+                return sched
+            if isinstance(self.system, ReconfigurableOCSSystem):
+                from ..core.topoplan import plan_topology
+                plan = plan_topology(
+                    self.system.with_(num_nodes=num_nodes),
+                    Workload(data_bytes=message_bytes, name="serving"),
+                    policies=("lookahead",))
+                sched = self._schedules[key] = plan.schedule
+                return sched
             if not isinstance(self.system, OpticalRingSystem):
                 raise ConfigurationError(
                     "collective 'wrht' needs an optical-ring shared "
                     "substrate")
-            key = ("wrht", num_nodes, float(message_bytes))
-            sched = self._schedules.get(key)
-            if sched is None:
-                from ..core.planner import plan_wrht
-                plan = plan_wrht(self.system.with_(num_nodes=num_nodes),
-                                 Workload(data_bytes=message_bytes,
-                                          name="serving"))
-                sched = self._schedules[key] = plan.schedule
+            from ..core.planner import plan_wrht
+            plan = plan_wrht(self.system.with_(num_nodes=num_nodes),
+                             Workload(data_bytes=message_bytes,
+                                      name="serving"))
+            sched = self._schedules[key] = plan.schedule
             return sched
         key = (algorithm, num_nodes)
         sched = self._schedules.get(key)

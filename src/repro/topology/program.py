@@ -25,7 +25,8 @@ fabrics plan over:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
 
 from ..errors import TopologyError
 from .base import Link, Topology
@@ -319,35 +320,56 @@ def greedy_demand_rounds(pairs: Sequence[CircuitPair],
     return rounds
 
 
-def color_bipartite_demand(pairs: Sequence[CircuitPair]) -> List[int]:
-    """Optimally edge-colour the demand multigraph (König's theorem).
+class _ColorState:
+    """Mutable König-colouring state (occupancy maps + per-edge colours).
 
-    Senders and receivers form the two sides of a bipartite multigraph;
-    its chromatic index equals its maximum degree ``Δ``, and the classic
-    alternating-path algorithm achieves it: each edge takes a colour
-    free at both endpoints, flipping an a/b-alternating path first when
-    the locally-free colours disagree.  Returns one colour in
-    ``[0, Δ)`` per input pair; pairs sharing a colour form a matching.
+    ``u_used``/``v_used`` map colour -> edge index per endpoint ("u" =
+    sender, "v" = receiver; the two sides are separate namespaces even
+    for the same node id).  ``flip_low[i]`` records the smallest edge
+    index whose colour an alternating-path inversion touched while edge
+    ``i`` was being inserted (``i`` itself when none was) — the datum
+    :class:`DecompositionDelta` needs to decide whether a stored suffix
+    can be peeled off without disturbing the shared prefix.
     """
-    delta = max_pair_degree(pairs)
 
-    #: colour -> edge index, per endpoint ("u" = sender, "v" = receiver;
-    #: the two sides are separate namespaces even for the same node id).
-    u_used: Dict[int, Dict[int, int]] = {}
-    v_used: Dict[int, Dict[int, int]] = {}
-    colors: List[int] = [-1] * len(pairs)
+    __slots__ = ("u_used", "v_used", "colors", "flip_low")
 
-    def free_color(used: Dict[int, int]) -> int:
-        for c in range(delta):
-            if c not in used:
-                return c
-        raise TopologyError("edge colouring overflow")  # pragma: no cover
+    def __init__(self) -> None:
+        self.u_used: Dict[int, Dict[int, int]] = {}
+        self.v_used: Dict[int, Dict[int, int]] = {}
+        self.colors: List[int] = []
+        self.flip_low: List[int] = []
 
-    for idx, (s, d) in enumerate(pairs):
+
+def _free_color(used: Dict[int, int], delta: int) -> int:
+    for c in range(delta):
+        if c not in used:
+            return c
+    raise TopologyError("edge colouring overflow")  # pragma: no cover
+
+
+def _color_edges(state: _ColorState, pairs: Sequence[CircuitPair],
+                 start: int, delta: int) -> None:
+    """Insert ``pairs[start:]`` into the colouring ``state``.
+
+    The classic alternating-path step, written as a continuation: a
+    state holding the colouring of ``pairs[:start]`` plus these
+    insertions reproduces — bit for bit — the colouring a from-scratch
+    run over all of ``pairs`` would produce.  (Edge choices depend only
+    on earlier edges: the smallest locally-free colour is independent
+    of the ``delta`` scan bound because an endpoint of degree ``g`` has
+    a free colour ``< g + 1 <= delta``, and inversions walk only
+    already-inserted edges.)
+    """
+    u_used, v_used = state.u_used, state.v_used
+    colors, flip_low = state.colors, state.flip_low
+    for idx in range(start, len(pairs)):
+        s, d = pairs[idx]
         us = u_used.setdefault(s, {})
         vd = v_used.setdefault(d, {})
-        a = free_color(us)
-        b = free_color(vd)
+        a = _free_color(us, delta)
+        b = _free_color(vd, delta)
+        low = idx
         if a != b:
             # Invert the a/b-alternating path starting at receiver ``d``
             # with colour ``a``.  König's argument: the path can never
@@ -358,6 +380,8 @@ def color_bipartite_demand(pairs: Sequence[CircuitPair]) -> List[int]:
             node, on_receiver = d, True
             cur, other = a, b
             while edge is not None:
+                if edge < low:
+                    low = edge
                 es, ed = pairs[edge]
                 far = es if on_receiver else ed
                 far_used = (u_used if on_receiver
@@ -374,7 +398,24 @@ def color_bipartite_demand(pairs: Sequence[CircuitPair]) -> List[int]:
         colors[idx] = a
         us[a] = idx
         vd[a] = idx
-    return colors
+        flip_low[idx] = low
+
+
+def color_bipartite_demand(pairs: Sequence[CircuitPair]) -> List[int]:
+    """Optimally edge-colour the demand multigraph (König's theorem).
+
+    Senders and receivers form the two sides of a bipartite multigraph;
+    its chromatic index equals its maximum degree ``Δ``, and the classic
+    alternating-path algorithm achieves it: each edge takes a colour
+    free at both endpoints, flipping an a/b-alternating path first when
+    the locally-free colours disagree.  Returns one colour in
+    ``[0, Δ)`` per input pair; pairs sharing a colour form a matching.
+    """
+    state = _ColorState()
+    state.colors = [-1] * len(pairs)
+    state.flip_low = list(range(len(pairs)))
+    _color_edges(state, pairs, 0, max_pair_degree(pairs))
+    return state.colors
 
 
 def optimal_demand_rounds(pairs: Sequence[CircuitPair],
@@ -392,6 +433,12 @@ def optimal_demand_rounds(pairs: Sequence[CircuitPair],
     if not pairs:
         return []
     colors = color_bipartite_demand(pairs)
+    return _pack_color_rounds(pairs, colors, ports_per_node)
+
+
+def _pack_color_rounds(pairs: Sequence[CircuitPair], colors: Sequence[int],
+                       ports_per_node: int) -> List[Tuple[CircuitPair, ...]]:
+    """Pack ``ports_per_node`` colour classes per round (input order)."""
     delta = max(colors) + 1
     num_rounds = -(-delta // ports_per_node)
     rounds: List[List[CircuitPair]] = [[] for _ in range(num_rounds)]
@@ -408,11 +455,665 @@ def decompose_demand(pairs: Sequence[CircuitPair], ports_per_node: int,
     colouring, exact round minimum), or ``"auto"`` — optimal up to
     :data:`OPTIMAL_DECOMPOSITION_LIMIT` demand edges, greedy beyond.
     """
+    if resolve_decomposition_mode(mode, len(pairs)) == "optimal":
+        return optimal_demand_rounds(pairs, ports_per_node)
+    return greedy_demand_rounds(pairs, ports_per_node)
+
+
+def resolve_decomposition_mode(mode: str, num_pairs: int) -> str:
+    """The concrete algorithm a mode resolves to at this demand size.
+
+    ``"auto"`` is optimal up to :data:`OPTIMAL_DECOMPOSITION_LIMIT`
+    demand edges and greedy beyond — the one threshold
+    :func:`decompose_demand` and :class:`DecompositionDelta` share, so
+    the delta can detect a resolved-mode flip (and fall back) when a
+    growing demand crosses it.
+    """
     if mode not in ("auto", "greedy", "optimal"):
         raise TopologyError(
             f"decomposition mode must be 'auto', 'greedy' or 'optimal', "
             f"got {mode!r}")
     if mode == "optimal" or (mode == "auto"
-                             and len(pairs) <= OPTIMAL_DECOMPOSITION_LIMIT):
-        return optimal_demand_rounds(pairs, ports_per_node)
-    return greedy_demand_rounds(pairs, ports_per_node)
+                             and num_pairs <= OPTIMAL_DECOMPOSITION_LIMIT):
+        return "optimal"
+    return "greedy"
+
+
+# ---------------------------------------------------------------------------
+# delta-aware decomposition (patch rounds across near-identical demands)
+# ---------------------------------------------------------------------------
+
+
+class _GreedyState:
+    """Mutable first-fit placement state for the greedy decomposition.
+
+    The multi-pass :func:`greedy_demand_rounds` is equivalent to a
+    single pass that drops each pair into the lowest-indexed round with
+    free ports at both endpoints (a pair lands in pass ``r`` exactly
+    when rounds ``0..r-1`` conflicted with earlier-ordered pairs placed
+    there) — and the single-pass form is resumable: a pair's round
+    depends only on pairs ordered before it.
+    """
+
+    __slots__ = ("round_of", "out_used", "in_used")
+
+    def __init__(self) -> None:
+        self.round_of: List[int] = []
+        self.out_used: List[Dict[int, int]] = []
+        self.in_used: List[Dict[int, int]] = []
+
+    def place(self, s: int, d: int, ports: int) -> None:
+        r = 0
+        while r < len(self.out_used):
+            if (self.out_used[r].get(s, 0) < ports
+                    and self.in_used[r].get(d, 0) < ports):
+                break
+            r += 1
+        else:
+            self.out_used.append({})
+            self.in_used.append({})
+        self.out_used[r][s] = self.out_used[r].get(s, 0) + 1
+        self.in_used[r][d] = self.in_used[r].get(d, 0) + 1
+        self.round_of.append(r)
+
+    def remove_suffix(self, pairs: Sequence[CircuitPair],
+                      keep: int) -> None:
+        for idx in range(len(self.round_of) - 1, keep - 1, -1):
+            s, d = pairs[idx]
+            r = self.round_of[idx]
+            self.out_used[r][s] -= 1
+            self.in_used[r][d] -= 1
+        del self.round_of[keep:]
+
+    def rounds(self, pairs: Sequence[CircuitPair],
+               ) -> List[Tuple[CircuitPair, ...]]:
+        if not self.round_of:
+            return []
+        grouped: List[List[CircuitPair]] = [
+            [] for _ in range(max(self.round_of) + 1)]
+        for pair, r in zip(pairs, self.round_of):
+            grouped[r].append(pair)
+        return [tuple(r) for r in grouped if r]
+
+
+class DecompositionDelta:
+    """Incremental demand decomposition across near-identical steps.
+
+    Mirrors the ring's RWA delta: consecutive synchronous steps of one
+    workload usually differ in a handful of demand edges, yet the
+    substrate re-ran the full König colouring every time the ordered
+    pattern changed at all.  :meth:`solve` keeps the previous solve's
+    live colouring (or first-fit placement) and patches it — untouched
+    prefix edges keep their rounds verbatim, only the differing suffix
+    is removed and re-coloured.
+
+    The patch is a *computational shortcut, never an approximation*:
+    every result is bit-for-bit what :func:`decompose_demand` returns
+    for the same inputs, so memoizing patched results stays pure.  The
+    exactness argument: the colouring of a prefix depends only on that
+    prefix, so peeling the stored suffix off (freeing its colours)
+    recreates the state a from-scratch run holds after the shared
+    prefix — *provided* no suffix insertion's alternating-path flip
+    recoloured a prefix edge, which ``flip_low`` detects.  When that
+    condition (or the port budget / resolved mode) breaks, the solve
+    falls back to a full decomposition and counts it.
+    """
+
+    def __init__(self) -> None:
+        self._pairs: Optional[Tuple[CircuitPair, ...]] = None
+        self._ports = 0
+        self._resolved = ""
+        self._color: Optional[_ColorState] = None
+        self._greedy: Optional[_GreedyState] = None
+        self._last: List[Tuple[CircuitPair, ...]] = []
+        #: Solves answered by patching the previous solution.
+        self.patched = 0
+        #: Patch attempts that had to re-solve from scratch.
+        self.fallbacks = 0
+
+    def solve(self, pairs: Sequence[CircuitPair], ports_per_node: int,
+              mode: str = "auto") -> List[Tuple[CircuitPair, ...]]:
+        """Rounds for ``pairs`` — identical to :func:`decompose_demand`."""
+        pairs = tuple(pairs)
+        resolved = resolve_decomposition_mode(mode, len(pairs))
+        if ports_per_node < 1:
+            raise TopologyError(
+                f"ports_per_node must be >= 1, got {ports_per_node}")
+        if self._pairs is not None:
+            rounds = self._patch(pairs, ports_per_node, resolved)
+            if rounds is not None:
+                self.patched += 1
+                self._last = rounds
+                return list(rounds)
+            self.fallbacks += 1
+        return self._solve_full(pairs, ports_per_node, resolved)
+
+    # -- internals ----------------------------------------------------------
+
+    def _solve_full(self, pairs: Tuple[CircuitPair, ...], ports: int,
+                    resolved: str) -> List[Tuple[CircuitPair, ...]]:
+        if resolved == "optimal":
+            state = _ColorState()
+            state.colors = [-1] * len(pairs)
+            state.flip_low = list(range(len(pairs)))
+            _color_edges(state, pairs, 0, max_pair_degree(pairs))
+            rounds = (_pack_color_rounds(pairs, state.colors, ports)
+                      if pairs else [])
+            self._color, self._greedy = state, None
+        else:
+            gstate = _GreedyState()
+            for s, d in pairs:
+                gstate.place(s, d, ports)
+            rounds = gstate.rounds(pairs)
+            self._color, self._greedy = None, gstate
+        self._pairs = pairs
+        self._ports = ports
+        self._resolved = resolved
+        self._last = rounds
+        return list(rounds)
+
+    def _patch(self, pairs: Tuple[CircuitPair, ...], ports: int,
+               resolved: str) -> Optional[List[Tuple[CircuitPair, ...]]]:
+        old = self._pairs
+        assert old is not None
+        if ports != self._ports or resolved != self._resolved:
+            return None
+        if pairs == old:
+            return list(self._last)
+        k = 0
+        limit = min(len(pairs), len(old))
+        while k < limit and pairs[k] == old[k]:
+            k += 1
+        if k == 0:
+            return None
+        if resolved == "optimal":
+            state = self._color
+            assert state is not None
+            # Peeling the stored suffix is exact only if none of its
+            # insertions flipped a colour inside the shared prefix.
+            if any(state.flip_low[i] < k for i in range(k, len(old))):
+                return None
+            for idx in range(k, len(old)):
+                s, d = old[idx]
+                c = state.colors[idx]
+                us = state.u_used.get(s)
+                if us is not None and us.get(c) == idx:
+                    del us[c]
+                vd = state.v_used.get(d)
+                if vd is not None and vd.get(c) == idx:
+                    del vd[c]
+            del state.colors[k:]
+            del state.flip_low[k:]
+            state.colors.extend([-1] * (len(pairs) - k))
+            state.flip_low.extend(range(k, len(pairs)))
+            _color_edges(state, pairs, k, max_pair_degree(pairs))
+            rounds = _pack_color_rounds(pairs, state.colors, ports)
+        else:
+            gstate = self._greedy
+            assert gstate is not None
+            gstate.remove_suffix(old, k)
+            for idx in range(k, len(pairs)):
+                s, d = pairs[idx]
+                gstate.place(s, d, ports)
+            rounds = gstate.rounds(pairs)
+        self._pairs = pairs
+        return rounds
+
+
+# ---------------------------------------------------------------------------
+# round pricing, leftover-port striping, demand-aware boot
+# ---------------------------------------------------------------------------
+
+
+class RoundsPlan:
+    """Costed outcome of serving one step as decomposition rounds."""
+
+    __slots__ = ("serialization", "propagation", "reconfig_time",
+                 "new_configs", "stripe_factor")
+
+    def __init__(self, serialization: float, propagation: float,
+                 reconfig_time: float, new_configs: List[CircuitConfig],
+                 stripe_factor: int = 1) -> None:
+        self.serialization = serialization
+        self.propagation = propagation
+        self.reconfig_time = reconfig_time
+        self.new_configs = new_configs
+        self.stripe_factor = stripe_factor
+
+    @property
+    def total(self) -> float:
+        return self.serialization + self.propagation + self.reconfig_time
+
+
+def price_demand_rounds(rounds: Sequence[Tuple[CircuitPair, ...]],
+                        sizes: Mapping[CircuitPair, float],
+                        current: CircuitConfig, *,
+                        circuit_rate: float, circuit_latency: float,
+                        reconfiguration_delay: float,
+                        stripe_leftover: bool = False,
+                        ports_per_node: int = 0) -> RoundsPlan:
+    """Cost one step's decomposition rounds against the live circuits.
+
+    Rounds already covered by what the switch is holding are served for
+    free (no reconfiguration); the rest each install a fresh
+    configuration and pay the delay.  The live set *evolves* round to
+    round — installing a round's configuration tears the previous
+    circuits down, so later rounds are priced against the last
+    installed configuration, not the step-entry one.
+    """
+    live = set(current.circuits)
+    serialization = 0.0
+    stripe = 1
+    new_configs: List[CircuitConfig] = []
+    for rnd in rounds:
+        if stripe_leftover:
+            ser, k = stripe_round_serialization(rnd, sizes, ports_per_node,
+                                                circuit_rate)
+            serialization += ser
+            if k > stripe:
+                stripe = k
+        else:
+            serialization += max(sizes[p] for p in rnd) / circuit_rate
+        if not live.issuperset(rnd):
+            cfg = CircuitConfig.of(rnd)
+            new_configs.append(cfg)
+            live = set(cfg.circuits)
+    return RoundsPlan(
+        serialization=serialization,
+        propagation=len(rounds) * circuit_latency,
+        reconfig_time=len(new_configs) * reconfiguration_delay,
+        new_configs=new_configs,
+        stripe_factor=stripe)
+
+
+def stripe_round_serialization(round_pairs: Sequence[CircuitPair],
+                               sizes: Mapping[CircuitPair, float],
+                               ports_per_node: int, circuit_rate: float,
+                               occupancy: Optional[Tuple[Dict[int, int],
+                                                         Dict[int, int]]]
+                               = None) -> Tuple[float, int]:
+    """Serialization of one round with leftover-port striping.
+
+    Water-fills idle transceiver ports onto the bottleneck pair: while
+    the pair that finishes last still has a free transmit port at its
+    source and a free receive port at its destination, grant it one
+    more parallel circuit.  ``occupancy`` overrides the starting port
+    usage (the synthesizer passes the full installed configuration's
+    degrees when a round is served on a richer config).  Returns
+    ``(serialization_seconds, max_split)``.
+
+    A :class:`CircuitConfig` cannot represent parallel circuits between
+    one pair, so this is a cost-model refinement only — the program
+    synthesizer's ``stripe_leftover`` knob — and is off by default
+    everywhere greedy parity is pinned.
+    """
+    if not round_pairs:
+        return 0.0, 1
+    if occupancy is None:
+        out, inn = degree_counts(round_pairs)
+    else:
+        out, inn = dict(occupancy[0]), dict(occupancy[1])
+    splits: Dict[CircuitPair, int] = {p: 1 for p in round_pairs}
+    while True:
+        bottleneck = max(round_pairs,
+                         key=lambda p: (sizes[p] / splits[p], p))
+        s, d = bottleneck
+        if (out.get(s, 0) >= ports_per_node
+                or inn.get(d, 0) >= ports_per_node):
+            break
+        out[s] = out.get(s, 0) + 1
+        inn[d] = inn.get(d, 0) + 1
+        splits[bottleneck] += 1
+    ser = max(sizes[p] / (splits[p] * circuit_rate) for p in round_pairs)
+    return ser, max(splits.values())
+
+
+def demand_aware_boot_config(aggregate: Mapping[CircuitPair, float],
+                             num_nodes: int,
+                             ports_per_node: int) -> CircuitConfig:
+    """A boot configuration seeded from the aggregate demand matrix.
+
+    Grants direct circuits to the heaviest (src, dst) pairs first while
+    the port budget allows, then pads leftover ports with ring edges
+    (forward, then reverse) so the boot fabric keeps best-effort
+    connectivity.  Unlike :func:`ring_circuit_config` connectivity is
+    *not* guaranteed — heavy demand can exhaust a node's ports — which
+    is fine on a reconfigurable fabric (unroutable steps simply force a
+    reconfiguration) but can make a frozen (``delay=inf``) fabric raise
+    on traffic the boot circuits do not reach.
+    """
+    if num_nodes < 2:
+        raise TopologyError(
+            f"a boot configuration needs >=2 nodes, got {num_nodes}")
+    if ports_per_node < 1:
+        raise TopologyError(
+            f"ports_per_node must be >= 1, got {ports_per_node}")
+    out: Dict[int, int] = {}
+    inn: Dict[int, int] = {}
+    taken: List[CircuitPair] = []
+    have = set()
+
+    def grab(s: int, d: int) -> None:
+        if s == d or (s, d) in have:
+            return
+        if (out.get(s, 0) < ports_per_node
+                and inn.get(d, 0) < ports_per_node):
+            out[s] = out.get(s, 0) + 1
+            inn[d] = inn.get(d, 0) + 1
+            have.add((s, d))
+            taken.append((s, d))
+
+    for s, d in sorted(aggregate, key=lambda p: (-aggregate[p], p)):
+        if 0 <= s < num_nodes and 0 <= d < num_nodes:
+            grab(s, d)
+    for i in range(num_nodes):
+        grab(i, (i + 1) % num_nodes)
+    if num_nodes > 2:
+        for i in range(num_nodes):
+            grab(i, (i - 1) % num_nodes)
+    return CircuitConfig.of(taken)
+
+
+# ---------------------------------------------------------------------------
+# lookahead program synthesis (DP over the whole schedule)
+# ---------------------------------------------------------------------------
+
+#: (config, sizes) -> (fluid makespan, propagation); inf when unroutable.
+StayCost = Callable[[CircuitConfig, Mapping[CircuitPair, float]],
+                    Tuple[float, float]]
+
+#: (ordered pairs, ports) -> decomposition rounds.
+Decompose = Callable[[Tuple[CircuitPair, ...], int],
+                     List[Tuple[CircuitPair, ...]]]
+
+#: Boot-config spec accepted by :func:`synthesize_program`.
+InitialSpec = Union[str, CircuitConfig, None]
+
+
+@dataclass(frozen=True)
+class SynthesizedStep:
+    """One planned step of a synthesized OCS program.
+
+    ``total`` is the step's serving cost exactly as accumulated by the
+    DP (and by the greedy executor for the same action) — replaying
+    ``overhead + total`` per step reproduces :attr:`SynthesizedProgram.
+    total_time` bit for bit, which the greedy-equality pins rely on.
+    """
+
+    action: str  # "stay" | "rounds" | "install"
+    config: CircuitConfig
+    total: float
+    serialization: float
+    propagation: float
+    reconfig_time: float
+    new_configs: Tuple[CircuitConfig, ...] = ()
+    stripe_factor: int = 1
+
+
+@dataclass(frozen=True)
+class SynthesizedProgram:
+    """The outcome of :func:`synthesize_program` for one schedule."""
+
+    initial: CircuitConfig
+    steps: Tuple[SynthesizedStep, ...]
+    total_time: float
+    greedy_time: float
+    reconfigurations: int
+    greedy_reconfigurations: int
+
+    @property
+    def reconfigurations_saved(self) -> int:
+        """Switches the lookahead plan avoids vs the greedy policy."""
+        return max(0, self.greedy_reconfigurations - self.reconfigurations)
+
+
+def _default_stay_cost(system) -> StayCost:
+    """Fluid stay-cost evaluator for standalone synthesis.
+
+    The substrate passes its own pooled evaluator instead; this builds
+    one simulator per visited configuration for direct callers (the
+    example, the property tests).
+    """
+    from ..simulation.fluid import FluidNetworkSimulator
+
+    sims: Dict[CircuitConfig, FluidNetworkSimulator] = {}
+
+    def cost(config: CircuitConfig,
+             sizes: Mapping[CircuitPair, float]) -> Tuple[float, float]:
+        sim = sims.get(config)
+        if sim is None:
+            topo = CircuitTopology(system.num_nodes, config,
+                                   capacity=system.circuit_rate,
+                                   latency=system.circuit_latency)
+            sim = sims[config] = FluidNetworkSimulator(topo)
+        try:
+            profile = sim.step_profile(
+                [(s, d, b) for (s, d), b in sorted(sizes.items())])
+        except TopologyError:
+            return float("inf"), 0.0
+        return profile.makespan, profile.propagation
+
+    return cost
+
+
+def synthesize_program(
+        schedule_demands: Sequence[Mapping[CircuitPair, float]],
+        system, *,
+        initial: InitialSpec = None,
+        stay_cost: Optional[StayCost] = None,
+        decompose: Optional[Decompose] = None,
+        stripe_leftover: bool = False,
+        beam_width: int = 8,
+        horizon: int = 4) -> SynthesizedProgram:
+    """Plan a whole-schedule circuit program by dynamic programming.
+
+    ``schedule_demands`` is one ``{(src, dst): bytes}`` mapping per
+    synchronous step; ``system`` is any object with the OCS fabric
+    attributes (``num_nodes``, ``ports_per_node``, ``circuit_rate``,
+    ``circuit_latency``, ``reconfiguration_delay``, ``step_overhead``,
+    ``can_reconfigure``).
+
+    The DP state is the live :class:`CircuitConfig`; per step each
+    frontier state branches three ways:
+
+    * **stay** — serve on the live circuits (fluid makespan via
+      ``stay_cost``);
+    * **rounds** — reconfigure through the demand decomposition's
+      rounds (:func:`price_demand_rounds`, evolving live set);
+    * **install** — pay one reconfiguration for a *future-profitable*
+      config: a port-feasible union of this and the next steps'
+      demands (``horizon``-bounded prefix unions), serving every pair
+      on a direct circuit — later steps covered by the union then stay
+      for free, amortising the delay.
+
+    The frontier is beam-pruned to ``beam_width`` states, but the
+    greedy per-step trajectory is simulated alongside **with identical
+    arithmetic** and force-merged into the frontier every step, so
+    ``total_time <= greedy_time`` holds on every schedule by
+    construction — never worse than the myopic policy, bit-for-bit
+    equal where greedy is already optimal (``delay=0`` matchings) and
+    trivially at ``delay=inf`` (no reconfiguration branches exist).
+
+    ``initial`` seeds the DP's boot state: a config, ``"ring"``/
+    ``None`` (the static ring), or ``"demand"``
+    (:func:`demand_aware_boot_config` over the aggregate demand).
+    ``stripe_leftover`` prices rounds/installs with
+    :func:`stripe_round_serialization` (cost model only, default off;
+    the greedy shadow never stripes).
+    """
+    ports = system.ports_per_node
+    rate = system.circuit_rate
+    latency = system.circuit_latency
+    delay = system.reconfiguration_delay
+    overhead = system.step_overhead
+    can_reconf = system.can_reconfigure
+    inf = float("inf")
+
+    demands = [dict(d) for d in schedule_demands]
+    ordered_steps = [tuple(sorted(d, key=lambda p: (-d[p], p)))
+                     for d in demands]
+
+    if initial is None or initial == "ring":
+        start = ring_circuit_config(system.num_nodes,
+                                    bidirectional=ports >= 2)
+    elif initial == "demand":
+        agg: Dict[CircuitPair, float] = {}
+        for sizes in demands:
+            for p, b in sizes.items():
+                agg[p] = agg.get(p, 0.0) + b
+        start = demand_aware_boot_config(agg, system.num_nodes, ports)
+    elif isinstance(initial, CircuitConfig):
+        start = initial
+    else:
+        raise TopologyError(
+            f"initial must be 'ring', 'demand' or a CircuitConfig, "
+            f"got {initial!r}")
+    start.validate(system.num_nodes, ports)
+
+    if stay_cost is None:
+        stay_cost = _default_stay_cost(system)
+    if decompose is None:
+        decompose = lambda o, p: decompose_demand(o, p, "auto")  # noqa: E731
+
+    # Install candidates per step: unions of this and the next steps'
+    # demand pairs, extended while they stay port-feasible.  Installing
+    # one once lets every covered step stay for free afterwards.
+    num_steps = len(demands)
+    pair_sets = [frozenset(o) for o in ordered_steps]
+    candidates: List[List[CircuitConfig]] = []
+    for t in range(num_steps):
+        cands: List[CircuitConfig] = []
+        acc: set = set()
+        for u in range(t, min(num_steps, t + horizon)):
+            acc |= pair_sets[u]
+            if not acc or max_pair_degree(acc) > ports:
+                break
+            cfg = CircuitConfig.of(acc)
+            if not cands or cands[-1] != cfg:
+                cands.append(cfg)
+        candidates.append(cands)
+
+    def price(rounds, sizes, cfg, striped):
+        return price_demand_rounds(
+            rounds, sizes, cfg, circuit_rate=rate, circuit_latency=latency,
+            reconfiguration_delay=delay, stripe_leftover=striped,
+            ports_per_node=ports)
+
+    #: config -> (cumulative cost, path of SynthesizedSteps)
+    frontier: Dict[CircuitConfig, Tuple[float, Tuple[SynthesizedStep, ...]]]
+    frontier = {start: (0.0, ())}
+    greedy_cfg, greedy_cost = start, 0.0
+    greedy_steps: List[SynthesizedStep] = []
+    greedy_reconfigs = 0
+
+    for t in range(num_steps):
+        sizes = demands[t]
+        ordered = ordered_steps[t]
+        rounds = decompose(ordered, ports) if ordered else []
+
+        stay_memo: Dict[CircuitConfig, Tuple[float, float]] = {}
+
+        def stay_of(cfg):
+            got = stay_memo.get(cfg)
+            if got is None:
+                got = stay_memo[cfg] = stay_cost(cfg, sizes)
+            return got
+
+        nxt: Dict[CircuitConfig,
+                  Tuple[float, Tuple[SynthesizedStep, ...]]] = {}
+
+        def offer(cfg, cost, path):
+            cur = nxt.get(cfg)
+            if cur is None or cost < cur[0]:
+                nxt[cfg] = (cost, path)
+
+        for cfg, (cost, path) in sorted(
+                frontier.items(),
+                key=lambda kv: (kv[1][0], kv[0].circuits)):
+            makespan, prop = stay_of(cfg)
+            if makespan < inf:
+                rec = SynthesizedStep(
+                    action="stay", config=cfg, total=makespan,
+                    serialization=makespan - prop, propagation=prop,
+                    reconfig_time=0.0)
+                offer(cfg, cost + (overhead + makespan), path + (rec,))
+            if not can_reconf or not ordered:
+                continue
+            plan = price(rounds, sizes, cfg, stripe_leftover)
+            end = plan.new_configs[-1] if plan.new_configs else cfg
+            rec = SynthesizedStep(
+                action="rounds", config=end, total=plan.total,
+                serialization=plan.serialization,
+                propagation=plan.propagation,
+                reconfig_time=plan.reconfig_time,
+                new_configs=tuple(plan.new_configs),
+                stripe_factor=plan.stripe_factor)
+            offer(end, cost + (overhead + plan.total), path + (rec,))
+            for cand in candidates[t]:
+                if stripe_leftover:
+                    ser, k = stripe_round_serialization(
+                        ordered, sizes, ports, rate,
+                        occupancy=degree_counts(cand.circuits))
+                else:
+                    ser = max(sizes[p] for p in ordered) / rate
+                    k = 1
+                pay = delay if cand != cfg else 0.0
+                total = ser + latency + pay
+                rec = SynthesizedStep(
+                    action="install", config=cand, total=total,
+                    serialization=ser, propagation=latency,
+                    reconfig_time=pay,
+                    new_configs=(cand,) if cand != cfg else (),
+                    stripe_factor=k)
+                offer(cand, cost + (overhead + total), path + (rec,))
+
+        # -- greedy shadow: the substrate's per-step policy, replicated
+        # with the same callbacks and the same accumulation order, so
+        # its totals are float-identical to a plain execute().
+        g_makespan, g_prop = stay_of(greedy_cfg)
+        g_plan = (price(rounds, sizes, greedy_cfg, False)
+                  if can_reconf else None)
+        if g_plan is not None and g_plan.total < g_makespan:
+            g_end = (g_plan.new_configs[-1] if g_plan.new_configs
+                     else greedy_cfg)
+            greedy_steps.append(SynthesizedStep(
+                action="rounds", config=g_end, total=g_plan.total,
+                serialization=g_plan.serialization,
+                propagation=g_plan.propagation,
+                reconfig_time=g_plan.reconfig_time,
+                new_configs=tuple(g_plan.new_configs)))
+            greedy_cost = greedy_cost + (overhead + g_plan.total)
+            greedy_reconfigs += len(g_plan.new_configs)
+            greedy_cfg = g_end
+        else:
+            if g_makespan == inf:
+                raise TopologyError(
+                    f"step {t} is unroutable on the current circuit "
+                    f"configuration and reconfiguration is disabled "
+                    f"(reconfiguration_delay=inf)")
+            greedy_steps.append(SynthesizedStep(
+                action="stay", config=greedy_cfg, total=g_makespan,
+                serialization=g_makespan - g_prop, propagation=g_prop,
+                reconfig_time=0.0))
+            greedy_cost = greedy_cost + (overhead + g_makespan)
+
+        keep = sorted(nxt.items(),
+                      key=lambda kv: (kv[1][0], kv[0].circuits))
+        frontier = dict(keep[:beam_width])
+        # Force-merge the greedy trajectory: with its state always in
+        # the frontier at no more than its own cost, the final minimum
+        # can never exceed greedy_cost — the dominance guarantee
+        # survives beam pruning.
+        held = frontier.get(greedy_cfg)
+        if held is None or held[0] > greedy_cost:
+            frontier[greedy_cfg] = (greedy_cost, tuple(greedy_steps))
+
+    _, (best_cost, best_path) = min(
+        frontier.items(), key=lambda kv: (kv[1][0], kv[0].circuits))
+    return SynthesizedProgram(
+        initial=start,
+        steps=best_path,
+        total_time=best_cost,
+        greedy_time=greedy_cost,
+        reconfigurations=sum(len(s.new_configs) for s in best_path),
+        greedy_reconfigurations=greedy_reconfigs)

@@ -1,0 +1,139 @@
+"""Parity suite for the delta-aware demand decomposition.
+
+:class:`~repro.topology.program.DecompositionDelta` must be an exact
+computational shortcut: every ``solve`` returns **bit-for-bit** the
+rounds a cold :func:`~repro.topology.program.decompose_demand` would —
+whether the call patched the previous solve or fell back — so caching
+its results is as pure as caching cold ones.  Hypothesis drives random
+churn chains (append/truncate/replace) through both modes, pins the
+``ceil(Δ/ports)`` optimality bound under churn, and forces the
+fallback conditions (port-budget change, resolved-mode change,
+no-shared-prefix) explicitly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.program import (OPTIMAL_DECOMPOSITION_LIMIT,
+                                    DecompositionDelta, decompose_demand,
+                                    max_pair_degree,
+                                    resolve_decomposition_mode)
+
+
+def _pairs_strategy(n=8, max_len=14):
+    pair = st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+        lambda p: p[0] != p[1])
+    return st.lists(pair, max_size=max_len, unique=True)
+
+
+#: One churn chain: a sequence of (pairs, ports) demand snapshots.
+_chain = st.lists(
+    st.tuples(_pairs_strategy(), st.integers(1, 3)),
+    min_size=1, max_size=12)
+
+
+class TestChurnParity:
+    @settings(max_examples=120, deadline=None)
+    @given(chain=_chain, mode=st.sampled_from(["auto", "greedy", "optimal"]))
+    def test_solve_equals_cold_decompose(self, chain, mode):
+        """Every link of a churn chain is bit-for-bit the cold solve."""
+        delta = DecompositionDelta()
+        for pairs, ports in chain:
+            got = delta.solve(pairs, ports, mode)
+            assert got == decompose_demand(tuple(pairs), ports, mode)
+
+    @settings(max_examples=80, deadline=None)
+    @given(chain=_chain)
+    def test_optimal_bound_preserved_under_churn(self, chain):
+        """Patched solves still meet the ``ceil(Δ/ports)`` bound."""
+        delta = DecompositionDelta()
+        for pairs, ports in chain:
+            rounds = delta.solve(pairs, ports, "optimal")
+            if pairs:
+                degree = max_pair_degree(pairs)
+                assert len(rounds) == -(-degree // ports)
+            else:
+                assert rounds == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(base=_pairs_strategy(), suffix=_pairs_strategy(max_len=6),
+           keep=st.integers(0, 14), ports=st.integers(1, 3),
+           mode=st.sampled_from(["greedy", "optimal"]))
+    def test_prefix_churn_is_exact(self, base, suffix, keep, ports, mode):
+        """Tail-only churn — the patch's home turf — stays exact."""
+        delta = DecompositionDelta()
+        delta.solve(base, ports, mode)
+        new = base[:keep] + [p for p in suffix if p not in base[:keep]]
+        got = delta.solve(new, ports, mode)
+        assert got == decompose_demand(tuple(new), ports, mode)
+
+
+class TestCountersAndFallbacks:
+    BASE = [(0, 1), (2, 3), (4, 5), (0, 2)]
+
+    def test_first_solve_counts_neither(self):
+        delta = DecompositionDelta()
+        delta.solve(self.BASE, 2)
+        assert delta.patched == 0
+        assert delta.fallbacks == 0
+
+    def test_identical_resolve_patches(self):
+        delta = DecompositionDelta()
+        delta.solve(self.BASE, 2)
+        again = delta.solve(self.BASE, 2)
+        assert delta.patched == 1 and delta.fallbacks == 0
+        assert again == decompose_demand(tuple(self.BASE), 2)
+
+    def test_tail_churn_patches(self):
+        delta = DecompositionDelta()
+        delta.solve(self.BASE, 2)
+        new = self.BASE[:3] + [(1, 3), (5, 6)]
+        got = delta.solve(new, 2)
+        assert delta.patched == 1
+        assert got == decompose_demand(tuple(new), 2)
+
+    def test_port_budget_change_forces_fallback(self):
+        delta = DecompositionDelta()
+        delta.solve(self.BASE, 2)
+        got = delta.solve(self.BASE, 1)
+        assert delta.fallbacks == 1 and delta.patched == 0
+        assert got == decompose_demand(tuple(self.BASE), 1)
+
+    def test_resolved_mode_change_forces_fallback(self):
+        delta = DecompositionDelta()
+        delta.solve(self.BASE, 2, "optimal")
+        got = delta.solve(self.BASE, 2, "greedy")
+        assert delta.fallbacks == 1
+        assert got == decompose_demand(tuple(self.BASE), 2, "greedy")
+
+    def test_no_shared_prefix_forces_fallback(self):
+        delta = DecompositionDelta()
+        delta.solve(self.BASE, 2)
+        flipped = list(reversed(self.BASE))
+        got = delta.solve(flipped, 2)
+        assert delta.fallbacks == 1
+        assert got == decompose_demand(tuple(flipped), 2)
+
+    def test_bad_inputs_rejected(self):
+        delta = DecompositionDelta()
+        with pytest.raises(TopologyError):
+            delta.solve(self.BASE, 0)
+        with pytest.raises(TopologyError):
+            delta.solve(self.BASE, 2, "magic")
+
+
+class TestModeResolution:
+    def test_auto_threshold(self):
+        assert resolve_decomposition_mode("auto", 10) == "optimal"
+        assert resolve_decomposition_mode(
+            "auto", OPTIMAL_DECOMPOSITION_LIMIT) == "optimal"
+        assert resolve_decomposition_mode(
+            "auto", OPTIMAL_DECOMPOSITION_LIMIT + 1) == "greedy"
+
+    def test_explicit_modes(self):
+        assert resolve_decomposition_mode("optimal", 10 ** 6) == "optimal"
+        assert resolve_decomposition_mode("greedy", 1) == "greedy"
+        with pytest.raises(TopologyError):
+            resolve_decomposition_mode("magic", 1)

@@ -236,6 +236,71 @@ class TestRwaDeltaFallbackCounters:
             assert got.duration == want.duration
 
 
+class TestHierRackDegraded:
+    """Fault injection through both levels of the rack hierarchy."""
+
+    def test_wavelength_loss_degrades_and_recovers(self):
+        """A lost leader-ring wavelength reaches the optical plane,
+        slows cross-rack steps, and repairs converge exactly."""
+        sub = HierarchicalRackSubstrate(cache=False)
+        ref = sub.execute(RD8, WL)
+        plan = FaultPlan.of([
+            ev(0.0, FaultKind.WAVELENGTH_DOWN, wavelength=0),
+            ev(ref.total_time * 0.5, FaultKind.WAVELENGTH_UP, wavelength=0),
+        ])
+        run = sub.execute_with_faults(RD8, WL, plan)
+        assert run.outcome.faults_survived > 0
+        assert run.report.steps[-1].duration == ref.steps[-1].duration
+
+    def test_member_host_down_is_fatal_for_its_flows(self):
+        """Every host participates in the collective, so a downed
+        member partitions its star flows."""
+        sub = HierarchicalRackSubstrate(cache=False)
+        plan = FaultPlan.of([ev(0.0, FaultKind.NODE_DOWN, node=0)])
+        with pytest.raises(DegradedError):
+            sub.execute_with_faults(RD8, WL, plan)
+
+    def test_stall_adds_exactly_stall_time(self):
+        sub = HierarchicalRackSubstrate(cache=False)
+        ref = sub.execute(RD8, WL)
+        t0 = ref.steps[0].duration
+        plan = FaultPlan.of([ev(t0 * 0.5, FaultKind.OCS_STALL,
+                                duration=0.004)])
+        run = sub.execute_with_faults(RD8, WL, plan)
+        assert run.outcome.stall_time > 0
+        assert run.report.total_time == pytest.approx(
+            ref.total_time + run.outcome.stall_time, rel=1e-12)
+        assert run.outcome.repair_overhead == pytest.approx(0.0, abs=1e-12)
+
+    def test_healthy_execute_unaffected_after_faulty_run(self):
+        """The pooled leader-ring network must come back clean."""
+        sub = HierarchicalRackSubstrate(cache=False)
+        ref = sub.execute(RD8, WL)
+        plan = FaultPlan.of([ev(0.0, FaultKind.WAVELENGTH_DOWN,
+                                wavelength=0)])
+        sub.execute_with_faults(RD8, WL, plan)
+        again = sub.execute(RD8, WL)
+        assert again.steps == ref.steps
+
+    def test_rack_state_lift(self):
+        """Only leader-plane failures project onto the ring: a failed
+        leader takes its rack's position down, a leader-to-leader link
+        cuts the ring arc, member-host faults stay local."""
+        from repro.config import default_hierarchical
+        from repro.faults.events import FaultState
+
+        sub = HierarchicalRackSubstrate(cache=False)
+        system = default_hierarchical(8)  # racks of 2, leaders 1,3,5,7
+        leaders = {system.leader_of(i) for i in range(8)}
+        assert leaders == {1, 3, 5, 7}
+        state = FaultState(
+            failed_links=frozenset({(1, 3), (0, 2), (0, 1)}),
+            failed_nodes=frozenset({5, 2}))
+        links, nodes = sub._lift_rack_state(system, state)
+        assert links == {(system.rack_of(1), system.rack_of(3))}
+        assert nodes == {system.rack_of(5)}
+
+
 class TestSimulationStall:
     def test_stall_guard_raises_typed_error(self, monkeypatch):
         """Shrinking the event cap must trip SimulationStallError with
