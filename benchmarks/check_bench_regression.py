@@ -37,7 +37,8 @@ GATED_SECTIONS = ("solver_micro_cold", "step_cache_hit",
                   "hier_rack_warm_reuse", "sweep_shared_compile",
                   "solver_warm_admission", "rwa_incremental_step",
                   "serving_warm_throughput", "fault_repair_vs_resolve",
-                  "ocs_lookahead_vs_greedy", "ocs_delta_decompose")
+                  "ocs_lookahead_vs_greedy", "ocs_delta_decompose",
+                  "coplan_vs_best_fixed")
 
 
 def _load(path):

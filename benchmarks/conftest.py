@@ -25,6 +25,8 @@ BENCH_SERVING_JSON = (Path(__file__).resolve().parent.parent
 BENCH_FAULTS_JSON = (Path(__file__).resolve().parent.parent
                      / "BENCH_faults.json")
 BENCH_OCS_JSON = Path(__file__).resolve().parent.parent / "BENCH_ocs.json"
+BENCH_COPLAN_JSON = (Path(__file__).resolve().parent.parent
+                     / "BENCH_coplan.json")
 
 
 def best_time(fn, repeats):

@@ -583,3 +583,73 @@ def ocs_delay_sweep(num_nodes: int, workload: Workload,
                                 lookahead_time=look.total_time,
                                 reconfigs_saved=int(saved)))
     return rows
+
+
+@dataclass(frozen=True)
+class StrategySweepRow:
+    """EXT-T1: one parallelization strategy across fabric shapes."""
+
+    strategy: str
+    comm_bytes: float
+    hier_times: Dict[int, Optional[float]]
+    ocs_time: Optional[float]
+    ocs_algorithm: str
+    ocs_policy: str
+
+    @property
+    def best_hier_time(self) -> Optional[float]:
+        """Fastest feasible rack-size cell (None if none is)."""
+        feasible = [t for t in self.hier_times.values() if t is not None]
+        return min(feasible) if feasible else None
+
+
+def strategy_sweep(num_nodes: int, model: str = "alexnet",
+                   strategies: Optional[Sequence] = None,
+                   rack_sizes: Optional[Sequence[int]] = None,
+                   fidelity: str = "hybrid", top_k: int = 2,
+                   **lower_kwargs) -> List[StrategySweepRow]:
+    """EXT-T1: the strategy × rack-size co-planning grid.
+
+    Each row is one parallelization strategy; its ``hier_times`` map
+    rack size → best-leader closed-form time on the hierarchical
+    fabric (``None`` where the strategy's groups cannot be rack-aligned
+    — the infeasibility the co-planner routes around), and
+    ``ocs_time`` is the best simulated (algorithm, policy) pair on the
+    reconfigurable OCS.  The per-strategy spread is the whole point of
+    the sweep: strategies whose groups match the fabric hierarchy win
+    racks, strided strategies need the OCS to reshape around them.
+    """
+    from ..core.topoplan import strategy_plan_table
+    from ..models.catalog import get_model
+    from ..models.strategies import enumerate_strategies
+
+    if strategies is None:
+        strategies = enumerate_strategies(num_nodes)
+    if rack_sizes is None:
+        rack_sizes = hier_group_candidates(num_nodes)
+    model_obj = get_model(model)
+    rows: List[StrategySweepRow] = []
+    for strat in strategies:
+        comm = strat.lower(model_obj, **lower_kwargs).total_bytes
+        plans = strategy_plan_table(
+            num_nodes, model, strategies=[strat], rack_sizes=rack_sizes,
+            fidelity=fidelity, top_k=top_k, **lower_kwargs)
+        hier_times: Dict[int, Optional[float]] = {}
+        for g in rack_sizes:
+            cells = [p.predicted_time for p in plans
+                     if p.fabric == "hier-rack" and p.group_size == g]
+            hier_times[int(g)] = min(cells) if cells else None
+        ocs = [p for p in plans if p.fabric == "ocs-reconfig"]
+        if ocs:
+            best = min(ocs, key=lambda p: (p.predicted_time, p.num_steps,
+                                           p.policy, p.algorithm))
+            rows.append(StrategySweepRow(
+                strategy=strat.name, comm_bytes=comm,
+                hier_times=hier_times, ocs_time=best.predicted_time,
+                ocs_algorithm=best.algorithm, ocs_policy=best.policy))
+        else:
+            rows.append(StrategySweepRow(
+                strategy=strat.name, comm_bytes=comm,
+                hier_times=hier_times, ocs_time=None,
+                ocs_algorithm="-", ocs_policy="-"))
+    return rows

@@ -68,7 +68,65 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan_strategy(args: argparse.Namespace) -> int:
+    """The strategy co-planner path of ``plan`` (``--strategy``)."""
+    from .core.topoplan import plan_strategy, strategy_plan_table
+    from .models.strategies import parse_strategy
+
+    # Full co-planning simulates concatenated demand programs; clip the
+    # Wrht-scale default (128) to a fabric the search prices quickly.
+    nodes = min(args.nodes, 32)
+    if nodes != args.nodes:
+        print(f"(clipping --nodes {args.nodes} to {nodes} for the "
+              f"strategy co-planner)")
+    model = args.model or "alexnet"
+    strategies = None
+    if args.strategy != "auto":
+        try:
+            strat = parse_strategy(args.strategy, world=nodes)
+        except ConfigurationError:
+            # An explicit spec (dp4+tp2) fixes its own world; follow it
+            # rather than forcing --nodes.
+            try:
+                strat = parse_strategy(args.strategy)
+            except ConfigurationError as exc:
+                print(f"plan: {exc}", file=sys.stderr)
+                return 1
+            nodes = strat.world
+            print(f"(planning at N={nodes}, the world spanned by "
+                  f"{args.strategy!r})")
+        strategies = [strat]
+    table = strategy_plan_table(nodes, model, strategies=strategies)
+    if not table:
+        print("plan: no feasible strategy plan", file=sys.stderr)
+        return 1
+    best = plan_strategy(nodes, model, strategies=strategies)
+    print(f"strategy co-plan for N={nodes}, model={model}:")
+    print(f"  strategy           : {best.strategy.name}")
+    print(f"  fabric             : {best.fabric}")
+    if best.fabric == "hier-rack":
+        print(f"  rack size / leader : g={best.group_size} "
+              f"l={best.leader_index}")
+    else:
+        print(f"  collective/policy  : {best.algorithm}/{best.policy}")
+        if best.program is not None:
+            print(f"  reconfigurations   : "
+                  f"{best.program.num_reconfigurations}")
+    print(f"  steps              : {best.num_steps}")
+    print(f"  predicted time     : {units.fmt_time(best.predicted_time)}")
+    print()
+    top = sorted(table, key=lambda p: p.predicted_time)[:10]
+    print(simple_table(
+        ["plan", "time", "steps"],
+        [(p.label, units.fmt_time(p.predicted_time), p.num_steps)
+         for p in top],
+        title="top plans (full grid)"))
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
+    if getattr(args, "strategy", None):
+        return _cmd_plan_strategy(args)
     system = default_optical(args.nodes, num_wavelengths=args.wavelengths)
     wl = (paper_workload(args.model) if args.model
           else Workload(data_bytes=args.bytes))
@@ -200,6 +258,8 @@ def _validate_serve_args(args: argparse.Namespace) -> Optional[str]:
     if not (math.isfinite(args.retry_backoff) and args.retry_backoff > 0):
         return (f"--retry-backoff must be a finite delay > 0, "
                 f"got {args.retry_backoff}")
+    if getattr(args, "strategy", None) and not getattr(args, "model", None):
+        return "--strategy requires --model (the catalog model to lower)"
     return None
 
 
@@ -213,11 +273,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 1
     collectives = (fixed_policy(args.collective) if args.collective
                    else adaptive_policy(switch_bytes=args.switch_bytes))
-    # Job widths drawn by the traffic mix; a tiny fabric (capacity 2-3)
-    # falls back to 2-wide jobs instead of the default 4/8/16 mix.
-    node_choices = tuple(n for n in (4, 8, 16) if n <= args.capacity) or (2,)
-    jobs = poisson_traffic(num_jobs=args.jobs, arrival_rate=args.rate,
-                           seed=args.seed, node_choices=node_choices)
+    if getattr(args, "strategy", None):
+        from .serving import strategy_traffic
+        # One strategy-lowered training run per arrival, expanded into
+        # one serving job per collective group, sized to the fabric.
+        try:
+            jobs = strategy_traffic(num_arrivals=args.jobs, model=args.model,
+                                    strategy=args.strategy,
+                                    world=args.capacity,
+                                    arrival_rate=args.rate, seed=args.seed)
+        except ConfigurationError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 1
+    else:
+        # Job widths drawn by the traffic mix; a tiny fabric (capacity
+        # 2-3) falls back to 2-wide jobs instead of the default 4/8/16
+        # mix.
+        node_choices = (tuple(n for n in (4, 8, 16) if n <= args.capacity)
+                        or (2,))
+        extra = {"models": [args.model]} if args.model else {}
+        jobs = poisson_traffic(num_jobs=args.jobs, arrival_rate=args.rate,
+                               seed=args.seed, node_choices=node_choices,
+                               **extra)
     engine = ServingEngine(substrate_name=args.substrate,
                            capacity=args.capacity, policy=args.policy,
                            placement=args.placement,
@@ -352,6 +429,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=f"EXT-O1 OCS reconfiguration-delay sweep "
                   f"(N={nodes}, {wl.name}, recursive doubling, "
                   f"4 ports)"))
+    elif args.kind == "strategies":
+        from .analysis.sweeps import strategy_sweep
+        # Every cell simulates concatenated demand programs; clip the
+        # sweep-wide --nodes default (256) to a co-plannable fabric.
+        nodes = min(args.nodes, 16)
+        model = args.model or "alexnet"
+        rows = strategy_sweep(nodes, model=model)
+        rack_sizes = sorted({g for r in rows for g in r.hier_times})
+
+        def _cell(t):
+            return "-" if t is None else units.fmt_time(t)
+
+        print(simple_table(
+            ["strategy", "comm"]
+            + [f"hier g={g}" for g in rack_sizes]
+            + ["ocs best", "via"],
+            [(r.strategy, units.fmt_bytes(r.comm_bytes),
+              *(_cell(r.hier_times.get(g)) for g in rack_sizes),
+              _cell(r.ocs_time),
+              "-" if r.ocs_algorithm is None
+              else f"{r.ocs_algorithm}/{r.ocs_policy}")
+             for r in rows],
+            title=f"EXT-T1 strategy x rack-size sweep (N={nodes}, "
+                  f"{model})"))
     elif args.kind == "bandwidth":
         rows = bandwidth_sweep(args.nodes, wl, cache_dir=args.cache_dir)
         print(simple_table(
@@ -406,12 +507,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="persistent cache-store directory to warm the "
                          "substrate's memoization caches from (and spill "
                          "back to)")
+    pl.add_argument("--strategy",
+                    help="co-plan parallelization x fabric instead of "
+                         "planning Wrht for a fixed workload: a spec like "
+                         "dp4+tp2, a preset (dp / tp / dp+tp), or 'auto' "
+                         "to search every strategy")
     pl.set_defaults(func=_cmd_plan)
 
     sw = sub.add_parser("sweep", help="ablation sweeps")
     sw.add_argument("kind", choices=("wavelengths", "payload", "striping",
                                      "substrates", "hier-groups",
-                                     "bandwidth", "faults", "ocs-delay"))
+                                     "bandwidth", "faults", "ocs-delay",
+                                     "strategies"))
     sw.add_argument("--nodes", type=int, default=256)
     sw.add_argument("--model", choices=PAPER_MODELS)
     sw.add_argument("--bytes", type=float, default=100 * units.MB)
@@ -456,6 +563,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="base retry delay (doubles per restart)")
     sv.add_argument("--show-jobs", action="store_true",
                     help="also print the per-job table")
+    sv.add_argument("--model", choices=PAPER_MODELS,
+                    help="pin the traffic to one catalog model "
+                         "(required by --strategy)")
+    sv.add_argument("--strategy",
+                    help="stream strategy-lowered jobs instead of the "
+                         "default mix: a spec like dp4+tp2 or a preset "
+                         "(dp / tp / dp+tp) sized by --capacity")
     sv.set_defaults(func=_cmd_serve)
 
     rp = sub.add_parser("report",

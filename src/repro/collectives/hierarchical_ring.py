@@ -3,56 +3,89 @@
 The standard rack-scale hierarchy (Blink-style): partition the ring into
 ``G`` groups of ``g`` consecutive nodes and run
 
-1. *local reduce* — a ``g−1``-step pipelined accumulation along each
-   group's arc into the group's last node (the leader), full vectors;
+1. *local reduce* — pipelined accumulation along each group's arc into
+   the group's leader, full vectors;
 2. *global ring all-reduce* — the classic chunked ring among the ``G``
    leaders (``2(G−1)`` steps of ``S/G`` bytes);
-3. *local broadcast* — the mirror ``g−1``-step pipelined copy.
+3. *local broadcast* — the mirror pipelined copy.
 
-Total ``2(g−1) + 2(G−1)`` steps.  It shortens the ring pipeline without
-WDM awareness, making it the strongest *non-WDM* tree-ish baseline and a
-good foil for Wrht in the ablations: its local phases serialize whole
-vectors on single wavelengths exactly like O-Ring does.
+The leader's in-group position ``ℓ`` is a free parameter (the planning
+knob the strategy co-planner searches).  The historical default —
+``ℓ = g−1``, the group's last node — accumulates one-sided in ``g−1``
+steps; an interior leader splits each group into two arcs that pipeline
+*concurrently*, so the local phases need only ``max(ℓ, g−1−ℓ)`` steps
+each (an exact halving for a middle leader).  When both arcs have equal
+depth, their final reduce hops (and, mirrored, the leader's two first
+broadcast copies) share the leader's star leg — the cost model charges
+that contention; otherwise the shorter arc is start-aligned (reduce) /
+start-delayed (broadcast) so the leader's legs carry one full vector
+per step.
+
+Total ``2·max(ℓ, g−1−ℓ) + 2(G−1)`` steps.  It shortens the ring
+pipeline without WDM awareness, making it the strongest *non-WDM*
+tree-ish baseline and a good foil for Wrht in the ablations: its local
+phases serialize whole vectors on single wavelengths exactly like
+O-Ring does.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..errors import ScheduleError
 from .schedule import Schedule, Transfer, TransferOp
 
 
-def generate_hierarchical_ring(num_nodes: int,
-                               group_size: int) -> Schedule:
+def generate_hierarchical_ring(num_nodes: int, group_size: int,
+                               leader_index: Optional[int] = None,
+                               ) -> Schedule:
     """Two-level ring all-reduce with groups of ``group_size``.
 
     ``group_size`` must divide ``num_nodes`` (groups are ring arcs);
     ``group_size == num_nodes`` degenerates to local-only (one group),
     ``group_size == 1`` to the flat ring among all nodes.
+    ``leader_index`` places each group's leader (``None`` keeps the
+    historical last-node choice, bit-for-bit).
     """
     if num_nodes < 1:
         raise ScheduleError(f"num_nodes must be >= 1, got {num_nodes}")
     if group_size < 1 or num_nodes % group_size:
         raise ScheduleError(
             f"group_size {group_size} must divide num_nodes {num_nodes}")
+    g = group_size
+    ell = g - 1 if leader_index is None else leader_index
+    if not 0 <= ell < g:
+        raise ScheduleError(
+            f"leader_index {ell} out of range [0, {g})")
     num_groups = num_nodes // group_size
+    suffix = "" if ell == g - 1 else f"-l{ell}"
     sched = Schedule(num_nodes=num_nodes, num_chunks=max(num_groups, 1),
-                     name=f"hier-ring-n{num_nodes}-g{group_size}")
+                     name=f"hier-ring-n{num_nodes}-g{group_size}{suffix}")
     if num_nodes == 1:
         return sched
-    g = group_size
     full = range(num_groups)
-    leaders = [k * g + (g - 1) for k in range(num_groups)]
+    leaders = [k * g + ell for k in range(num_groups)]
+    left, right = ell, g - 1 - ell
+    depth = max(left, right)
 
-    # Phase 1: pipelined accumulation toward each group's leader.
-    for s in range(g - 1):
+    # Phase 1: pipelined accumulation toward each group's leader, both
+    # arcs concurrently (the below-leader arc climbs, the above-leader
+    # arc descends; with ℓ = g−1 only the climbing arc exists and this
+    # is exactly the historical one-sided schedule).
+    for s in range(depth):
         transfers: List[Transfer] = []
         for grp in range(num_groups):
-            src = grp * g + s
-            transfers.append(Transfer(src=src, dst=src + 1, chunks=full,
-                                      op=TransferOp.REDUCE,
-                                      direction_hint="cw"))
+            base = grp * g
+            if s < left:
+                src = base + s
+                transfers.append(Transfer(src=src, dst=src + 1, chunks=full,
+                                          op=TransferOp.REDUCE,
+                                          direction_hint="cw"))
+            if s < right:
+                src = base + g - 1 - s
+                transfers.append(Transfer(src=src, dst=src - 1, chunks=full,
+                                          op=TransferOp.REDUCE,
+                                          direction_hint="ccw"))
         sched.add_step(transfers)
 
     # Phase 2: chunked ring all-reduce among the leaders.
@@ -70,22 +103,36 @@ def generate_hierarchical_ring(num_nodes: int,
                          op=TransferOp.COPY, direction_hint="cw")
                 for i in range(num_groups))
 
-    # Phase 3: pipelined broadcast back down each group (leader -> ... -> 0).
-    for s in range(g - 1):
+    # Phase 3: pipelined broadcast back down both arcs.  The shorter
+    # arc starts late so the leader sends at most one copy per step
+    # (unavoidably two when the arcs tie — the cost model charges it).
+    for s in range(depth):
         transfers = []
         for grp in range(num_groups):
-            src = grp * g + (g - 1 - s)
-            transfers.append(Transfer(src=src, dst=src - 1, chunks=full,
-                                      op=TransferOp.COPY,
-                                      direction_hint="ccw"))
+            base = grp * g
+            if s >= depth - left:
+                j = s - (depth - left)
+                src = base + ell - j
+                transfers.append(Transfer(src=src, dst=src - 1, chunks=full,
+                                          op=TransferOp.COPY,
+                                          direction_hint="ccw"))
+            if s >= depth - right:
+                j = s - (depth - right)
+                src = base + ell + j
+                transfers.append(Transfer(src=src, dst=src + 1, chunks=full,
+                                          op=TransferOp.COPY,
+                                          direction_hint="cw"))
         sched.add_step(transfers)
 
     return sched
 
 
-def hierarchical_ring_step_count(num_nodes: int, group_size: int) -> int:
-    """Closed form: ``2(g−1) + 2(G−1)``."""
+def hierarchical_ring_step_count(num_nodes: int, group_size: int,
+                                 leader_index: Optional[int] = None) -> int:
+    """Closed form: ``2·max(ℓ, g−1−ℓ) + 2(G−1)``."""
     if num_nodes <= 1:
         return 0
     num_groups = num_nodes // group_size
-    return 2 * (group_size - 1) + 2 * max(num_groups - 1, 0)
+    ell = group_size - 1 if leader_index is None else leader_index
+    depth = max(ell, group_size - 1 - ell)
+    return 2 * depth + 2 * max(num_groups - 1, 0)

@@ -1,0 +1,122 @@
+"""Rank-to-node placement and concurrent-group composition.
+
+Collective generators emit schedules over ranks ``0..n-1``; planners
+and the serving scheduler run them on *subsets* of a shared substrate.
+:func:`place_schedule` re-bases a schedule onto an explicit node set
+(hoisted here from ``repro.serving.dispatch`` so the strategy
+co-planner and the serving layer share one implementation), and
+:func:`overlay_schedules` merges same-shape schedules over disjoint
+node sets into one composite — how a :class:`~repro.models.strategies.
+CollectivePhase`'s concurrent groups become a single executable
+schedule (:func:`phase_schedule`).
+
+The identity placement (one full-width group over ``0..n-1``) returns
+the generator's schedule object itself, so a pure data-parallel
+full-width strategy executes bit-for-bit the legacy schedule — the
+parity the strategy tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..errors import ConfigurationError, ScheduleError
+from .schedule import Schedule, Transfer
+
+__all__ = ["place_schedule", "overlay_schedules", "phase_schedule"]
+
+
+def place_schedule(schedule: Schedule, nodes: Sequence[int],
+                   total_nodes: int) -> Schedule:
+    """Re-base ``schedule`` onto the substrate nodes ``nodes``.
+
+    Rank ``i`` of the collective becomes substrate node ``nodes[i]``.
+    ``nodes`` is usually a contiguous range from the scheduler's
+    first-fit arm, but scatter placements map ranks onto fragmented
+    node sets — that is where cross-job link sharing (and hence fluid
+    contention) comes from.  The identity placement (``nodes`` is
+    exactly ``0..n-1`` over the full substrate) returns ``schedule``
+    itself, so a job spanning the whole fabric executes the exact
+    standalone schedule object — the bit-for-bit parity the serving
+    tests pin.
+    """
+    nodes = tuple(int(n) for n in nodes)
+    if len(nodes) != schedule.num_nodes:
+        raise ConfigurationError(
+            f"placement has {len(nodes)} nodes but the schedule spans "
+            f"{schedule.num_nodes} ranks")
+    if len(set(nodes)) != len(nodes):
+        raise ConfigurationError(f"placement nodes repeat: {nodes}")
+    if min(nodes) < 0 or max(nodes) >= total_nodes:
+        raise ConfigurationError(
+            f"placement nodes {nodes} fall outside the "
+            f"{total_nodes}-node substrate")
+    if total_nodes == schedule.num_nodes and \
+            nodes == tuple(range(total_nodes)):
+        return schedule
+    placed = Schedule(num_nodes=total_nodes, num_chunks=schedule.num_chunks,
+                      name=f"{schedule.name}@{nodes[0]}")
+    for step in schedule.steps:
+        moved: List[Transfer] = [
+            Transfer(src=nodes[t.src], dst=nodes[t.dst],
+                     chunks=t.chunks, op=t.op,
+                     direction_hint=t.direction_hint)
+            for t in step]
+        placed.add_step(moved)
+    return placed
+
+
+def overlay_schedules(parts: Sequence[Schedule], total_nodes: int,
+                      name: str) -> Schedule:
+    """Merge schedules over *disjoint* node sets into one composite.
+
+    Every part must have the same step count and chunk count (they are
+    placements of one generator output); step ``i`` of the composite is
+    the union of every part's step ``i``, so the parts run concurrently
+    under whatever contention physics the substrate applies.
+    """
+    if not parts:
+        raise ScheduleError("overlay needs >= 1 schedule")
+    first = parts[0]
+    seen: set = set()
+    for part in parts:
+        if part.num_steps != first.num_steps \
+                or part.num_chunks != first.num_chunks:
+            raise ScheduleError(
+                f"overlay parts disagree on shape: {part.name!r} has "
+                f"{part.num_steps} steps x {part.num_chunks} chunks, "
+                f"{first.name!r} has {first.num_steps} x "
+                f"{first.num_chunks}")
+        touched = part.participants()
+        if touched & seen:
+            raise ScheduleError(
+                f"overlay parts share nodes {sorted(touched & seen)}; "
+                f"concurrent groups must be disjoint")
+        seen |= touched
+    merged = Schedule(num_nodes=total_nodes, num_chunks=first.num_chunks,
+                      name=name)
+    for i in range(first.num_steps):
+        transfers: List[Transfer] = []
+        for part in parts:
+            transfers.extend(part.steps[i].transfers)
+        merged.add_step(transfers)
+    return merged
+
+
+def phase_schedule(phase, generator: Callable[[int], Schedule],
+                   total_nodes: int) -> Schedule:
+    """The executable schedule of one :class:`~repro.models.strategies.
+    CollectivePhase`: generate the collective at the phase's group
+    width, place one copy per group, and overlay the copies.
+
+    A single full-width group returns the generator's schedule object
+    unchanged (the legacy path — bit-for-bit).
+    """
+    base = generator(phase.group_size)
+    placed = [place_schedule(base, grp, total_nodes)
+              for grp in phase.groups]
+    if len(placed) == 1:
+        return placed[0]
+    return overlay_schedules(
+        placed, total_nodes,
+        name=f"{base.name}x{len(placed)}@{phase.name}")

@@ -331,6 +331,12 @@ class HierarchicalSystem:
         inter-rack traffic.
     allow_striping:
         Whether inter-rack flows may stripe over free wavelengths.
+    leader_index:
+        Position of each rack's leader host within the rack
+        (``0..group_size-1``).  ``None`` keeps the historical choice —
+        the rack's *last* host — bit-for-bit; the strategy co-planner
+        searches this knob (a middle leader halves the local pipeline
+        depth of the hierarchical ring).
     """
 
     num_nodes: int
@@ -345,6 +351,7 @@ class HierarchicalSystem:
     propagation_delay_per_meter: float = units.PROPAGATION_DELAY_PER_METER
     optical_step_overhead: float = 1 * units.USEC
     allow_striping: bool = True
+    leader_index: int | None = None
 
     def __post_init__(self) -> None:
         _require(self.num_nodes >= 2, f"need >=2 nodes, got {self.num_nodes}")
@@ -364,6 +371,10 @@ class HierarchicalSystem:
                  "propagation_delay_per_meter must be >= 0")
         _require(self.optical_step_overhead >= 0,
                  "optical_step_overhead must be >= 0")
+        if self.leader_index is not None:
+            _require(0 <= self.leader_index < self.group_size,
+                     f"leader_index {self.leader_index} out of range "
+                     f"[0, {self.group_size})")
 
     # -- rack structure -------------------------------------------------------
 
@@ -373,10 +384,18 @@ class HierarchicalSystem:
         return self.num_nodes // self.group_size
 
     @property
+    def resolved_leader_index(self) -> int:
+        """The leader's in-rack position (``group_size - 1`` when the
+        ``leader_index`` knob is unset)."""
+        return (self.group_size - 1 if self.leader_index is None
+                else self.leader_index)
+
+    @property
     def leaders(self) -> tuple:
-        """The rack leaders (each rack's last host), in rack order."""
+        """The rack leaders, in rack order."""
         g = self.group_size
-        return tuple(k * g + g - 1 for k in range(self.num_groups))
+        idx = self.resolved_leader_index
+        return tuple(k * g + idx for k in range(self.num_groups))
 
     def rack_of(self, rank: int) -> int:
         """Rack index of ``rank``."""
@@ -386,7 +405,8 @@ class HierarchicalSystem:
 
     def leader_of(self, rank: int) -> int:
         """The leader of ``rank``'s rack."""
-        return self.rack_of(rank) * self.group_size + self.group_size - 1
+        return (self.rack_of(rank) * self.group_size
+                + self.resolved_leader_index)
 
     # -- per-level system views ----------------------------------------------
 

@@ -23,15 +23,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..collectives import analysis as can
 from ..collectives.schedule import Schedule
 from ..collectives.wrht import (WrhtParameters, WrhtScheduleInfo,
                                 generate_wrht)
 from ..config import (ElectricalSystem, HierarchicalSystem,
-                      OpticalRingSystem, OpticalTorusSystem, Workload)
+                      OpticalRingSystem, OpticalTorusSystem,
+                      ReconfigurableOCSSystem, Workload)
 from ..errors import ConfigurationError
+from ..models.strategies import CollectivePhase, DemandProfile
 from ..topology.ring import RingTopology
 
 # ---------------------------------------------------------------------------
@@ -157,12 +159,17 @@ def hier_rack_time(system: HierarchicalSystem, workload: Workload) -> float:
     """Hierarchical ring all-reduce on the multi-rack fabric, closed form.
 
     The time of :func:`~repro.collectives.hierarchical_ring.
-    generate_hierarchical_ring` (``N`` nodes, rack size ``g``) on the
+    generate_hierarchical_ring` (``N`` nodes, rack size ``g``, leader
+    position ``ℓ`` from ``system.resolved_leader_index``) on the
     ``"hier-rack"`` substrate:
 
-    * **local phases** — ``2(g−1)`` steps, each moving the full vector
-      one hop inside every rack concurrently; rack stars are disjoint
-      and non-blocking, so each step costs ``α_local + S/B_local``;
+    * **local phases** — ``2·max(ℓ, g−1−ℓ)`` steps, each moving the
+      full vector one hop inside every rack concurrently; rack stars
+      are disjoint and non-blocking, so each step costs
+      ``α_local + S/B_local``.  When the two arcs tie
+      (``ℓ == g−1−ℓ``), the final reduce step and the first broadcast
+      step each push two full vectors through the leader's star leg,
+      adding ``2·S/B_local`` of shared-leg serialization;
     * **leader phase** — the classic chunked ring among the ``G`` rack
       leaders: ``2(G−1)`` steps of ``S/G`` bytes one hop around the
       WDM ring.  Neighbour arcs are link-disjoint (per-segment demand
@@ -187,7 +194,11 @@ def hier_rack_time(system: HierarchicalSystem, workload: Workload) -> float:
     total = 0.0
     if g > 1:
         per_local = system.local_step_latency + s / system.local_link_rate
-        total += 2 * (g - 1) * per_local
+        ell = system.resolved_leader_index
+        depth = max(ell, g - 1 - ell)
+        total += 2 * depth * per_local
+        if 0 < ell == g - 1 - ell:
+            total += 2 * (s / system.local_link_rate)
     if big_g > 1:
         k = system.num_wavelengths if system.allow_striping else 1
         per_leader = (s / big_g / (k * system.wavelength_rate)
@@ -196,6 +207,119 @@ def hier_rack_time(system: HierarchicalSystem, workload: Workload) -> float:
                       + system.optical_step_overhead)
         total += system.tuning_time + 2 * (big_g - 1) * per_leader
     return total
+
+
+# ---------------------------------------------------------------------------
+# strategy demand profiles (the co-planner's analytic arms)
+# ---------------------------------------------------------------------------
+
+
+def _rack_of(rank: int, group_size: int) -> int:
+    return rank // group_size
+
+
+def phase_hier_time(system: HierarchicalSystem,
+                    phase: CollectivePhase,
+                    world: int) -> Optional[float]:
+    """One phase's time on the hierarchical rack fabric, or ``None``.
+
+    Three cases, all exact against the ``"hier-rack"`` substrate:
+
+    * a single **full-width** group runs the two-level hierarchical
+      ring — :func:`hier_rack_time` times ``count``;
+    * **rack-contained** groups (every group's ranks inside one rack)
+      run chunked rings on their racks' stars.  Star legs are per-host
+      and concurrent groups are disjoint, so groups never contend and
+      each of the ``2(m−1)`` steps costs ``α_local + S/(m·B_local)`` —
+      the electrical ring closed form on local links;
+    * anything else (groups straddling rack boundaries, e.g. strided
+      data-parallel groups under a tensor-in-rack layout) has no
+      closed form on this fabric — ``None``, and the planner treats
+      the whole (strategy × rack size) cell as infeasible.
+    """
+    g = system.group_size
+    if phase.is_full_width(world):
+        if system.num_nodes != world:
+            return None
+        return phase.count * hier_rack_time(system, phase.workload())
+    for grp in phase.groups:
+        racks = {_rack_of(r, g) for r in grp}
+        if len(racks) != 1:
+            return None
+    m = phase.group_size
+    local = ElectricalSystem(num_nodes=m,
+                             link_rate=system.local_link_rate,
+                             step_latency=system.local_step_latency)
+    return phase.count * ering_time(local, phase.workload())
+
+
+def profile_hier_time(system: HierarchicalSystem,
+                      profile: DemandProfile) -> Optional[float]:
+    """A whole demand profile on the rack fabric: phases run back to
+    back (they are dependency-ordered), so the step time is the sum of
+    the per-phase times — or ``None`` if any phase is unsupported."""
+    total = 0.0
+    for phase in profile.phases:
+        t = phase_hier_time(system, phase, profile.world)
+        if t is None:
+            return None
+        total += t
+    return total
+
+
+#: Collective families the OCS serialization bound understands (the
+#: same names the topology planner's candidate generators use).
+OCS_BOUND_ALGORITHMS: Tuple[str, ...] = (
+    "ring", "recursive-doubling", "halving-doubling")
+
+
+def phase_ocs_bound(system: ReconfigurableOCSSystem,
+                    phase: CollectivePhase, algorithm: str) -> float:
+    """Serialization lower bound for one phase on the OCS fabric.
+
+    Prices each step of ``algorithm`` at group width ``m`` as if the
+    ideal circuits were already installed — per-step payload over one
+    circuit plus the step overhead and circuit latency — and charges
+    **zero** reconfiguration.  Concurrent groups are node-disjoint, so
+    with one transmit port per flow they do not stretch the step.  This
+    is deliberately optimistic (admissible): the hybrid planner uses it
+    only to *rank* (strategy × algorithm) candidates before simulating
+    the survivors, mirroring how ``plan_wrht`` prunes with its analytic
+    model.
+    """
+    m = phase.group_size
+    s = phase.message_bytes
+    per = system.step_overhead + system.circuit_latency
+    if algorithm == "ring":
+        steps = 2 * (m - 1)
+        t = steps * (s / m / system.circuit_rate + per)
+    elif algorithm == "recursive-doubling":
+        pow2 = 1 << (m.bit_length() - 1)
+        steps = pow2.bit_length() - 1
+        if m != pow2:
+            steps += 2
+        t = steps * (s / system.circuit_rate + per)
+    elif algorithm == "halving-doubling":
+        pow2 = 1 << (m.bit_length() - 1)
+        log_m = pow2.bit_length() - 1
+        t = 0.0
+        for lvl in range(log_m):
+            frac = s / (2 ** (lvl + 1))
+            t += 2 * (frac / system.circuit_rate + per)
+        if m != pow2:
+            t += 2 * (s / system.circuit_rate + per)
+    else:
+        raise ConfigurationError(
+            f"no OCS bound for algorithm {algorithm!r}; choose from "
+            f"{OCS_BOUND_ALGORITHMS}")
+    return phase.count * t
+
+
+def profile_ocs_bound(system: ReconfigurableOCSSystem,
+                      profile: DemandProfile, algorithm: str) -> float:
+    """Serialization lower bound of a whole profile (phases sum)."""
+    return sum(phase_ocs_bound(system, ph, algorithm)
+               for ph in profile.phases)
 
 
 # ---------------------------------------------------------------------------

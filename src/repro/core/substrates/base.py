@@ -203,12 +203,33 @@ class Substrate(abc.ABC):
         The batch form exists so callers (parallel workers, sweeps) hold
         a single substrate — and therefore a single network object and a
         warm RWA cache — across a whole grid of executions.
+
+        Two batch-only options are peeled off before dispatch to
+        ``execute``:
+
+        * ``nodes`` — a sequence of physical node ids: the job's
+          schedule (authored over logical ranks ``0..k-1``) is placed
+          onto those nodes first, so strategy phases that own a *subset*
+          of the fabric (a rack's tensor-parallel group, a strided
+          data-parallel group) run where the co-planner put them;
+        * ``total_nodes`` — the fabric width the placement renames into
+          (default ``max(nodes) + 1``).
         """
+        from ...collectives.placement import place_schedule
+
         out: List[ExecutionReport] = []
         for job in jobs:
             j = ExecutionJob.of(job)
-            out.append(self.execute(j.schedule, j.workload,
-                                    **dict(j.options)))
+            opts = dict(j.options)
+            nodes = opts.pop("nodes", None)
+            total = opts.pop("total_nodes", None)
+            schedule = j.schedule
+            if nodes is not None:
+                nodes = [int(n) for n in nodes]
+                schedule = place_schedule(
+                    schedule, nodes,
+                    max(nodes) + 1 if total is None else int(total))
+            out.append(self.execute(schedule, j.workload, **opts))
         return out
 
     # -- cross-process cache persistence ------------------------------------

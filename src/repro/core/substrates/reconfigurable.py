@@ -213,16 +213,70 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
                                    schedule.num_chunks)
                 sizes[(t.src, t.dst)] = sizes.get((t.src, t.dst), 0.0) + b
             demands.append(sizes)
+        counts = [len(step) for step in schedule.steps]
+        return self._run_demands(system, demands, schedule.name, counts,
+                                 mode, use_lookahead)
+
+    def execute_demands(self, demands: List[Dict[CircuitPair, float]],
+                        name: str = "demand-program",
+                        transfer_counts: Optional[List[int]] = None,
+                        num_nodes: Optional[int] = None,
+                        decomposition: Optional[str] = None,
+                        lookahead: Optional[bool] = None) -> ExecutionReport:
+        """Execute a raw per-step demand sequence — the strategy planner's
+        entry point.
+
+        ``demands`` is an ordered list of ``{(src, dst): bytes}`` step
+        matrices — exactly the internal currency :meth:`execute` lowers a
+        schedule into, so concatenating several phases' matrices (the
+        co-planner's multi-phase training step) runs through the *same*
+        stay-vs-reconfigure machinery, step cache, and lookahead DP,
+        bit for bit.  ``transfer_counts`` preserves per-step transfer
+        counts for the report (defaults to the number of distinct
+        pairs); ``num_nodes`` sizes the default fabric when the
+        substrate was built without a system (defaults to the largest
+        rank mentioned plus one).
+        """
+        mode = self._decomposition if decomposition is None else decomposition
+        if mode not in ("auto", "greedy", "optimal"):
+            raise ConfigurationError(
+                f"decomposition must be 'auto', 'greedy' or 'optimal', "
+                f"got {mode!r}")
+        use_lookahead = self._lookahead if lookahead is None else lookahead
+        demands = [dict(sizes) for sizes in demands]
+        if not demands:
+            raise ConfigurationError(f"demand program {name!r} is empty")
+        for idx, sizes in enumerate(demands):
+            if not sizes:
+                raise ConfigurationError(
+                    f"step {idx} of {name!r} has no demand")
+        if transfer_counts is None:
+            counts = [len(sizes) for sizes in demands]
+        else:
+            counts = list(transfer_counts)
+            if len(counts) != len(demands):
+                raise ConfigurationError(
+                    f"transfer_counts has {len(counts)} entries for "
+                    f"{len(demands)} demand steps")
+        system = self._resolve_demand_system(demands, num_nodes)
+        return self._run_demands(system, demands, name, counts, mode,
+                                 use_lookahead)
+
+    def _run_demands(self, system: ReconfigurableOCSSystem,
+                     demands: List[Dict[CircuitPair, float]],
+                     name: str, transfer_counts: List[int], mode: str,
+                     use_lookahead: bool) -> ExecutionReport:
+        """The demand-driven core shared by :meth:`execute` and
+        :meth:`execute_demands` (identical floats, order, and errors)."""
         current = self._resolve_initial(system, demands)
         if use_lookahead and system.can_reconfigure:
-            return self._execute_lookahead(system, schedule, demands,
-                                           current, mode)
+            return self._execute_lookahead(system, demands, name,
+                                           transfer_counts, current, mode)
         history: List[CircuitConfig] = [current]
-        report = ExecutionReport(schedule_name=schedule.name,
+        report = ExecutionReport(schedule_name=name,
                                  substrate=self.name)
         now = 0.0
-        for idx, step in enumerate(schedule.steps):
-            sizes = demands[idx]
+        for idx, sizes in enumerate(demands):
             ordered = tuple(sorted(sizes, key=lambda p: (-sizes[p], p)))
             demand_degree = max_pair_degree(ordered)
 
@@ -244,7 +298,7 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
             else:
                 if stay_time == float("inf"):
                     raise ConfigurationError(
-                        f"step {idx} of {schedule.name!r} has transfers "
+                        f"step {idx} of {name!r} has transfers "
                         f"unroutable on the current circuit configuration "
                         f"and reconfiguration is disabled "
                         f"(reconfiguration_delay=inf)")
@@ -261,7 +315,7 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
                 propagation_time=propagation,
                 tuning_time=reconfig,
                 overhead_time=system.step_overhead,
-                num_transfers=len(step),
+                num_transfers=transfer_counts[idx],
                 striping=1,
                 wavelength_demand=demand_degree))
         report.total_time = now
@@ -269,12 +323,12 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
             num_nodes=system.num_nodes,
             ports_per_node=system.ports_per_node,
             configs=tuple(history),
-            name=f"{schedule.name}@{self.name}")
+            name=f"{name}@{self.name}")
         return report
 
     def _execute_lookahead(self, system: ReconfigurableOCSSystem,
-                           schedule: Schedule,
                            demands: List[Dict[CircuitPair, float]],
+                           name: str, transfer_counts: List[int],
                            start: CircuitConfig,
                            mode: str) -> ExecutionReport:
         """Whole-schedule DP execution (see :func:`synthesize_program`).
@@ -294,7 +348,7 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
             stripe_leftover=self._stripe_leftover)
         self._lookahead_saved += program.reconfigurations_saved
         history: List[CircuitConfig] = [start]
-        report = ExecutionReport(schedule_name=schedule.name,
+        report = ExecutionReport(schedule_name=name,
                                  substrate=self.name)
         now = 0.0
         for idx, st in enumerate(program.steps):
@@ -309,7 +363,7 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
                 propagation_time=st.propagation,
                 tuning_time=st.reconfig_time,
                 overhead_time=system.step_overhead,
-                num_transfers=len(schedule.steps[idx]),
+                num_transfers=transfer_counts[idx],
                 striping=st.stripe_factor,
                 wavelength_demand=max_pair_degree(ordered)))
         report.total_time = now
@@ -317,7 +371,7 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
             num_nodes=system.num_nodes,
             ports_per_node=system.ports_per_node,
             configs=tuple(history),
-            name=f"{schedule.name}@{self.name}")
+            name=f"{name}@{self.name}")
         return report
 
     # -- internals ----------------------------------------------------------
@@ -330,6 +384,25 @@ class OCSReconfigurableSubstrate(FluidCacheMixin, Substrate):
                     f"has {self._system.num_nodes}")
             return self._system
         return default_ocs(schedule.num_nodes)
+
+    def _resolve_demand_system(self,
+                               demands: List[Dict[CircuitPair, float]],
+                               num_nodes: Optional[int],
+                               ) -> ReconfigurableOCSSystem:
+        top = max((max(s, d) for sizes in demands for (s, d) in sizes),
+                  default=-1)
+        if self._system is not None:
+            if top >= self._system.num_nodes:
+                raise ConfigurationError(
+                    f"demand mentions node {top}; system has "
+                    f"{self._system.num_nodes}")
+            return self._system
+        if num_nodes is None:
+            num_nodes = max(top + 1, 2)
+        elif top >= num_nodes:
+            raise ConfigurationError(
+                f"demand mentions node {top}; num_nodes is {num_nodes}")
+        return default_ocs(num_nodes)
 
     def _resolve_initial(self, system: ReconfigurableOCSSystem,
                          demands: Optional[

@@ -18,6 +18,10 @@ from .gradients import (GradientBucket, allreduce_message_sizes,
                         gradient_workload)
 from .layers import (BatchNorm2d, Conv2d, Layer, Linear,
                      LocalResponseNorm, Pool2d)
+from .strategies import (CADENCES, STRATEGY_PRESETS, CollectivePhase,
+                         DemandProfile, ParallelStrategy,
+                         enumerate_strategies, parse_strategy,
+                         strategy_profile)
 from .training import DataParallelTrainingModel, IterationBreakdown
 
 __all__ = [
@@ -46,4 +50,12 @@ __all__ = [
     "bucketize_gradients",
     "DataParallelTrainingModel",
     "IterationBreakdown",
+    "CADENCES",
+    "STRATEGY_PRESETS",
+    "CollectivePhase",
+    "DemandProfile",
+    "ParallelStrategy",
+    "enumerate_strategies",
+    "parse_strategy",
+    "strategy_profile",
 ]

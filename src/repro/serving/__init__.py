@@ -35,16 +35,18 @@ from .dispatch import (COLLECTIVE_GENERATORS, DEFAULT_SWITCH_BYTES,
                        adaptive_policy, fixed_policy, generate_collective,
                        place_schedule)
 from .engine import JobRecord, RetryPolicy, ServingEngine, ServingReport
-from .jobs import JobSpec, inference_message_sizes
+from .jobs import JobSpec, inference_message_sizes, strategy_jobs
 from .policies import POLICIES, available_policies, policy_key
 from .scheduler import OnlineScheduler, Placement
-from .traffic import poisson_traffic, trace_traffic
+from .traffic import poisson_traffic, strategy_traffic, trace_traffic
 
 __all__ = [
     "JobSpec",
     "inference_message_sizes",
     "poisson_traffic",
+    "strategy_traffic",
     "trace_traffic",
+    "strategy_jobs",
     "POLICIES",
     "available_policies",
     "policy_key",

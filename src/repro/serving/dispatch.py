@@ -13,21 +13,25 @@ kernel above it):
 
 :class:`CollectivePolicy` is the switch; ``fixed_policy`` pins one
 algorithm for ablations (the serving bench runs adaptive vs fixed-ring
-vs fixed-RD on the same traffic).  :func:`place_schedule` re-bases a
-rank-0-rooted schedule onto a node range of the shared substrate.
+vs fixed-RD on the same traffic).  :func:`~repro.collectives.placement.
+place_schedule` re-bases a rank-0-rooted schedule onto a node range of
+the shared substrate; it lives in the collectives core now (the
+strategy co-planner places per-phase groups with it too) and is
+re-exported here for the serving call sites.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Tuple
 
 from .. import units
 from ..collectives.binomial_tree import generate_binomial_tree
 from ..collectives.halving_doubling import generate_halving_doubling
+from ..collectives.placement import place_schedule
 from ..collectives.recursive_doubling import generate_recursive_doubling
 from ..collectives.ring_allreduce import generate_ring_allreduce
-from ..collectives.schedule import Schedule, Transfer
+from ..collectives.schedule import Schedule
 from ..errors import ConfigurationError
 
 __all__ = ["CollectivePolicy", "adaptive_policy", "fixed_policy",
@@ -121,41 +125,5 @@ def fixed_policy(algorithm: str) -> CollectivePolicy:
                             large_algorithm=algorithm)
 
 
-def place_schedule(schedule: Schedule, nodes: Sequence[int],
-                   total_nodes: int) -> Schedule:
-    """Re-base ``schedule`` onto the substrate nodes ``nodes``.
-
-    Rank ``i`` of the collective becomes substrate node ``nodes[i]``.
-    ``nodes`` is usually a contiguous range from the scheduler's
-    first-fit arm, but scatter placements map ranks onto fragmented
-    node sets — that is where cross-job link sharing (and hence fluid
-    contention) comes from.  The identity placement (``nodes`` is
-    exactly ``0..n-1`` over the full substrate) returns ``schedule``
-    itself, so a job spanning the whole fabric executes the exact
-    standalone schedule object — the bit-for-bit parity the serving
-    tests pin.
-    """
-    nodes = tuple(int(n) for n in nodes)
-    if len(nodes) != schedule.num_nodes:
-        raise ConfigurationError(
-            f"placement has {len(nodes)} nodes but the schedule spans "
-            f"{schedule.num_nodes} ranks")
-    if len(set(nodes)) != len(nodes):
-        raise ConfigurationError(f"placement nodes repeat: {nodes}")
-    if min(nodes) < 0 or max(nodes) >= total_nodes:
-        raise ConfigurationError(
-            f"placement nodes {nodes} fall outside the "
-            f"{total_nodes}-node substrate")
-    if total_nodes == schedule.num_nodes and \
-            nodes == tuple(range(total_nodes)):
-        return schedule
-    placed = Schedule(num_nodes=total_nodes, num_chunks=schedule.num_chunks,
-                      name=f"{schedule.name}@{nodes[0]}")
-    for step in schedule.steps:
-        moved: List[Transfer] = [
-            Transfer(src=nodes[t.src], dst=nodes[t.dst],
-                     chunks=t.chunks, op=t.op,
-                     direction_hint=t.direction_hint)
-            for t in step]
-        placed.add_step(moved)
-    return placed
+# place_schedule is re-exported from repro.collectives.placement (see
+# module docstring); serving call sites keep importing it from here.

@@ -22,13 +22,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from ..errors import ConfigurationError
 from ..models.catalog import get_model
 from ..models.gradients import DEFAULT_BUCKET_BYTES, allreduce_message_sizes
+from ..models.strategies import ParallelStrategy, parse_strategy
 
-__all__ = ["JobSpec", "inference_message_sizes"]
+__all__ = ["JobSpec", "inference_message_sizes", "strategy_jobs"]
 
 
 def inference_message_sizes(hidden_size: int, num_layers: int,
@@ -144,3 +145,49 @@ class JobSpec:
         ring serialization moves ~``S`` bytes per node regardless of
         ``N``)."""
         return self.num_steps * self.bytes_per_step
+
+
+def strategy_jobs(model: str,
+                  strategy: Union[str, ParallelStrategy],
+                  world: Optional[int] = None,
+                  arrival_time: float = 0.0,
+                  start_id: int = 0,
+                  num_steps: int = 1,
+                  priority: int = 0,
+                  **lower_kwargs) -> List[JobSpec]:
+    """One training job's collective groups as serving jobs.
+
+    Lowers ``strategy`` (a :class:`~repro.models.strategies.
+    ParallelStrategy` or a spec like ``"dp4+tp2"`` / a preset sized by
+    ``world``) over the catalog ``model`` and emits one
+    :class:`JobSpec` per distinct collective *group*: the group's
+    per-step ``message_sizes`` are the concatenation, in phase order,
+    of every phase that group participates in (a pure-DP strategy
+    therefore yields exactly one full-width job carrying the legacy
+    gradient-bucket list).  The serving scheduler places each group on
+    whatever nodes it finds — group *shapes and sizes* carry over; the
+    strategy's rank layout is the scheduler's to re-derive.
+
+    ``lower_kwargs`` pass through to ``ParallelStrategy.lower``
+    (``batch_size``, ``bucket_bytes``, ``microbatches``, ...).
+    """
+    if not isinstance(strategy, ParallelStrategy):
+        strategy = parse_strategy(strategy, world=world)
+    elif world is not None and strategy.world != world:
+        raise ConfigurationError(
+            f"strategy {strategy.name!r} spans {strategy.world} ranks, "
+            f"but world={world} was requested")
+    profile = strategy.lower(get_model(model), **lower_kwargs)
+    by_group: "dict[Tuple[int, ...], List[float]]" = {}
+    for phase in profile.phases:
+        for grp in phase.groups:
+            by_group.setdefault(grp, []).extend(
+                [phase.message_bytes] * phase.count)
+    jobs: List[JobSpec] = []
+    for offset, (grp, sizes) in enumerate(by_group.items()):
+        jobs.append(JobSpec(
+            job_id=start_id + offset, model=model,
+            arrival_time=arrival_time, num_steps=num_steps,
+            num_nodes=len(grp), priority=priority,
+            message_sizes=tuple(sizes)))
+    return jobs

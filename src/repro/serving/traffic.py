@@ -27,9 +27,10 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..models.catalog import MODELS
-from .jobs import JobSpec, inference_message_sizes
+from ..models.strategies import ParallelStrategy, parse_strategy
+from .jobs import JobSpec, inference_message_sizes, strategy_jobs
 
-__all__ = ["poisson_traffic", "trace_traffic"]
+__all__ = ["poisson_traffic", "strategy_traffic", "trace_traffic"]
 
 #: Default model pool: the paper's four CNN catalogs.
 DEFAULT_MODELS: Tuple[str, ...] = tuple(sorted(MODELS))
@@ -105,6 +106,54 @@ def poisson_traffic(num_jobs: int,
         jobs.append(JobSpec(job_id=job_id, model=model, arrival_time=now,
                             num_steps=num_steps, num_nodes=num_nodes,
                             priority=priority, message_sizes=sizes))
+    return jobs
+
+
+def strategy_traffic(num_arrivals: int,
+                     model: str,
+                     strategy: Any,
+                     world: Optional[int] = None,
+                     arrival_rate: float = 20.0,
+                     seed: Optional[int] = 0,
+                     rng: Optional[np.random.Generator] = None,
+                     step_bounds: Tuple[int, int] = (5, 50),
+                     start_time: float = 0.0,
+                     **lower_kwargs) -> List[JobSpec]:
+    """A Poisson stream of strategy-lowered training jobs.
+
+    Each of the ``num_arrivals`` arrivals is one training run of
+    ``model`` under ``strategy`` (a
+    :class:`~repro.models.strategies.ParallelStrategy`, or a spec /
+    preset string sized by ``world``), expanded through
+    :func:`~repro.serving.jobs.strategy_jobs` into one serving job per
+    collective group — so a ``dp4+tp2`` arrival lands as its two DP
+    groups plus four TP groups, each with its own per-step message
+    list.  Steps per arrival are drawn uniformly from ``step_bounds``;
+    all randomness flows through one generator (the repo-wide seeding
+    convention).  ``lower_kwargs`` pass through to the lowering.
+    """
+    if num_arrivals < 0:
+        raise ConfigurationError("num_arrivals must be >= 0")
+    if arrival_rate <= 0:
+        raise ConfigurationError("arrival_rate must be > 0")
+    lo, hi = step_bounds
+    if lo < 1 or hi < lo:
+        raise ConfigurationError(
+            f"step_bounds must satisfy 1 <= lo <= hi, got {step_bounds}")
+    if not isinstance(strategy, ParallelStrategy):
+        strategy = parse_strategy(strategy, world=world)
+    gen = _resolve_rng(seed, rng)
+    jobs: List[JobSpec] = []
+    now = float(start_time)
+    next_id = 0
+    for _ in range(num_arrivals):
+        now += float(gen.exponential(1.0 / arrival_rate))
+        num_steps = int(gen.integers(lo, hi + 1))
+        batch = strategy_jobs(model, strategy, arrival_time=now,
+                              start_id=next_id, num_steps=num_steps,
+                              **lower_kwargs)
+        next_id += len(batch)
+        jobs.extend(batch)
     return jobs
 
 

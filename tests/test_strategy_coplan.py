@@ -1,0 +1,245 @@
+"""Parity and search tests for the strategy co-planner.
+
+The keystone contract of the refactor: threading the uniform
+data-parallel strategy through the new demand-IR paths reproduces the
+legacy single-workload planners **bit for bit** — same floats, same
+schedule names, same programs — on every planning layer
+(``plan_topology``, ``plan_wrht``, ``compare_algorithms``, the
+reconfigurable substrate).  On top of that anchor, the co-planner's
+new knobs (leader placement, per-phase node subsets, multi-strategy
+search) must actually move the needle: the searched best is never
+worse than any fixed cell, and strided multi-phase profiles win by
+reconfiguring.
+"""
+
+import pytest
+
+from repro.collectives.hierarchical_ring import (
+    generate_hierarchical_ring, hierarchical_ring_step_count)
+from repro.collectives.ring_allreduce import generate_ring_allreduce
+from repro.config import (HierarchicalSystem, Workload, default_hierarchical,
+                          default_ocs, default_optical)
+from repro.core import cost_model
+from repro.core.comparison import compare_algorithms
+from repro.core.planner import plan_wrht, plan_wrht_profile
+from repro.core.substrates import get_substrate
+from repro.core.substrates.reconfigurable import OCSReconfigurableSubstrate
+from repro.core.topoplan import (default_leader_indices, plan_strategy,
+                                 plan_topology, plan_topology_profile,
+                                 profile_demands, strategy_plan_table,
+                                 topology_plan_table)
+from repro.errors import ConfigurationError
+from repro.models.catalog import get_model
+from repro.models.strategies import ParallelStrategy
+
+N = 8
+WL = Workload(data_bytes=50 * 2 ** 20, name="wl")
+
+
+def dp_profile(world, data_bytes, name="wl"):
+    """The uniform-DP profile equivalent to one legacy Workload."""
+    from repro.models.strategies import CollectivePhase, DemandProfile
+    return DemandProfile(
+        world=world,
+        phases=(CollectivePhase(name=name, groups=(tuple(range(world)),),
+                                message_bytes=float(data_bytes)),),
+        name=name)
+
+
+class TestUniformDpParity:
+    """Pure data parallelism must be indistinguishable from the seed."""
+
+    def test_plan_topology_profile_bit_for_bit(self):
+        sys = default_ocs(N)
+        legacy = plan_topology(sys, WL)
+        viaprof = plan_topology_profile(sys, dp_profile(N, WL.data_bytes))
+        assert viaprof.algorithm == legacy.algorithm
+        assert viaprof.policy == legacy.policy
+        assert viaprof.predicted_time == legacy.predicted_time
+        assert viaprof.report == legacy.report
+        assert viaprof.program == legacy.program
+
+    def test_plan_wrht_profile_bit_for_bit(self):
+        sys = default_optical(16)
+        legacy = plan_wrht(sys, WL)
+        viaprof = plan_wrht_profile(sys, dp_profile(16, WL.data_bytes))
+        assert viaprof.predicted_time == legacy.predicted_time
+        assert len(viaprof.phase_plans) == 1
+        assert viaprof.phase_plans[0].plan.schedule.name \
+            == legacy.schedule.name
+
+    @pytest.mark.parametrize("fidelity", ["analytic", "simulate"])
+    def test_compare_algorithms_bit_for_bit(self, fidelity):
+        legacy = compare_algorithms(N, WL, fidelity=fidelity)
+        viaprof = compare_algorithms(N, WL, fidelity=fidelity,
+                                     profile=dp_profile(N, WL.data_bytes))
+        assert set(viaprof.results) == set(legacy.results)
+        for algo in legacy.results:
+            assert viaprof.time(algo) == legacy.time(algo)
+
+    def test_profile_world_must_match(self):
+        with pytest.raises(ConfigurationError):
+            compare_algorithms(N, WL, profile=dp_profile(4, WL.data_bytes))
+
+    def test_strategy_lowering_matches_handmade_profile(self):
+        strat = ParallelStrategy(data_parallel=N)
+        prof = strat.lower(get_model("alexnet"), bucket_bytes=float("inf"))
+        sys = default_ocs(N)
+        wl = prof.to_workload()
+        assert plan_topology_profile(sys, prof).predicted_time \
+            == plan_topology(sys, wl).predicted_time
+
+
+class TestExecuteDemands:
+    """The substrate's raw-demand entry point vs schedule execution."""
+
+    @pytest.mark.parametrize("lookahead", [False, True])
+    def test_delegation_is_bit_for_bit(self, lookahead):
+        sys = default_ocs(N)
+        sched = generate_ring_allreduce(N)
+        sub = OCSReconfigurableSubstrate(system=sys, lookahead=lookahead)
+        ref = sub.execute(sched, WL)
+        prog_ref = sub.last_program
+
+        from repro.collectives.primitives import transfer_bytes
+        demands = [
+            {(t.src, t.dst): transfer_bytes(t, WL.data_bytes,
+                                            sched.num_chunks)
+             for t in step}
+            for step in sched.steps]
+        counts = [len(step) for step in sched.steps]
+        sub2 = OCSReconfigurableSubstrate(system=sys, lookahead=lookahead)
+        rep = sub2.execute_demands(demands, name=sched.name,
+                                   transfer_counts=counts)
+        assert rep == ref
+        assert sub2.last_program == prog_ref
+
+    def test_rejects_empty_program(self):
+        sub = OCSReconfigurableSubstrate(system=default_ocs(N))
+        with pytest.raises(ConfigurationError):
+            sub.execute_demands([])
+        with pytest.raises(ConfigurationError):
+            sub.execute_demands([{}])
+
+    def test_profile_demands_concatenates_phases(self):
+        prof = ParallelStrategy(data_parallel=2, tensor_parallel=4).lower(
+            get_model("alexnet"), bucket_bytes=float("inf"))
+        demands, counts, name, schedules = profile_demands(prof, "ring", N)
+        assert len(demands) == len(counts)
+        # Every phase contributes count x per-occurrence steps.
+        expect = sum(ph.count * 2 * (ph.group_size - 1)
+                     for ph in prof.phases)
+        assert len(demands) == expect
+        assert len(schedules) == prof.num_phases
+
+
+class TestSubsetPlacementInExecuteMany:
+    def test_identity_nodes_are_bit_for_bit(self):
+        sub = get_substrate("electrical-ring")
+        sched = generate_ring_allreduce(4)
+        wl = Workload(data_bytes=1 << 20)
+        plain, placed = sub.execute_many([
+            (sched, wl),
+            (sched, wl, {"nodes": [0, 1, 2, 3], "total_nodes": 4})])
+        assert placed == plain
+
+    def test_subset_nodes_rename_and_run(self):
+        sub = get_substrate("electrical-ring")
+        sched = generate_ring_allreduce(4)
+        wl = Workload(data_bytes=1 << 20)
+        (rep,) = sub.execute_many([
+            (sched, wl, {"nodes": [2, 5, 7, 9]})])
+        assert rep.schedule_name != sched.name
+        assert rep.num_steps == len(sched.steps)
+
+
+class TestLeaderPlacement:
+    def test_default_leader_is_legacy(self):
+        # No leader knob -> the historical last-node leader, same name,
+        # same step count, same closed-form time.
+        legacy = generate_hierarchical_ring(16, 4)
+        assert "-l" not in legacy.name
+        sys = default_hierarchical(16, group_size=4)
+        assert sys.resolved_leader_index == 3
+        explicit = generate_hierarchical_ring(16, 4, leader_index=3)
+        assert explicit.name == legacy.name
+        assert [len(s) for s in explicit.steps] \
+            == [len(s) for s in legacy.steps]
+
+    def test_leader_candidates_cover_the_optimum(self):
+        assert default_leader_indices(4) == (1, 2, 3)
+        assert default_leader_indices(5) == (2, 4)
+        assert default_leader_indices(1) == (0,)
+
+    def test_middle_leader_never_slower(self):
+        # Depth max(l, g-1-l) is minimized at the middle; the closed
+        # form (validated exact against the substrate) must agree.
+        for g in (4, 5, 8):
+            sys = default_hierarchical(2 * g, group_size=g)
+            t_default = cost_model.hier_rack_time(sys, WL)
+            t_best = min(
+                cost_model.hier_rack_time(
+                    sys.with_(leader_index=ell), WL)
+                for ell in default_leader_indices(g))
+            assert t_best <= t_default
+
+    def test_leader_knob_validated(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalSystem(num_nodes=8, group_size=4,
+                               leader_index=4)
+
+    def test_step_count_tracks_leader_depth(self):
+        # Middle leader shortens the local pipeline depth.
+        assert hierarchical_ring_step_count(16, 4, leader_index=1) \
+            < hierarchical_ring_step_count(16, 4, leader_index=3)
+
+
+class TestStrategySearch:
+    def test_search_best_is_min_of_the_grid(self):
+        table = strategy_plan_table(N, "alexnet",
+                                    bucket_bytes=float("inf"))
+        best = plan_strategy(N, "alexnet", bucket_bytes=float("inf"))
+        assert best.predicted_time == min(p.predicted_time for p in table)
+
+    def test_pure_dp_arm_matches_legacy_topoplan(self):
+        # Restrict the search to the legacy strategy: its simulated
+        # OCS cells must be exactly the legacy topology grid.
+        strat = ParallelStrategy(data_parallel=N)
+        table = strategy_plan_table(
+            N, "alexnet", strategies=[strat], rack_sizes=(),
+            fidelity="simulate", bucket_bytes=float("inf"))
+        wl = strat.lower(get_model("alexnet"),
+                         bucket_bytes=float("inf")).to_workload()
+        legacy = {(p.algorithm, p.policy): p.predicted_time
+                  for p in topology_plan_table(default_ocs(N), wl)}
+        ours = {(p.algorithm, p.policy): p.predicted_time
+                for p in table if p.fabric == "ocs-reconfig"}
+        assert ours == legacy
+
+    def test_analytic_fidelity_ranks_without_simulating(self):
+        table = strategy_plan_table(N, "alexnet", fidelity="analytic",
+                                    bucket_bytes=float("inf"))
+        ocs = [p for p in table if p.fabric == "ocs-reconfig"]
+        assert ocs and all(p.policy == "analytic" and p.report is None
+                           for p in ocs)
+
+    def test_hybrid_simulates_only_survivors(self):
+        table = strategy_plan_table(N, "alexnet", top_k=1,
+                                    bucket_bytes=float("inf"))
+        simulated = {(p.strategy.name, p.algorithm)
+                     for p in table if p.fabric == "ocs-reconfig"}
+        assert len(simulated) == 1
+
+    def test_coplan_never_worse_than_any_fixed_cell(self):
+        table = strategy_plan_table(N, "vgg16")
+        best = plan_strategy(N, "vgg16")
+        static = [p for p in table
+                  if p.policy in ("static", "closed-form")]
+        assert static
+        assert best.predicted_time <= min(p.predicted_time for p in static)
+
+    def test_multi_phase_profile_prefers_model_parallelism(self):
+        # alexnet's activations are tiny next to its gradients, so the
+        # co-planner must walk away from pure DP at full width.
+        best = plan_strategy(N, "alexnet")
+        assert best.strategy.tensor_parallel > 1
